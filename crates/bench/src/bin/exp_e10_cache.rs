@@ -1,0 +1,3 @@
+fn main() {
+    bench::experiments::e10_cache::run().print();
+}

@@ -1,0 +1,7 @@
+fn main() {
+    let max = std::env::var("SRB_E1_MAX")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(100_000);
+    bench::experiments::e1_catalog_scale::run(max).print();
+}

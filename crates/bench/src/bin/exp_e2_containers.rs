@@ -1,0 +1,3 @@
+fn main() {
+    bench::experiments::e2_containers::run(50).print();
+}

@@ -1,0 +1,3 @@
+fn main() {
+    bench::experiments::e3_failover::run().print();
+}

@@ -1,0 +1,3 @@
+fn main() {
+    bench::experiments::e4_federation::run().print();
+}

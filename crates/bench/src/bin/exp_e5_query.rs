@@ -1,0 +1,3 @@
+fn main() {
+    bench::experiments::e5_query::run(20_000).print();
+}

@@ -1,0 +1,5 @@
+fn main() {
+    bench::experiments::e6_parallel::run_scaling().print();
+    bench::experiments::e6_parallel::run_policies().print();
+    bench::experiments::e6_parallel::run_policies_skewed().print();
+}

@@ -1,0 +1,3 @@
+fn main() {
+    bench::experiments::e7_sync_repl::run().print();
+}

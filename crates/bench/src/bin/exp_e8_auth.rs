@@ -1,0 +1,3 @@
+fn main() {
+    bench::experiments::e8_auth::run().print();
+}

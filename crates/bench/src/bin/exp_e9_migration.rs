@@ -1,0 +1,3 @@
+fn main() {
+    bench::experiments::e9_migration::run().print();
+}

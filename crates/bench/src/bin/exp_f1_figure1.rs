@@ -1,0 +1,3 @@
+fn main() {
+    bench::experiments::figures::figure1().print();
+}

@@ -1,0 +1,77 @@
+//! E1 — "scalable to handle millions of datasets" (§2).
+//!
+//! Grows the catalog through decades of size and reports per-operation
+//! wall-clock costs at each scale: ingest, point query (indexed), and the
+//! full-scan baseline. The claim holds if ingest and indexed-query costs
+//! stay near-flat while the scan cost grows linearly.
+
+use crate::fixtures::{connect, single_site_grid};
+use crate::table::Table;
+use srb_core::IngestOptions;
+use srb_mcat::Query;
+use srb_types::{CompareOp, Triplet};
+use std::time::Instant;
+
+/// Run with catalog sizes up to `max` (e.g. 100_000; override with the
+/// SRB_E1_MAX environment variable in the binary).
+pub fn run(max: usize) -> Table {
+    let (grid, srv) = single_site_grid();
+    let conn = connect(&grid, srv);
+    conn.make_collection("/home/bench/data").unwrap();
+    let mut table = Table::new(
+        "E1: catalog scalability (per-op wall time vs catalog size)",
+        &[
+            "datasets",
+            "ingest us/op",
+            "point query us",
+            "scan query ms",
+            "hits",
+        ],
+    );
+    let mut current = 0usize;
+    let mut size = 1000usize;
+    while size <= max {
+        // Grow the catalog to `size`.
+        let t0 = Instant::now();
+        for i in current..size {
+            conn.ingest(
+                &format!("/home/bench/data/obj{i:07}"),
+                b"x",
+                IngestOptions::to_resource("fs")
+                    .with_metadata(Triplet::new("serial", i as i64, ""))
+                    .with_metadata(Triplet::new("kind", ["image", "text"][i % 2], "")),
+            )
+            .unwrap();
+        }
+        let grown = size - current;
+        let ingest_us = t0.elapsed().as_micros() as f64 / grown.max(1) as f64;
+        current = size;
+
+        // Point query on the unique attribute (indexed path).
+        let probe = (size / 2) as i64;
+        let q = Query::everywhere().and("serial", CompareOp::Eq, probe);
+        let t1 = Instant::now();
+        let reps = 100;
+        let mut hits = 0;
+        for _ in 0..reps {
+            hits = conn.query(&q).unwrap().0.len();
+        }
+        let point_us = t1.elapsed().as_micros() as f64 / reps as f64;
+
+        // The same query through the full-scan baseline (A1 ablation).
+        let t2 = Instant::now();
+        let scan_hits = conn.query_scan(&q).unwrap().0.len();
+        let scan_ms = t2.elapsed().as_micros() as f64 / 1000.0;
+        assert_eq!(hits, scan_hits);
+
+        table.row(vec![
+            size.to_string(),
+            format!("{ingest_us:.1}"),
+            format!("{point_us:.1}"),
+            format!("{scan_ms:.2}"),
+            hits.to_string(),
+        ]);
+        size *= 10;
+    }
+    table
+}

@@ -1,0 +1,88 @@
+//! E3 — fault tolerance: "automatically redirecting access to a replica on
+//! a separate storage system when the first storage system is unavailable"
+//! (§3).
+//!
+//! For k = 1..4 replicas, read the dataset while 0..k resources are down.
+//! Success means a read completed; the mean replicas-tried column shows
+//! the failover machinery at work; with all k resources down the read must
+//! fail cleanly.
+
+use crate::table::Table;
+use srb_core::{GridBuilder, IngestOptions, SrbConnection};
+use srb_net::LinkSpec;
+
+pub fn run() -> Table {
+    let mut table = Table::new(
+        "E3: replica failover (read success under resource failures)",
+        &[
+            "replicas",
+            "failed",
+            "reads",
+            "success",
+            "avg tried",
+            "avg sim ms",
+        ],
+    );
+    for k in 1..=4usize {
+        // k single-resource sites, fully meshed.
+        let mut gb = GridBuilder::new();
+        let mut servers = Vec::new();
+        for i in 0..k {
+            let site = gb.site(&format!("site{i}"));
+            servers.push(gb.server(&format!("srb{i}"), site));
+        }
+        gb.default_link(LinkSpec::wan());
+        for (i, srv) in servers.iter().enumerate() {
+            gb.fs_resource(&format!("fs{i}"), *srv);
+        }
+        let grid = gb.build();
+        grid.register_user("bench", "sdsc", "pw").unwrap();
+        let conn = SrbConnection::connect(&grid, servers[0], "bench", "sdsc", "pw").unwrap();
+        conn.ingest(
+            "/home/bench/obj",
+            &vec![1u8; 32 << 10],
+            IngestOptions::to_resource("fs0"),
+        )
+        .unwrap();
+        for i in 1..k {
+            conn.replicate("/home/bench/obj", &format!("fs{i}"))
+                .unwrap();
+        }
+        for failed in 0..=k {
+            for i in 0..failed {
+                grid.fail_resource(&format!("fs{i}")).unwrap();
+            }
+            let reads = 50;
+            let mut ok = 0;
+            let mut tried = 0u64;
+            let mut sim = 0u64;
+            for _ in 0..reads {
+                if let Ok((_, r)) = conn.read("/home/bench/obj") {
+                    ok += 1;
+                    tried += r.replicas_tried as u64;
+                    sim += r.sim_ns;
+                }
+            }
+            table.row(vec![
+                k.to_string(),
+                failed.to_string(),
+                reads.to_string(),
+                format!("{}%", ok * 100 / reads),
+                if ok > 0 {
+                    format!("{:.2}", tried as f64 / ok as f64)
+                } else {
+                    "-".into()
+                },
+                if ok > 0 {
+                    format!("{:.2}", sim as f64 / ok as f64 / 1e6)
+                } else {
+                    "-".into()
+                },
+            ]);
+            for i in 0..failed {
+                grid.restore_resource(&format!("fs{i}")).unwrap();
+            }
+        }
+    }
+    table
+}

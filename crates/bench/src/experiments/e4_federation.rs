@@ -1,0 +1,56 @@
+//! E4 — location transparency: "users can connect to any SRB server to
+//! access data from any other SRB server" (§3), with the forwarding cost
+//! that implies.
+//!
+//! The same object is read through contact servers at increasing network
+//! distance from the data: co-located with data and MCAT, co-located with
+//! the MCAT only, and remote from both. The simulated latency decomposes
+//! into MCAT hops and data hops. Ablation A5 (relay vs direct) falls out of
+//! the comparison between rows.
+
+use crate::fixtures::{connect, federated_grid};
+use crate::table::Table;
+use srb_core::{IngestOptions, SrbConnection};
+
+pub fn run() -> Table {
+    let mut table = Table::new(
+        "E4: federated access cost vs contact-server placement",
+        &[
+            "contact",
+            "data at",
+            "payload",
+            "hops",
+            "sim ms (1 KiB)",
+            "sim ms (1 MiB)",
+        ],
+    );
+    let (grid, [s1, s2, s3]) = federated_grid();
+    let conn = connect(&grid, s1);
+    for (size, name) in [(1usize << 10, "small"), (1 << 20, "large")] {
+        conn.ingest(
+            &format!("/home/bench/{name}.bin"),
+            &vec![7u8; size],
+            IngestOptions::to_resource("fs-sdsc"),
+        )
+        .unwrap();
+    }
+    // Contact servers at increasing distance; data + MCAT live at SDSC.
+    for (label, srv) in [
+        ("srb-sdsc (with data+MCAT)", s1),
+        ("srb-caltech (metro away)", s2),
+        ("srb-ncsa (WAN away)", s3),
+    ] {
+        let conn = SrbConnection::connect(&grid, srv, "bench", "sdsc", "pw").unwrap();
+        let (_, r_small) = conn.read("/home/bench/small.bin").unwrap();
+        let (_, r_large) = conn.read("/home/bench/large.bin").unwrap();
+        table.row(vec![
+            label.to_string(),
+            "sdsc".to_string(),
+            "1 KiB / 1 MiB".to_string(),
+            r_large.hops.to_string(),
+            format!("{:.3}", r_small.sim_ms()),
+            format!("{:.3}", r_large.sim_ms()),
+        ]);
+    }
+    table
+}

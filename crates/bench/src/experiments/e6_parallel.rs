@@ -1,0 +1,227 @@
+//! E6 — load balancing (§3) and parallel throughput.
+//!
+//! Part 1: wall-clock ingest+read throughput as the client pool grows
+//! (shared-catalog contention is the limiter).
+//! Part 2 (ablation A3): how evenly the three replica-selection policies
+//! spread 3000 reads over three replicas, and the simulated makespan that
+//! imbalance causes.
+
+use crate::table::Table;
+use srb_core::{GridBuilder, IngestOptions, ReplicaPolicy, SrbConnection};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+/// Part 1: client-pool scaling.
+pub fn run_scaling() -> Table {
+    let mut table = Table::new(
+        "E6a: parallel client throughput (ingest+read mix, wall clock)",
+        &["threads", "ops", "wall ms", "kops/s"],
+    );
+    for threads in [1usize, 2, 4, 8, 16] {
+        let mut gb = GridBuilder::new();
+        let site = gb.site("sdsc");
+        let srv = gb.server("srb", site);
+        gb.fs_resource("fs", srv);
+        let grid = gb.build();
+        grid.register_user("bench", "sdsc", "pw").unwrap();
+        let per_thread = 500usize;
+        let done = AtomicU64::new(0);
+        let t0 = Instant::now();
+        std::thread::scope(|s| {
+            for t in 0..threads {
+                let grid = &grid;
+                let done = &done;
+                s.spawn(move || {
+                    let conn = SrbConnection::connect(grid, srv, "bench", "sdsc", "pw").unwrap();
+                    conn.make_collection(&format!("/home/bench/t{t}")).unwrap();
+                    for i in 0..per_thread {
+                        let path = format!("/home/bench/t{t}/f{i}");
+                        conn.ingest(&path, b"data", IngestOptions::to_resource("fs"))
+                            .unwrap();
+                        conn.read(&path).unwrap();
+                        done.fetch_add(2, Ordering::Relaxed);
+                    }
+                });
+            }
+        });
+        let wall = t0.elapsed();
+        let ops = done.load(Ordering::Relaxed);
+        table.row(vec![
+            threads.to_string(),
+            ops.to_string(),
+            format!("{:.1}", wall.as_secs_f64() * 1e3),
+            format!("{:.1}", ops as f64 / wall.as_secs_f64() / 1e3),
+        ]);
+    }
+    table
+}
+
+/// Part 2: replica-selection policy comparison (ablation A3).
+pub fn run_policies() -> Table {
+    let mut table = Table::new(
+        "E6b: replica-selection policies over 3 replicas, 3000 reads (A3)",
+        &[
+            "policy",
+            "r1 ops",
+            "r2 ops",
+            "r3 ops",
+            "imbalance",
+            "sim makespan ms",
+        ],
+    );
+    for (label, policy) in [
+        ("first-alive", ReplicaPolicy::FirstAlive),
+        ("random", ReplicaPolicy::Random(7)),
+        ("least-loaded", ReplicaPolicy::LeastLoaded),
+    ] {
+        let mut gb = GridBuilder::new();
+        let site = gb.site("sdsc");
+        let srv = gb.server("srb", site);
+        gb.fs_resource("fs1", srv)
+            .fs_resource("fs2", srv)
+            .fs_resource("fs3", srv);
+        let grid = gb.build();
+        grid.register_user("bench", "sdsc", "pw").unwrap();
+        let mut conn = SrbConnection::connect(&grid, srv, "bench", "sdsc", "pw").unwrap();
+        conn.ingest(
+            "/home/bench/hot",
+            &vec![1u8; 256 << 10],
+            IngestOptions::to_resource("fs1"),
+        )
+        .unwrap();
+        conn.replicate("/home/bench/hot", "fs2").unwrap();
+        conn.replicate("/home/bench/hot", "fs3").unwrap();
+        // Snapshot post-setup load so only the measured reads count.
+        let rids: Vec<_> = (1..=3)
+            .map(|i| grid.resource_id(&format!("fs{i}")).unwrap())
+            .collect();
+        let base: Vec<u64> = rids.iter().map(|r| grid.load.completed(*r)).collect();
+        let base_busy: Vec<u64> = rids.iter().map(|r| grid.load.busy_ns(*r)).collect();
+        match policy {
+            ReplicaPolicy::Random(_) => {
+                // Vary the seed per read for a genuinely random spread.
+                for i in 0..3000u64 {
+                    conn.set_policy(ReplicaPolicy::Random(i));
+                    conn.read("/home/bench/hot").unwrap();
+                }
+            }
+            p => {
+                conn.set_policy(p);
+                for _ in 0..3000 {
+                    conn.read("/home/bench/hot").unwrap();
+                }
+            }
+        }
+        let counts: Vec<u64> = rids
+            .iter()
+            .zip(&base)
+            .map(|(r, b)| grid.load.completed(*r) - b)
+            .collect();
+        let busy: Vec<u64> = rids
+            .iter()
+            .zip(&base_busy)
+            .map(|(r, b)| grid.load.busy_ns(*r) - b)
+            .collect();
+        let max = *counts.iter().max().unwrap() as f64;
+        let min = *counts.iter().min().unwrap() as f64;
+        // Makespan: the busiest replica bounds completion when reads run
+        // concurrently.
+        let makespan_ms = *busy.iter().max().unwrap() as f64 / 1e6;
+        table.row(vec![
+            label.to_string(),
+            counts[0].to_string(),
+            counts[1].to_string(),
+            counts[2].to_string(),
+            if min > 0.0 {
+                format!("{:.2}", max / min)
+            } else {
+                "inf".into()
+            },
+            format!("{makespan_ms:.0}"),
+        ]);
+    }
+    table
+}
+
+/// Part 3: the same policy comparison with *heterogeneous* replicas — one
+/// member is a 10x-slower disk. This is where load awareness earns its
+/// keep: random keeps sending 1/3 of reads to the slow replica, while
+/// least-loaded adaptively avoids it once its busy-time accumulates.
+pub fn run_policies_skewed() -> Table {
+    let mut table = Table::new(
+        "E6c: policies with one 10x-slower replica, 3000 reads (A3 under skew)",
+        &[
+            "policy",
+            "fast1 ops",
+            "fast2 ops",
+            "slow ops",
+            "sim makespan ms",
+        ],
+    );
+    for (label, policy) in [
+        ("random", ReplicaPolicy::Random(7)),
+        ("least-loaded", ReplicaPolicy::LeastLoaded),
+    ] {
+        let mut gb = GridBuilder::new();
+        let site = gb.site("sdsc");
+        let srv = gb.server("srb", site);
+        let slow_disk = srb_storage::CostModel {
+            fixed_ns: 2_000_000,
+            read_mbps: 5.0,
+            write_mbps: 4.0,
+        };
+        gb.fs_resource("fs1", srv)
+            .fs_resource("fs2", srv)
+            .fs_resource_with_cost("fs-slow", srv, slow_disk);
+        let grid = gb.build();
+        grid.register_user("bench", "sdsc", "pw").unwrap();
+        let mut conn = SrbConnection::connect(&grid, srv, "bench", "sdsc", "pw").unwrap();
+        conn.ingest(
+            "/home/bench/hot",
+            &vec![1u8; 256 << 10],
+            IngestOptions::to_resource("fs1"),
+        )
+        .unwrap();
+        conn.replicate("/home/bench/hot", "fs2").unwrap();
+        conn.replicate("/home/bench/hot", "fs-slow").unwrap();
+        let rids: Vec<_> = ["fs1", "fs2", "fs-slow"]
+            .iter()
+            .map(|n| grid.resource_id(n).unwrap())
+            .collect();
+        let base: Vec<u64> = rids.iter().map(|r| grid.load.completed(*r)).collect();
+        let base_busy: Vec<u64> = rids.iter().map(|r| grid.load.busy_ns(*r)).collect();
+        match policy {
+            ReplicaPolicy::Random(_) => {
+                for i in 0..3000u64 {
+                    conn.set_policy(ReplicaPolicy::Random(i));
+                    conn.read("/home/bench/hot").unwrap();
+                }
+            }
+            p => {
+                conn.set_policy(p);
+                for _ in 0..3000 {
+                    conn.read("/home/bench/hot").unwrap();
+                }
+            }
+        }
+        let counts: Vec<u64> = rids
+            .iter()
+            .zip(&base)
+            .map(|(r, b)| grid.load.completed(*r) - b)
+            .collect();
+        let busy: Vec<u64> = rids
+            .iter()
+            .zip(&base_busy)
+            .map(|(r, b)| grid.load.busy_ns(*r) - b)
+            .collect();
+        let makespan_ms = *busy.iter().max().unwrap() as f64 / 1e6;
+        table.row(vec![
+            label.to_string(),
+            counts[0].to_string(),
+            counts[1].to_string(),
+            counts[2].to_string(),
+            format!("{makespan_ms:.0}"),
+        ]);
+    }
+    table
+}

@@ -1,0 +1,77 @@
+//! E7 — logical-resource synchronous replication (§5) vs asynchronous
+//! replicate-after-ingest (ablation A4).
+//!
+//! Ingesting into a logical resource with fan-out k writes k synchronous
+//! replicas: ingest cost grows with k but the data is immediately
+//! fault-tolerant. The asynchronous alternative returns after one copy and
+//! pays the replication later. The table reports both costs and the window
+//! of exposure (time during which only one copy exists).
+
+use crate::table::Table;
+use srb_core::{GridBuilder, IngestOptions, SrbConnection};
+use srb_net::LinkSpec;
+
+pub fn run() -> Table {
+    let mut table = Table::new(
+        "E7: synchronous (logical resource) vs asynchronous replication (A4)",
+        &[
+            "fan-out",
+            "sync ingest ms",
+            "async ingest ms",
+            "async total ms",
+            "exposure ms",
+        ],
+    );
+    let payload = vec![3u8; 1 << 20];
+    for k in 1..=4usize {
+        let mut gb = GridBuilder::new();
+        let mut servers = Vec::new();
+        for i in 0..k {
+            let site = gb.site(&format!("site{i}"));
+            servers.push(gb.server(&format!("srb{i}"), site));
+        }
+        gb.default_link(LinkSpec::wan());
+        let names: Vec<String> = (0..k).map(|i| format!("fs{i}")).collect();
+        for (i, srv) in servers.iter().enumerate() {
+            gb.fs_resource(&names[i], *srv);
+        }
+        let member_refs: Vec<&str> = names.iter().map(|s| s.as_str()).collect();
+        gb.logical_resource("fanout", &member_refs);
+        let grid = gb.build();
+        grid.register_user("bench", "sdsc", "pw").unwrap();
+        let conn = SrbConnection::connect(&grid, servers[0], "bench", "sdsc", "pw").unwrap();
+
+        // Synchronous: one ingest into the logical resource.
+        let r_sync = conn
+            .ingest(
+                "/home/bench/sync.bin",
+                &payload,
+                IngestOptions::to_resource("fanout"),
+            )
+            .unwrap();
+
+        // Asynchronous: ingest one copy, replicate k-1 times afterwards.
+        let r_first = conn
+            .ingest(
+                "/home/bench/async.bin",
+                &payload,
+                IngestOptions::to_resource("fs0"),
+            )
+            .unwrap();
+        let mut async_total = r_first.clone();
+        for name in names.iter().skip(1) {
+            let r = conn.replicate("/home/bench/async.bin", name).unwrap();
+            async_total.absorb(&r);
+        }
+        // Exposure: from first-copy-durable until the last replica lands.
+        let exposure_ns = async_total.sim_ns - r_first.sim_ns;
+        table.row(vec![
+            k.to_string(),
+            format!("{:.1}", r_sync.sim_ms()),
+            format!("{:.1}", r_first.sim_ms()),
+            format!("{:.1}", async_total.sim_ms()),
+            format!("{:.1}", exposure_ns as f64 / 1e6),
+        ]);
+    }
+    table
+}

@@ -1,0 +1,114 @@
+//! E8 — single sign-on and session keys (§4): handshake and validation
+//! costs, plus the 60-minute web-session expiry sweep.
+
+use crate::fixtures::single_site_grid;
+use crate::table::Table;
+use mysrb::{MySrb, Request};
+use srb_core::SrbConnection;
+use std::time::Instant;
+
+pub fn run() -> Table {
+    let mut table = Table::new(
+        "E8: authentication & session-key costs",
+        &["operation", "iterations", "total ms", "per-op us"],
+    );
+    let (grid, srv) = single_site_grid();
+
+    // Challenge–response handshake (library path).
+    let n = 500;
+    let t0 = Instant::now();
+    for _ in 0..n {
+        let c = SrbConnection::connect(&grid, srv, "bench", "sdsc", "pw").unwrap();
+        c.logout();
+    }
+    push(
+        &mut table,
+        "SRB connect (challenge-response)",
+        n,
+        t0.elapsed(),
+    );
+
+    // Ticket validation (every brokered call does one).
+    let conn = SrbConnection::connect(&grid, srv, "bench", "sdsc", "pw").unwrap();
+    let n = 100_000;
+    let t0 = Instant::now();
+    for _ in 0..n {
+        conn.stat("/home/bench").ok();
+    }
+    push(&mut table, "stat incl. ticket validation", n, t0.elapsed());
+
+    // Web login + page fetch.
+    let app = MySrb::new(&grid, srv, 99);
+    let n = 200;
+    let t0 = Instant::now();
+    let mut last_key = String::new();
+    for _ in 0..n {
+        let resp = app.handle(&Request::post(
+            "/login",
+            "user=bench&domain=sdsc&password=pw",
+            None,
+        ));
+        last_key = resp
+            .headers
+            .iter()
+            .find(|(k, _)| k == "Set-Cookie")
+            .and_then(|(_, v)| v.strip_prefix("mysrb_session="))
+            .map(|v| v.split(';').next().unwrap().to_string())
+            .unwrap();
+    }
+    push(
+        &mut table,
+        "MySRB login (mint session key)",
+        n,
+        t0.elapsed(),
+    );
+
+    let n = 5_000;
+    let t0 = Instant::now();
+    for _ in 0..n {
+        let resp = app.handle(&Request::get("/browse?path=%2F", Some(&last_key)));
+        assert_eq!(resp.status, 200);
+    }
+    push(
+        &mut table,
+        "browse incl. session-key check",
+        n,
+        t0.elapsed(),
+    );
+
+    // Expiry sweep: the key dies between minute 59 and 61.
+    for minutes in [30u64, 59, 60, 61, 120] {
+        let resp = app.handle(&Request::post(
+            "/login",
+            "user=bench&domain=sdsc&password=pw",
+            None,
+        ));
+        let key = resp
+            .headers
+            .iter()
+            .find(|(k, _)| k == "Set-Cookie")
+            .and_then(|(_, v)| v.strip_prefix("mysrb_session="))
+            .map(|v| v.split(';').next().unwrap().to_string())
+            .unwrap();
+        grid.clock.advance(minutes * 60 * 1_000_000_000);
+        let status = app
+            .handle(&Request::get("/browse?path=%2F", Some(&key)))
+            .status;
+        table.row(vec![
+            format!("session age {minutes} min -> HTTP {status}"),
+            "1".into(),
+            "-".into(),
+            "-".into(),
+        ]);
+    }
+    table
+}
+
+fn push(table: &mut Table, label: &str, n: usize, wall: std::time::Duration) {
+    table.row(vec![
+        label.to_string(),
+        n.to_string(),
+        format!("{:.1}", wall.as_secs_f64() * 1e3),
+        format!("{:.2}", wall.as_micros() as f64 / n as f64),
+    ]);
+}

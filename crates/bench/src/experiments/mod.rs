@@ -1,0 +1,13 @@
+//! One module per experiment in DESIGN.md §5.
+
+pub mod e10_cache;
+pub mod e1_catalog_scale;
+pub mod e2_containers;
+pub mod e3_failover;
+pub mod e4_federation;
+pub mod e5_query;
+pub mod e6_parallel;
+pub mod e7_sync_repl;
+pub mod e8_auth;
+pub mod e9_migration;
+pub mod figures;

@@ -1,0 +1,70 @@
+//! Shared grid fixtures and workload generators for the experiments.
+
+use rand::{Rng, SeedableRng};
+use srb_core::{Grid, GridBuilder, IngestOptions, SrbConnection};
+use srb_net::LinkSpec;
+use srb_types::{ServerId, Triplet};
+
+/// One site, one server, one fs resource — catalog-focused experiments.
+pub fn single_site_grid() -> (Grid, ServerId) {
+    let mut gb = GridBuilder::new();
+    let site = gb.site("sdsc");
+    let srv = gb.server("srb-sdsc", site);
+    gb.fs_resource("fs", srv);
+    let grid = gb.build();
+    grid.register_user("bench", "sdsc", "pw").unwrap();
+    (grid, srv)
+}
+
+/// The standard three-site federation used across experiments: SDSC with
+/// disk+cache, CalTech with an archive, NCSA with disk+archive, metro link
+/// SDSC–CalTech, WAN elsewhere.
+pub fn federated_grid() -> (Grid, [ServerId; 3]) {
+    let mut gb = GridBuilder::new();
+    let sdsc = gb.site("sdsc");
+    let caltech = gb.site("caltech");
+    let ncsa = gb.site("ncsa");
+    gb.link(sdsc, caltech, LinkSpec::metro());
+    gb.link(sdsc, ncsa, LinkSpec::wan());
+    gb.link(caltech, ncsa, LinkSpec::wan());
+    let s1 = gb.server("srb-sdsc", sdsc);
+    let s2 = gb.server("srb-caltech", caltech);
+    let s3 = gb.server("srb-ncsa", ncsa);
+    gb.fs_resource("fs-sdsc", s1)
+        .cache_resource("cache-sdsc", s1, 512 << 20)
+        .archive_resource("hpss-caltech", s2)
+        .fs_resource("fs-ncsa", s3)
+        .archive_resource("hpss-ncsa", s3)
+        .logical_resource("mirror", &["fs-sdsc", "fs-ncsa"])
+        .logical_resource("ct-store", &["cache-sdsc", "hpss-caltech"]);
+    let grid = gb.build();
+    grid.register_user("bench", "sdsc", "pw").unwrap();
+    (grid, [s1, s2, s3])
+}
+
+/// Connect the standard bench user.
+pub fn connect<'g>(grid: &'g Grid, srv: ServerId) -> SrbConnection<'g> {
+    SrbConnection::connect(grid, srv, "bench", "sdsc", "pw").expect("bench user connects")
+}
+
+/// Ingest `n` small datasets under `/home/bench/data` with three metadata
+/// attributes each: a unique `serial`, a low-cardinality `kind`, and a
+/// numeric `score`. Returns ingest wall time.
+pub fn seed_datasets(conn: &SrbConnection<'_>, n: usize, resource: &str) -> std::time::Duration {
+    conn.make_collection("/home/bench/data")
+        .expect("collection");
+    let mut rng = rand::rngs::StdRng::seed_from_u64(42);
+    let t0 = std::time::Instant::now();
+    for i in 0..n {
+        conn.ingest(
+            &format!("/home/bench/data/obj{i:07}"),
+            b"payload",
+            IngestOptions::to_resource(resource)
+                .with_metadata(Triplet::new("serial", i as i64, ""))
+                .with_metadata(Triplet::new("kind", ["image", "text", "movie"][i % 3], ""))
+                .with_metadata(Triplet::new("score", rng.gen_range(0i64..1000), "")),
+        )
+        .expect("ingest");
+    }
+    t0.elapsed()
+}

@@ -1,0 +1,70 @@
+//! Smoke tests: every experiment harness must run end to end (with small
+//! parameters) so `cargo test` guards the benchmark suite against
+//! regressions, not just the library code.
+
+use bench::experiments::*;
+
+#[test]
+fn e1_catalog_scale_smoke() {
+    let t = e1_catalog_scale::run(1000);
+    assert_eq!(t.len(), 1);
+}
+
+#[test]
+fn e2_containers_smoke() {
+    let t = e2_containers::run(5);
+    assert_eq!(t.len(), 5); // five file sizes
+}
+
+#[test]
+fn e3_failover_smoke() {
+    let t = e3_failover::run();
+    assert_eq!(t.len(), 2 + 3 + 4 + 5); // k=1..4 with 0..=k failures
+}
+
+#[test]
+fn e4_federation_smoke() {
+    let t = e4_federation::run();
+    assert_eq!(t.len(), 3);
+}
+
+#[test]
+fn e5_query_smoke() {
+    let t = e5_query::run(2_000);
+    assert_eq!(t.len(), 5);
+}
+
+#[test]
+fn e6_policies_smoke() {
+    assert_eq!(e6_parallel::run_policies().len(), 3);
+    assert_eq!(e6_parallel::run_policies_skewed().len(), 2);
+}
+
+#[test]
+fn e7_sync_repl_smoke() {
+    assert_eq!(e7_sync_repl::run().len(), 4);
+}
+
+#[test]
+fn e8_auth_smoke() {
+    let t = e8_auth::run();
+    assert!(t.len() >= 9);
+}
+
+#[test]
+fn e9_migration_smoke() {
+    assert_eq!(e9_migration::run().len(), 3);
+}
+
+#[test]
+fn e10_cache_smoke() {
+    assert_eq!(e10_cache::run().len(), 6);
+}
+
+#[test]
+fn figures_smoke() {
+    let f1 = figures::figure1();
+    assert!(f1.render().contains("true"));
+    let f2 = figures::figure2();
+    assert!(f2.render().contains("15/15"));
+}

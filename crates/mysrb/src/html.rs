@@ -1,0 +1,146 @@
+//! Minimal HTML construction helpers shared by all pages.
+
+pub use srb_core::template::escape;
+
+/// Wrap body content in the standard MySRB chrome. When `split` content is
+/// given, render the paper's split window: "the small top-window is used to
+/// display metadata about data objects and collections, and the larger
+/// bottom-window is used for displaying elements in a collection or for
+/// displaying data objects".
+pub fn page(title: &str, user: Option<&str>, top: Option<&str>, bottom: &str) -> String {
+    let mut out = String::with_capacity(bottom.len() + 1024);
+    out.push_str("<!DOCTYPE html>\n<html><head><title>");
+    out.push_str(&escape(title));
+    out.push_str("</title><style>\n");
+    out.push_str(
+        "body{font-family:sans-serif;margin:0}\n\
+         .banner{background:#003366;color:#fff;padding:6px 12px}\n\
+         .banner a{color:#9cf}\n\
+         .split-top{height:30%;overflow:auto;border-bottom:3px double #336;\
+background:#eef;padding:8px}\n\
+         .split-bottom{overflow:auto;padding:8px}\n\
+         table{border-collapse:collapse}\n\
+         td,th{border:1px solid #99c;padding:2px 6px}\n\
+         .ops a{margin-right:6px}\n",
+    );
+    out.push_str("</style></head><body>\n");
+    out.push_str("<div class=\"banner\"><b>MySRB</b> &mdash; SDSC Storage Resource Broker");
+    if let Some(u) = user {
+        out.push_str(&format!(
+            " &middot; signed in as <b>{}</b> &middot; <a href=\"/logout\">logout</a>",
+            escape(u)
+        ));
+    }
+    out.push_str("</div>\n");
+    if let Some(top) = top {
+        out.push_str("<div class=\"split-top\">\n");
+        out.push_str(top);
+        out.push_str("\n</div>\n<div class=\"split-bottom\">\n");
+        out.push_str(bottom);
+        out.push_str("\n</div>\n");
+    } else {
+        out.push_str("<div class=\"split-bottom\">\n");
+        out.push_str(bottom);
+        out.push_str("\n</div>\n");
+    }
+    out.push_str("</body></html>\n");
+    out
+}
+
+/// An HTML table from a header row and string rows.
+pub fn table(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let mut out = String::from("<table><tr>");
+    for h in headers {
+        out.push_str("<th>");
+        out.push_str(&escape(h));
+        out.push_str("</th>");
+    }
+    out.push_str("</tr>\n");
+    for row in rows {
+        out.push_str("<tr>");
+        for cell in row {
+            out.push_str("<td>");
+            out.push_str(cell); // cells may carry pre-escaped markup/links
+            out.push_str("</td>");
+        }
+        out.push_str("</tr>\n");
+    }
+    out.push_str("</table>\n");
+    out
+}
+
+/// `<a href=...>` with escaped label and encoded query value.
+pub fn link(href: &str, label: &str) -> String {
+    format!("<a href=\"{}\">{}</a>", href, escape(label))
+}
+
+/// A labelled text input.
+pub fn text_input(label: &str, name: &str, value: &str) -> String {
+    format!(
+        "<label>{}: <input type=\"text\" name=\"{}\" value=\"{}\"></label><br>\n",
+        escape(label),
+        escape(name),
+        escape(value)
+    )
+}
+
+/// A drop-down select.
+pub fn select(name: &str, options: &[String], selected: Option<&str>) -> String {
+    let mut out = format!("<select name=\"{}\">", escape(name));
+    for o in options {
+        let sel = if Some(o.as_str()) == selected {
+            " selected"
+        } else {
+            ""
+        };
+        out.push_str(&format!(
+            "<option value=\"{v}\"{sel}>{v}</option>",
+            v = escape(o)
+        ));
+    }
+    out.push_str("</select>");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn split_window_layout() {
+        let p = page(
+            "T",
+            Some("sekar@sdsc"),
+            Some("<b>meta</b>"),
+            "<i>listing</i>",
+        );
+        assert!(p.contains("split-top"));
+        assert!(p.contains("split-bottom"));
+        assert!(p.contains("<b>meta</b>"));
+        assert!(p.contains("<i>listing</i>"));
+        assert!(p.contains("sekar@sdsc"));
+        // Top pane comes before bottom pane.
+        assert!(p.find("split-top").unwrap() < p.find("split-bottom").unwrap());
+    }
+
+    #[test]
+    fn single_pane_when_no_top() {
+        let p = page("T", None, None, "hello");
+        assert!(!p.contains("<div class=\"split-top\">"));
+        assert!(p.contains("hello"));
+        assert!(!p.contains("logout"));
+    }
+
+    #[test]
+    fn table_escapes_headers_not_cells() {
+        let t = table(&["A<b>"], &[vec![link("/x", "go")]]);
+        assert!(t.contains("A&lt;b&gt;"));
+        assert!(t.contains("<a href=\"/x\">go</a>"));
+    }
+
+    #[test]
+    fn select_marks_selected() {
+        let s = select("op", &["=".into(), ">".into()], Some(">"));
+        assert!(s.contains("<option value=\"&gt;\" selected>"));
+    }
+}

@@ -1,0 +1,235 @@
+//! A minimal threaded HTTP/1.1 server for the MySRB application.
+//!
+//! The paper serves MySRB over https with session cookies; DESIGN.md §2
+//! documents the TLS substitution. This server handles GET/POST with
+//! urlencoded bodies, the `mysrb_session` cookie, and connection-per-thread
+//! dispatch — enough to drive every page from a real browser.
+
+use crate::app::{MySrb, Request, Response};
+use crate::urlenc::parse_form;
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+
+/// Parse one HTTP request from a stream.
+pub fn parse_request(stream: &mut dyn BufRead) -> std::io::Result<Option<Request>> {
+    let mut line = String::new();
+    if stream.read_line(&mut line)? == 0 {
+        return Ok(None);
+    }
+    let mut parts = line.split_whitespace();
+    let method = parts.next().unwrap_or("").to_uppercase();
+    let target = parts.next().unwrap_or("/").to_string();
+    let (path, qs) = target.split_once('?').unwrap_or((target.as_str(), ""));
+    let mut req = Request {
+        method,
+        path: path.to_string(),
+        query: parse_form(qs),
+        ..Request::default()
+    };
+    let mut content_length = 0usize;
+    loop {
+        let mut header = String::new();
+        if stream.read_line(&mut header)? == 0 {
+            break;
+        }
+        let header = header.trim_end();
+        if header.is_empty() {
+            break;
+        }
+        let Some((name, value)) = header.split_once(':') else {
+            continue;
+        };
+        let name = name.trim().to_ascii_lowercase();
+        let value = value.trim();
+        match name.as_str() {
+            "content-length" => content_length = value.parse().unwrap_or(0),
+            "cookie" => {
+                for c in value.split(';') {
+                    let c = c.trim();
+                    if let Some(v) = c.strip_prefix("mysrb_session=") {
+                        req.session = Some(v.to_string());
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+    if content_length > 0 {
+        let mut body = vec![0u8; content_length.min(16 << 20)];
+        stream.read_exact(&mut body)?;
+        req.form = parse_form(&String::from_utf8_lossy(&body));
+    }
+    Ok(Some(req))
+}
+
+/// Serialize a response to the wire.
+pub fn write_response(stream: &mut dyn Write, resp: &Response) -> std::io::Result<()> {
+    let reason = match resp.status {
+        200 => "OK",
+        303 => "See Other",
+        400 => "Bad Request",
+        401 => "Unauthorized",
+        403 => "Forbidden",
+        404 => "Not Found",
+        409 => "Conflict",
+        503 => "Service Unavailable",
+        _ => "Status",
+    };
+    write!(
+        stream,
+        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n",
+        resp.status,
+        reason,
+        resp.content_type,
+        resp.body.len()
+    )?;
+    for (k, v) in &resp.headers {
+        write!(stream, "{k}: {v}\r\n")?;
+    }
+    stream.write_all(b"\r\n")?;
+    stream.write_all(&resp.body)?;
+    stream.flush()
+}
+
+fn handle_client(app: &MySrb<'_>, stream: TcpStream) {
+    let mut reader = BufReader::new(match stream.try_clone() {
+        Ok(s) => s,
+        Err(_) => return,
+    });
+    let mut writer = stream;
+    if let Ok(Some(req)) = parse_request(&mut reader) {
+        let resp = app.handle(&req);
+        let _ = write_response(&mut writer, &resp);
+    }
+}
+
+/// Serve the app on `listener` until `shutdown` turns true. Each
+/// connection is handled on a scoped thread; the function returns after
+/// shutdown is observed (a final dummy connection may be needed to unblock
+/// `accept`, which `shutdown_poke` sends).
+pub fn serve(app: &MySrb<'_>, listener: TcpListener, shutdown: &AtomicBool) {
+    listener
+        .set_nonblocking(false)
+        .expect("listener configuration");
+    std::thread::scope(|scope| {
+        for stream in listener.incoming() {
+            if shutdown.load(Ordering::Acquire) {
+                break;
+            }
+            match stream {
+                Ok(s) => {
+                    scope.spawn(move || handle_client(app, s));
+                }
+                Err(_) => break,
+            }
+        }
+    });
+}
+
+/// Unblock a `serve` loop waiting in `accept` after setting its flag.
+pub fn shutdown_poke(addr: &str) {
+    let _ = TcpStream::connect(addr);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use srb_core::GridBuilder;
+    use std::io::{Cursor, Read};
+
+    #[test]
+    fn parses_get_with_query_and_cookie() {
+        let raw = "GET /browse?path=%2Fhome HTTP/1.1\r\nHost: x\r\n\
+                   Cookie: other=1; mysrb_session=abc.def\r\n\r\n";
+        let req = parse_request(&mut Cursor::new(raw)).unwrap().unwrap();
+        assert_eq!(req.method, "GET");
+        assert_eq!(req.path, "/browse");
+        assert_eq!(req.query["path"], "/home");
+        assert_eq!(req.session.as_deref(), Some("abc.def"));
+    }
+
+    #[test]
+    fn parses_post_body() {
+        let body = "user=sekar&domain=sdsc&password=pw";
+        let raw = format!(
+            "POST /login HTTP/1.1\r\nContent-Length: {}\r\n\r\n{}",
+            body.len(),
+            body
+        );
+        let req = parse_request(&mut Cursor::new(raw)).unwrap().unwrap();
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.form["user"], "sekar");
+        assert_eq!(req.form["password"], "pw");
+    }
+
+    #[test]
+    fn empty_stream_yields_none() {
+        assert!(parse_request(&mut Cursor::new("")).unwrap().is_none());
+    }
+
+    #[test]
+    fn response_serialization() {
+        let resp = Response {
+            status: 303,
+            content_type: "text/html".into(),
+            body: b"x".to_vec(),
+            headers: vec![("Location".into(), "/".into())],
+        };
+        let mut out = Vec::new();
+        write_response(&mut out, &resp).unwrap();
+        let s = String::from_utf8(out).unwrap();
+        assert!(s.starts_with("HTTP/1.1 303 See Other\r\n"));
+        assert!(s.contains("Location: /\r\n"));
+        assert!(s.contains("Content-Length: 1\r\n"));
+        assert!(s.ends_with("\r\n\r\nx"));
+    }
+
+    #[test]
+    fn end_to_end_over_tcp() {
+        let mut gb = GridBuilder::new();
+        let site = gb.site("sdsc");
+        let srv = gb.server("srb", site);
+        gb.fs_resource("fs", srv);
+        let grid = gb.build();
+        grid.register_user("u", "d", "pw").unwrap();
+        let app = crate::MySrb::new(&grid, srv, 7);
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap().to_string();
+        let shutdown = AtomicBool::new(false);
+        std::thread::scope(|s| {
+            s.spawn(|| serve(&app, listener, &shutdown));
+            // Login over a raw socket.
+            let mut conn = TcpStream::connect(&addr).unwrap();
+            let body = "user=u&domain=d&password=pw";
+            write!(
+                conn,
+                "POST /login HTTP/1.1\r\nContent-Length: {}\r\n\r\n{}",
+                body.len(),
+                body
+            )
+            .unwrap();
+            let mut reply = String::new();
+            BufReader::new(conn).read_to_string(&mut reply).unwrap();
+            assert!(reply.starts_with("HTTP/1.1 303"));
+            let key = reply
+                .lines()
+                .find_map(|l| l.strip_prefix("Set-Cookie: mysrb_session="))
+                .map(|v| v.split(';').next().unwrap().to_string())
+                .expect("session cookie set");
+            // Browse with the cookie.
+            let mut conn = TcpStream::connect(&addr).unwrap();
+            write!(
+                conn,
+                "GET /browse?path=%2F HTTP/1.1\r\nCookie: mysrb_session={key}\r\n\r\n"
+            )
+            .unwrap();
+            let mut reply = String::new();
+            BufReader::new(conn).read_to_string(&mut reply).unwrap();
+            assert!(reply.starts_with("HTTP/1.1 200"));
+            assert!(reply.contains("MySRB"));
+            shutdown.store(true, Ordering::Release);
+            shutdown_poke(&addr);
+        });
+    }
+}

@@ -1,0 +1,554 @@
+//! Page renderers.
+//!
+//! Each function renders one MySRB page to an HTML string, driven entirely
+//! through the public `SrbConnection` API (MySRB is a *client* of SRB, as
+//! in the paper). Figure 1 of the paper corresponds to [`browse_page`];
+//! Figure 2 to [`ingest_form`].
+
+use crate::html::{escape, link, page, select, table, text_input};
+use crate::urlenc::encode;
+use srb_core::{ObjectContent, SrbConnection};
+use srb_mcat::metadata::DUBLIN_CORE;
+use srb_mcat::{AnnotationKind, Query, QueryHit};
+use srb_types::{CompareOp, LogicalPath, SrbResult};
+
+/// The login page.
+pub fn login_page(message: Option<&str>) -> String {
+    let mut body = String::new();
+    if let Some(m) = message {
+        body.push_str(&format!("<p style=\"color:#900\">{}</p>\n", escape(m)));
+    }
+    body.push_str("<h2>Sign on to MySRB</h2>\n<form method=\"post\" action=\"/login\">\n");
+    body.push_str(&text_input("User name", "user", ""));
+    body.push_str(&text_input("Domain", "domain", "sdsc"));
+    body.push_str(
+        "<label>Password: <input type=\"password\" name=\"password\"></label><br>\n\
+         <input type=\"submit\" value=\"Connect\">\n</form>\n",
+    );
+    page("MySRB sign on", None, None, &body)
+}
+
+fn breadcrumbs(path: &str) -> String {
+    let lp = match LogicalPath::parse(path) {
+        Ok(p) => p,
+        Err(_) => return escape(path),
+    };
+    let mut out = link("/browse?path=%2F", "/");
+    let mut acc = LogicalPath::root();
+    for c in lp.components() {
+        acc = acc.child(c).expect("component already validated");
+        out.push_str(" &rsaquo; ");
+        out.push_str(&link(
+            &format!("/browse?path={}", encode(&acc.to_string())),
+            c,
+        ));
+    }
+    out
+}
+
+/// Render one metadata value, honouring the paper's "creative modes": a
+/// value that is a URL or an SRB path becomes a clickable hot-link, and a
+/// value whose *units* are `inline` has its content inlined (thumbnails,
+/// database-backed properties).
+fn render_meta_value(conn: &SrbConnection, value: &str, units: &str) -> String {
+    let is_url = value.starts_with("http://") || value.starts_with("https://");
+    let is_srb = value.starts_with('/') && value.len() > 1;
+    if units == "inline" {
+        if is_srb {
+            if let Ok((content, _)) = conn.open(value, &[]) {
+                return format!("<blockquote>{}</blockquote>", escape(&content.display()));
+            }
+        }
+        if is_url {
+            if let Ok((bytes, _)) = conn.grid().web.fetch(value) {
+                return format!(
+                    "<blockquote>{}</blockquote>",
+                    escape(&String::from_utf8_lossy(&bytes))
+                );
+            }
+        }
+    }
+    if is_url {
+        return format!("<a href=\"{}\">{}</a>", escape(value), escape(value));
+    }
+    if is_srb {
+        return link(&format!("/view?path={}", encode(value)), value);
+    }
+    escape(value)
+}
+
+fn metadata_pane(conn: &SrbConnection, path: &str) -> String {
+    let mut top = format!("<b>{}</b><br>\n", breadcrumbs(path));
+    match conn.metadata(path) {
+        Ok(rows) if !rows.is_empty() => {
+            let rendered: Vec<Vec<String>> = rows
+                .iter()
+                .map(|r| {
+                    vec![
+                        escape(&r.triplet.name),
+                        render_meta_value(conn, &r.triplet.value.lexical(), &r.triplet.units),
+                        escape(&r.triplet.units),
+                        escape(match &r.kind {
+                            srb_mcat::MetaKind::System => "system",
+                            srb_mcat::MetaKind::UserDefined => "user",
+                            srb_mcat::MetaKind::TypeOriented(s) => s,
+                            srb_mcat::MetaKind::FileBased(_) => "file-based",
+                        }),
+                    ]
+                })
+                .collect();
+            top.push_str(&table(&["attribute", "value", "units", "kind"], &rendered));
+        }
+        Ok(_) => top.push_str("<i>no metadata</i>\n"),
+        Err(e) => top.push_str(&format!("<i>{}</i>\n", escape(&e.to_string()))),
+    }
+    match conn.annotations(path) {
+        Ok(notes) if !notes.is_empty() => {
+            top.push_str("<p><b>Annotations</b></p>\n<ul>\n");
+            for n in notes {
+                top.push_str(&format!(
+                    "<li>[{}] {} <i>({} at {})</i></li>\n",
+                    escape(n.kind.name()),
+                    escape(&n.text),
+                    n.author,
+                    n.at
+                ));
+            }
+            top.push_str("</ul>\n");
+        }
+        _ => {}
+    }
+    top
+}
+
+/// The metadata-only view ("the user can select to just view the metadata
+/// for an object").
+pub fn meta_page(conn: &SrbConnection, path: &str) -> SrbResult<String> {
+    // Permission check happens inside the pane's catalog calls; surface
+    // resolution errors eagerly so missing objects 404.
+    conn.metadata(path)?;
+    let top = metadata_pane(conn, path);
+    Ok(page(
+        &format!("MySRB — metadata of {path}"),
+        Some(""),
+        None,
+        &top,
+    ))
+}
+
+/// Figure 1: the main collection page — metadata pane on top, the
+/// collection listing with per-object operations below.
+pub fn browse_page(conn: &SrbConnection, path: &str) -> SrbResult<String> {
+    let (subs, datasets, _) = conn.list_collection(path)?;
+    let top = metadata_pane(conn, path);
+    let mut bottom = String::new();
+    let enc = |p: &str| encode(p);
+    let base = path.trim_end_matches('/');
+    bottom.push_str(&format!(
+        "<p class=\"ops\">{} {} {}</p>\n",
+        link(&format!("/ingest?coll={}", enc(path)), "[ingest file]"),
+        link(
+            &format!("/mkcoll?parent={}", enc(path)),
+            "[new sub-collection]"
+        ),
+        link(&format!("/query?scope={}", enc(path)), "[query]"),
+    ));
+    let mut rows: Vec<Vec<String>> = Vec::new();
+    for s in &subs {
+        let full = format!("{base}/{s}");
+        rows.push(vec![
+            link(&format!("/browse?path={}", enc(&full)), s),
+            "collection".into(),
+            String::new(),
+            String::new(),
+        ]);
+    }
+    for (name, ty, size) in &datasets {
+        let full = format!("{base}/{name}");
+        let ops = format!(
+            "{} {} {}",
+            link(&format!("/view?path={}", enc(&full)), "view"),
+            link(&format!("/meta?path={}", enc(&full)), "metadata"),
+            link(&format!("/annotate?path={}", enc(&full)), "annotate"),
+        );
+        rows.push(vec![
+            link(&format!("/view?path={}", enc(&full)), name),
+            escape(ty),
+            size.to_string(),
+            ops,
+        ]);
+    }
+    if rows.is_empty() {
+        bottom.push_str("<i>empty collection</i>\n");
+    } else {
+        bottom.push_str(&table(&["name", "type", "size", "operations"], &rows));
+    }
+    Ok(page(
+        &format!("MySRB — {path}"),
+        Some(""),
+        Some(&top),
+        &bottom,
+    ))
+}
+
+/// The object view: "when a user 'opens' a file, the attributes about the
+/// file are displayed along with the contents of the file."
+pub fn view_page(conn: &SrbConnection, path: &str, args: &[String]) -> SrbResult<String> {
+    let (content, receipt) = conn.open(path, args)?;
+    let top = metadata_pane(conn, path);
+    let mut bottom = String::new();
+    match &content {
+        ObjectContent::Bytes(b) => {
+            bottom.push_str("<pre>");
+            bottom.push_str(&escape(&String::from_utf8_lossy(b)));
+            bottom.push_str("</pre>\n");
+        }
+        ObjectContent::Table { rendered, .. } => bottom.push_str(rendered),
+        ObjectContent::Listing(files) => {
+            bottom.push_str("<ul>\n");
+            for f in files {
+                bottom.push_str(&format!("<li>{}</li>\n", escape(f)));
+            }
+            bottom.push_str("</ul>\n");
+        }
+    }
+    bottom.push_str(&format!(
+        "<p><small>served in {:.3} ms (simulated), {} replica(s) tried, {} hop(s)</small></p>\n",
+        receipt.sim_ms(),
+        receipt.replicas_tried,
+        receipt.hops
+    ));
+    Ok(page(
+        &format!("MySRB — {path}"),
+        Some(""),
+        Some(&top),
+        &bottom,
+    ))
+}
+
+/// Figure 2: the file-ingestion form with structural metadata (defaults and
+/// restricted vocabularies as drop-downs), Dublin Core attributes, and
+/// free user-defined attribute rows.
+pub fn ingest_form(conn: &SrbConnection, coll: &str) -> SrbResult<String> {
+    let lp = LogicalPath::parse(coll)?;
+    let coll_id = conn.grid().mcat.collections.resolve(&lp)?;
+    let requirements = conn.grid().mcat.requirements_for(coll_id)?;
+    let resources: Vec<String> = conn
+        .grid()
+        .mcat
+        .resources
+        .list()
+        .into_iter()
+        .map(|r| r.name)
+        .chain(
+            conn.grid()
+                .mcat
+                .resources
+                .list_logical()
+                .into_iter()
+                .map(|r| r.name),
+        )
+        .collect();
+    let containers: Vec<String> = std::iter::once(String::new())
+        .chain(
+            conn.grid()
+                .mcat
+                .containers
+                .list()
+                .into_iter()
+                .map(|c| c.name),
+        )
+        .collect();
+    let mut body = format!(
+        "<h2>Ingest into {}</h2>\n<form method=\"post\" action=\"/ingest\">\n\
+         <input type=\"hidden\" name=\"coll\" value=\"{}\">\n",
+        escape(coll),
+        escape(coll)
+    );
+    body.push_str(&text_input("File name", "name", ""));
+    body.push_str(&format!(
+        "<label>Resource: {}</label><br>\n",
+        select("resource", &resources, None)
+    ));
+    body.push_str(&format!(
+        "<label>Container (overrides resource): {}</label><br>\n",
+        select("container", &containers, None)
+    ));
+    body.push_str(&text_input("Data type", "data_type", "generic"));
+    body.push_str(
+        "<label>Contents:<br><textarea name=\"content\" rows=\"6\" cols=\"60\">\
+         </textarea></label><br>\n",
+    );
+    if !requirements.is_empty() {
+        body.push_str("<h3>Collection metadata requirements</h3>\n");
+        for req in &requirements {
+            let field = format!("req_{}", req.name);
+            let star = if req.mandatory { " *" } else { "" };
+            if req.allowed.len() > 1 {
+                body.push_str(&format!(
+                    "<label>{}{}: {} <small>{}</small></label><br>\n",
+                    escape(&req.name),
+                    star,
+                    select(&field, &req.allowed, req.default_value()),
+                    escape(&req.comment)
+                ));
+            } else {
+                body.push_str(&format!(
+                    "<label>{}{}: <input type=\"text\" name=\"{}\" value=\"{}\"> \
+                     <small>{}</small></label><br>\n",
+                    escape(&req.name),
+                    star,
+                    escape(&field),
+                    escape(req.default_value().unwrap_or("")),
+                    escape(&req.comment)
+                ));
+            }
+        }
+    }
+    body.push_str("<h3>Dublin Core attributes</h3>\n");
+    for element in DUBLIN_CORE {
+        body.push_str(&text_input(element, &format!("dc_{element}"), ""));
+    }
+    body.push_str("<h3>User-defined attributes</h3>\n");
+    for _ in 0..3 {
+        body.push_str(
+            "<input type=\"text\" name=\"meta_name\" placeholder=\"name\"> = \
+             <input type=\"text\" name=\"meta_value\" placeholder=\"value\"> \
+             <input type=\"text\" name=\"meta_units\" placeholder=\"units\" size=\"6\"><br>\n",
+        );
+    }
+    body.push_str("<p><input type=\"submit\" value=\"Ingest\"></p>\n</form>\n");
+    Ok(page("MySRB — ingest", Some(""), None, &body))
+}
+
+/// The query builder: four-part conditions ("a metadata name part which is
+/// a drop-down menu … a comparison operator … a text box … a checkbox").
+pub fn query_form(conn: &SrbConnection, scope: &str) -> SrbResult<String> {
+    let lp = LogicalPath::parse(scope)?;
+    let attrs = conn.grid().mcat.queryable_attrs(&lp)?;
+    let ops: Vec<String> = CompareOp::all()
+        .iter()
+        .map(|o| o.display().to_string())
+        .collect();
+    let mut attr_options = vec![String::new()];
+    attr_options.extend(attrs);
+    let mut body = format!(
+        "<h2>Query under {}</h2>\n<form method=\"post\" action=\"/query\">\n\
+         <input type=\"hidden\" name=\"scope\" value=\"{}\">\n<table>\n\
+         <tr><th>attribute</th><th>operator</th><th>value</th><th>show</th></tr>\n",
+        escape(scope),
+        escape(scope)
+    );
+    for _ in 0..4 {
+        body.push_str(&format!(
+            "<tr><td>{}</td><td>{}</td>\
+             <td><input type=\"text\" name=\"value\"></td>\
+             <td><input type=\"checkbox\" name=\"show\" value=\"1\"></td></tr>\n",
+            select("attr", &attr_options, None),
+            select("op", &ops, None),
+        ));
+    }
+    body.push_str(
+        "</table>\n<label><input type=\"checkbox\" name=\"system\" value=\"1\"> \
+         include system metadata</label>\n\
+         <label><input type=\"checkbox\" name=\"annotations\" value=\"1\"> \
+         include annotations</label>\n\
+         <p><input type=\"submit\" value=\"Search\"></p>\n</form>\n",
+    );
+    Ok(page("MySRB — query", Some(""), None, &body))
+}
+
+/// Query result listing.
+pub fn query_results(q: &Query, hits: &[QueryHit]) -> String {
+    let mut headers = vec!["object"];
+    for s in &q.select {
+        headers.push(s.as_str());
+    }
+    let rows: Vec<Vec<String>> = hits
+        .iter()
+        .map(|h| {
+            let mut row = vec![link(&format!("/view?path={}", encode(&h.path)), &h.path)];
+            row.extend(h.selected.iter().map(|(_, v)| escape(v)));
+            row
+        })
+        .collect();
+    let mut body = format!(
+        "<h2>{} result(s) under {}</h2>\n",
+        hits.len(),
+        escape(&q.scope.to_string())
+    );
+    if hits.is_empty() {
+        body.push_str("<i>no objects satisfy the conditions</i>\n");
+    } else {
+        body.push_str(&table(&headers, &rows));
+    }
+    page("MySRB — results", Some(""), None, &body)
+}
+
+/// The annotation entry form.
+pub fn annotate_form(path: &str) -> String {
+    let kinds: Vec<String> = AnnotationKind::all()
+        .iter()
+        .map(|k| k.name().to_string())
+        .collect();
+    let body = format!(
+        "<h2>Annotate {}</h2>\n<form method=\"post\" action=\"/annotate\">\n\
+         <input type=\"hidden\" name=\"path\" value=\"{}\">\n\
+         <label>Kind: {}</label><br>\n\
+         {}\
+         <label>Text:<br><textarea name=\"text\" rows=\"4\" cols=\"60\"></textarea></label><br>\n\
+         <input type=\"submit\" value=\"Add annotation\">\n</form>\n",
+        escape(path),
+        escape(path),
+        select("kind", &kinds, None),
+        text_input("Location (optional)", "location", ""),
+    );
+    page("MySRB — annotate", Some(""), None, &body)
+}
+
+/// The user-registration form (the paper lists "user registration" among
+/// MySRB's additional functionalities).
+pub fn register_form(message: Option<&str>) -> String {
+    let mut body = String::new();
+    if let Some(m) = message {
+        body.push_str(&format!("<p style=\"color:#900\">{}</p>\n", escape(m)));
+    }
+    body.push_str(
+        "<h2>Register a MySRB account</h2>\n<form method=\"post\" action=\"/register\">\n",
+    );
+    body.push_str(&text_input("User name", "user", ""));
+    body.push_str(&text_input("Domain", "domain", "sdsc"));
+    body.push_str(
+        "<label>Password: <input type=\"password\" name=\"password\"></label><br>\n\
+         <input type=\"submit\" value=\"Register\">\n</form>\n\
+         <p><a href=\"/\">back to sign on</a></p>\n",
+    );
+    page("MySRB — register", None, None, &body)
+}
+
+/// The edit form for small ASCII files ("a user can … edit a file, if it
+/// is a small ASCII file (the edit facility is allowed only for a few
+/// data types)").
+pub fn edit_form(conn: &SrbConnection, path: &str) -> SrbResult<String> {
+    let (content, _) = conn.open(path, &[])?;
+    let text = content.display();
+    let body = format!(
+        "<h2>Edit {}</h2>\n<form method=\"post\" action=\"/edit\">\n\
+         <input type=\"hidden\" name=\"path\" value=\"{}\">\n\
+         <textarea name=\"content\" rows=\"16\" cols=\"80\">{}</textarea><br>\n\
+         <input type=\"submit\" value=\"Save\">\n</form>\n",
+        escape(path),
+        escape(path),
+        escape(&text)
+    );
+    Ok(page("MySRB — edit", Some(""), None, &body))
+}
+
+/// On-line help (the paper lists "on-line help" among MySRB's additional
+/// functionalities).
+pub fn help_page() -> String {
+    let body = "\
+<h2>MySRB help</h2>
+<ul>
+<li><b>Browse</b>: the small top window shows metadata about the current
+collection; the larger bottom window lists its elements. Click a name to
+open it — a file shows its attributes together with its contents.</li>
+<li><b>Ingest</b>: choose a resource (a logical resource stores synchronous
+replicas on all its members) or a container (overrides the resource).
+Attributes required by the collection are marked with *; restricted
+vocabularies appear as drop-downs.</li>
+<li><b>Query</b>: each condition has an attribute (drop-down of names
+queryable in the scope), an operator (=, &gt;, &lt;, &lt;=, &gt;=, &lt;&gt;,
+like, not like), a value, and a check-box to show the attribute in the
+result listing. Conditions are ANDed.</li>
+<li><b>Annotations</b>: any user with read permission may attach comments,
+ratings, errata, dialogues, annotations or memos.</li>
+<li><b>Sessions</b> expire after 60 minutes; sign on again.</li>
+</ul>
+<p><a href=\"/\">back</a></p>\n";
+    page("MySRB — help", None, None, body)
+}
+
+/// Grid administration overview (resources, servers, catalog counts,
+/// recent audit rows).
+pub fn admin_page(conn: &SrbConnection) -> String {
+    let grid = conn.grid();
+    let mut body = String::from("<h2>Grid status</h2>\n");
+    let resources: Vec<Vec<String>> = grid
+        .mcat
+        .resources
+        .list()
+        .into_iter()
+        .map(|r| {
+            let up = grid.resource_is_up(r.id);
+            vec![
+                escape(&r.name),
+                escape(r.kind.name()),
+                grid.network.site_name(r.site).to_string(),
+                if up {
+                    "up".into()
+                } else {
+                    "<b>DOWN</b>".into()
+                },
+            ]
+        })
+        .collect();
+    body.push_str("<h3>Resources</h3>\n");
+    body.push_str(&table(&["name", "kind", "site", "status"], &resources));
+    let containers: Vec<Vec<String>> = grid
+        .mcat
+        .containers
+        .list()
+        .into_iter()
+        .map(|c| {
+            vec![
+                escape(&c.name),
+                c.members.len().to_string(),
+                format!("{} / {}", c.size, c.max_size),
+                if c.synced { "synced" } else { "dirty" }.to_string(),
+            ]
+        })
+        .collect();
+    body.push_str("<h3>Containers</h3>\n");
+    body.push_str(&table(&["name", "members", "fill", "archive"], &containers));
+    let users: Vec<Vec<String>> = grid
+        .mcat
+        .users
+        .list_users()
+        .into_iter()
+        .map(|u| {
+            vec![
+                escape(&u.qualified()),
+                u.groups.len().to_string(),
+                if u.is_admin { "admin" } else { "user" }.to_string(),
+            ]
+        })
+        .collect();
+    body.push_str("<h3>Users</h3>\n");
+    body.push_str(&table(&["name", "groups", "role"], &users));
+    body.push_str("<h3>Catalog</h3>\n<pre>");
+    body.push_str(&escape(
+        &serde_json::to_string_pretty(&grid.mcat.summary()).expect("summary serializes"),
+    ));
+    body.push_str("</pre>\n<h3>Recent audit rows</h3>\n");
+    let audit: Vec<Vec<String>> = grid
+        .mcat
+        .audit
+        .recent(20)
+        .into_iter()
+        .map(|r| {
+            vec![
+                r.at.to_string(),
+                r.user.to_string(),
+                r.action.name().to_string(),
+                escape(&r.subject),
+                escape(&r.outcome),
+            ]
+        })
+        .collect();
+    body.push_str(&table(
+        &["time", "user", "action", "subject", "outcome"],
+        &audit,
+    ));
+    page("MySRB — admin", Some(""), None, &body)
+}

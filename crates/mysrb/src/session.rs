@@ -1,0 +1,214 @@
+//! Web session keys.
+//!
+//! "Each session to MySRB is given a unique session key (stored as an
+//! in-memory cookie at the Browser). These session keys have a maximum
+//! time-limit set on them (currently 60 minutes). MySRB also performs
+//! security checks on the session keys when validating a user request."
+//!
+//! A key is `hex(random 16 bytes) . hex(HMAC-tag)`: the tag is the
+//! integrity check, the random part the identifier. Keys expire after 60
+//! virtual minutes; validation checks format, tag, table membership, and
+//! expiry.
+
+use parking_lot::{Mutex, RwLock};
+use rand::{RngCore, SeedableRng};
+use srb_core::SrbConnection;
+use srb_types::{ct_eq, hmac_sha256, to_hex, SimClock, SrbError, SrbResult, Timestamp};
+use std::collections::HashMap;
+
+/// Maximum session lifetime: 60 minutes (virtual).
+pub const WEB_SESSION_TTL_SECS: u64 = 60 * 60;
+
+/// One authenticated browser session.
+pub struct WebSession<'g> {
+    /// The underlying SRB connection.
+    pub conn: SrbConnection<'g>,
+    /// `name@domain` for display.
+    pub user_label: String,
+    /// Hard expiry.
+    pub expires: Timestamp,
+}
+
+/// The session-key table.
+pub struct SessionStore<'g> {
+    clock: SimClock,
+    secret: [u8; 32],
+    rng: Mutex<rand::rngs::StdRng>,
+    sessions: RwLock<HashMap<String, WebSession<'g>>>,
+}
+
+impl<'g> SessionStore<'g> {
+    /// New store. `seed` keeps key generation deterministic in tests.
+    pub fn new(clock: SimClock, seed: u64) -> Self {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let mut secret = [0u8; 32];
+        rng.fill_bytes(&mut secret);
+        SessionStore {
+            clock,
+            secret,
+            rng: Mutex::new(rng),
+            sessions: RwLock::new(HashMap::new()),
+        }
+    }
+
+    /// Mint a key for an authenticated connection.
+    pub fn create(&self, conn: SrbConnection<'g>, user_label: &str) -> String {
+        let mut id = [0u8; 16];
+        self.rng.lock().fill_bytes(&mut id);
+        let tag = hmac_sha256(&self.secret, &id);
+        let key = format!("{}.{}", to_hex(&id), to_hex(&tag[..8]));
+        self.sessions.write().insert(
+            key.clone(),
+            WebSession {
+                conn,
+                user_label: user_label.to_string(),
+                expires: self.clock.now().plus_secs(WEB_SESSION_TTL_SECS),
+            },
+        );
+        key
+    }
+
+    /// The paper's "security checks": format, HMAC tag, membership,
+    /// expiry. Expired sessions are evicted on sight.
+    pub fn validate(&self, key: &str) -> SrbResult<()> {
+        let (id_hex, tag_hex) = key
+            .split_once('.')
+            .ok_or_else(|| SrbError::AuthFailed("malformed session key".into()))?;
+        let id =
+            from_hex(id_hex).ok_or_else(|| SrbError::AuthFailed("malformed session key".into()))?;
+        let expect = hmac_sha256(&self.secret, &id);
+        let got = from_hex(tag_hex)
+            .ok_or_else(|| SrbError::AuthFailed("malformed session key".into()))?;
+        if !ct_eq(&expect[..8], &got) {
+            return Err(SrbError::AuthFailed(
+                "session key failed integrity check".into(),
+            ));
+        }
+        let now = self.clock.now();
+        let expired = {
+            let g = self.sessions.read();
+            match g.get(key) {
+                None => return Err(SrbError::AuthFailed("unknown session key".into())),
+                Some(s) => s.expires <= now,
+            }
+        };
+        if expired {
+            self.sessions.write().remove(key);
+            return Err(SrbError::AuthFailed("session expired".into()));
+        }
+        Ok(())
+    }
+
+    /// Run `f` with the session's connection after validation.
+    pub fn with_session<R>(&self, key: &str, f: impl FnOnce(&WebSession<'g>) -> R) -> SrbResult<R> {
+        self.validate(key)?;
+        let g = self.sessions.read();
+        let s = g
+            .get(key)
+            .ok_or_else(|| SrbError::AuthFailed("session vanished".into()))?;
+        Ok(f(s))
+    }
+
+    /// Remove a session (logout).
+    pub fn remove(&self, key: &str) {
+        self.sessions.write().remove(key);
+    }
+
+    /// Live (possibly stale-but-unexpired) session count.
+    pub fn count(&self) -> usize {
+        self.sessions.read().len()
+    }
+}
+
+fn from_hex(s: &str) -> Option<Vec<u8>> {
+    if !s.len().is_multiple_of(2) {
+        return None;
+    }
+    let mut out = Vec::with_capacity(s.len() / 2);
+    let bytes = s.as_bytes();
+    for i in (0..bytes.len()).step_by(2) {
+        let hi = (bytes[i] as char).to_digit(16)?;
+        let lo = (bytes[i + 1] as char).to_digit(16)?;
+        out.push((hi * 16 + lo) as u8);
+    }
+    Some(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use srb_core::{GridBuilder, SrbConnection};
+
+    fn fixture() -> (srb_core::Grid, srb_types::ServerId) {
+        let mut gb = GridBuilder::new();
+        let site = gb.site("sdsc");
+        let srv = gb.server("srb", site);
+        gb.fs_resource("fs", srv);
+        let grid = gb.build();
+        grid.register_user("u", "d", "pw").unwrap();
+        (grid, srv)
+    }
+
+    #[test]
+    fn create_validate_logout_cycle() {
+        let (grid, srv) = fixture();
+        let store = SessionStore::new(grid.clock.clone(), 1);
+        let conn = SrbConnection::connect(&grid, srv, "u", "d", "pw").unwrap();
+        let key = store.create(conn, "u@d");
+        store.validate(&key).unwrap();
+        let label = store.with_session(&key, |s| s.user_label.clone()).unwrap();
+        assert_eq!(label, "u@d");
+        store.remove(&key);
+        assert!(store.validate(&key).is_err());
+        assert_eq!(store.count(), 0);
+    }
+
+    #[test]
+    fn sixty_minute_expiry() {
+        let (grid, srv) = fixture();
+        let store = SessionStore::new(grid.clock.clone(), 1);
+        let conn = SrbConnection::connect(&grid, srv, "u", "d", "pw").unwrap();
+        let key = store.create(conn, "u@d");
+        grid.clock.advance(59 * 60 * 1_000_000_000);
+        store.validate(&key).unwrap();
+        grid.clock.advance(2 * 60 * 1_000_000_000);
+        let err = store.validate(&key).unwrap_err();
+        assert!(matches!(err, SrbError::AuthFailed(_)));
+        // Expired sessions are evicted.
+        assert_eq!(store.count(), 0);
+    }
+
+    #[test]
+    fn forged_and_malformed_keys_rejected() {
+        let (grid, srv) = fixture();
+        let store = SessionStore::new(grid.clock.clone(), 1);
+        let conn = SrbConnection::connect(&grid, srv, "u", "d", "pw").unwrap();
+        let key = store.create(conn, "u@d");
+        // Tamper with the id part: tag check fails.
+        let mut forged = key.clone();
+        let first = if forged.starts_with('0') { '1' } else { '0' };
+        forged.replace_range(0..1, &first.to_string());
+        assert!(store.validate(&forged).is_err());
+        assert!(store.validate("no-dot-here").is_err());
+        assert!(store.validate("zz.zz").is_err());
+        assert!(store.validate("").is_err());
+        // The genuine key still works.
+        store.validate(&key).unwrap();
+    }
+
+    #[test]
+    fn keys_are_unique() {
+        let (grid, srv) = fixture();
+        let store = SessionStore::new(grid.clock.clone(), 1);
+        let a = store.create(
+            SrbConnection::connect(&grid, srv, "u", "d", "pw").unwrap(),
+            "u@d",
+        );
+        let b = store.create(
+            SrbConnection::connect(&grid, srv, "u", "d", "pw").unwrap(),
+            "u@d",
+        );
+        assert_ne!(a, b);
+        assert_eq!(store.count(), 2);
+    }
+}

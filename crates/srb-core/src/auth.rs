@@ -1,0 +1,208 @@
+//! Single sign-on authentication.
+//!
+//! The paper requires that "the DGA should be able to provide access to the
+//! user to all the storage systems with a single sign on authentication".
+//! SRB implements challenge–response: the server issues a nonce, the client
+//! proves knowledge of the password-derived verifier by returning
+//! `HMAC(verifier, nonce)`, and receives a *ticket* every server in the
+//! federation honours. Tickets expire; expired tickets fail validation.
+
+use parking_lot::RwLock;
+use rand::{RngCore, SeedableRng};
+use srb_types::{ct_eq, hmac_sha256, SimClock, SrbError, SrbResult, Timestamp, UserId};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// An authenticated session, honoured federation-wide.
+#[derive(Debug, Clone)]
+pub struct Session {
+    /// The authenticated user.
+    pub user: UserId,
+    /// Opaque ticket presented with each request.
+    pub ticket: [u8; 32],
+    /// Expiry (virtual time).
+    pub expires: Timestamp,
+}
+
+/// Default session lifetime: 12 hours of virtual time.
+pub const SESSION_TTL_SECS: u64 = 12 * 3600;
+
+/// Challenge–response authenticator + session table.
+///
+/// One instance serves the whole federation (conceptually replicated to
+/// every server; the paper's single sign-on).
+pub struct AuthService {
+    clock: SimClock,
+    sessions: RwLock<HashMap<[u8; 32], Session>>,
+    pending: RwLock<HashMap<u64, [u8; 32]>>,
+    challenge_seq: AtomicU64,
+    rng: parking_lot::Mutex<rand::rngs::StdRng>,
+    auth_failures: AtomicU64,
+}
+
+impl AuthService {
+    /// New service. `seed` keeps experiments deterministic.
+    pub fn new(clock: SimClock, seed: u64) -> Self {
+        AuthService {
+            clock,
+            sessions: RwLock::new(HashMap::new()),
+            pending: RwLock::new(HashMap::new()),
+            challenge_seq: AtomicU64::new(1),
+            rng: parking_lot::Mutex::new(rand::rngs::StdRng::seed_from_u64(seed)),
+            auth_failures: AtomicU64::new(0),
+        }
+    }
+
+    /// Step 1 (server): issue a challenge nonce. Returns (challenge id,
+    /// nonce).
+    pub fn challenge(&self) -> (u64, [u8; 32]) {
+        let mut nonce = [0u8; 32];
+        self.rng.lock().fill_bytes(&mut nonce);
+        let id = self.challenge_seq.fetch_add(1, Ordering::Relaxed);
+        self.pending.write().insert(id, nonce);
+        (id, nonce)
+    }
+
+    /// Step 2 (client): compute the response to a nonce from the
+    /// password-derived verifier.
+    pub fn respond(verifier: &[u8; 32], nonce: &[u8; 32]) -> [u8; 32] {
+        hmac_sha256(verifier, nonce)
+    }
+
+    /// Step 3 (server): verify the response against the catalog's stored
+    /// verifier and mint a session ticket.
+    pub fn verify(
+        &self,
+        challenge_id: u64,
+        response: &[u8; 32],
+        user: UserId,
+        stored_verifier: &[u8; 32],
+    ) -> SrbResult<Session> {
+        let nonce = self
+            .pending
+            .write()
+            .remove(&challenge_id)
+            .ok_or_else(|| SrbError::AuthFailed("unknown or replayed challenge".into()))?;
+        let expect = Self::respond(stored_verifier, &nonce);
+        if !ct_eq(&expect, response) {
+            self.auth_failures.fetch_add(1, Ordering::Relaxed);
+            return Err(SrbError::AuthFailed("bad credentials".into()));
+        }
+        let mut ticket = [0u8; 32];
+        self.rng.lock().fill_bytes(&mut ticket);
+        let session = Session {
+            user,
+            ticket,
+            expires: self.clock.now().plus_secs(SESSION_TTL_SECS),
+        };
+        self.sessions.write().insert(ticket, session.clone());
+        Ok(session)
+    }
+
+    /// Validate a ticket (every brokered request does this).
+    pub fn validate(&self, ticket: &[u8; 32]) -> SrbResult<UserId> {
+        let g = self.sessions.read();
+        match g.get(ticket) {
+            Some(s) if s.expires > self.clock.now() => Ok(s.user),
+            Some(_) => Err(SrbError::AuthFailed("session expired".into())),
+            None => Err(SrbError::AuthFailed("unknown ticket".into())),
+        }
+    }
+
+    /// Explicitly end a session.
+    pub fn logout(&self, ticket: &[u8; 32]) {
+        self.sessions.write().remove(ticket);
+    }
+
+    /// Failed authentication attempts (for the audit page).
+    pub fn failure_count(&self) -> u64 {
+        self.auth_failures.load(Ordering::Relaxed)
+    }
+
+    /// Live session count.
+    pub fn session_count(&self) -> usize {
+        self.sessions.read().len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use srb_types::SimClock;
+
+    fn svc() -> (AuthService, SimClock) {
+        let clock = SimClock::new();
+        (AuthService::new(clock.clone(), 42), clock)
+    }
+
+    fn verifier(pw: &str) -> [u8; 32] {
+        hmac_sha256(pw.as_bytes(), b"srb-verifier")
+    }
+
+    #[test]
+    fn happy_path_handshake() {
+        let (a, _) = svc();
+        let v = verifier("secret");
+        let (cid, nonce) = a.challenge();
+        let resp = AuthService::respond(&v, &nonce);
+        let session = a.verify(cid, &resp, UserId(1), &v).unwrap();
+        assert_eq!(a.validate(&session.ticket).unwrap(), UserId(1));
+        assert_eq!(a.session_count(), 1);
+    }
+
+    #[test]
+    fn wrong_password_fails_and_counts() {
+        let (a, _) = svc();
+        let (cid, nonce) = a.challenge();
+        let resp = AuthService::respond(&verifier("wrong"), &nonce);
+        let err = a
+            .verify(cid, &resp, UserId(1), &verifier("right"))
+            .unwrap_err();
+        assert!(matches!(err, SrbError::AuthFailed(_)));
+        assert_eq!(a.failure_count(), 1);
+    }
+
+    #[test]
+    fn challenges_are_single_use() {
+        let (a, _) = svc();
+        let v = verifier("pw");
+        let (cid, nonce) = a.challenge();
+        let resp = AuthService::respond(&v, &nonce);
+        a.verify(cid, &resp, UserId(1), &v).unwrap();
+        // Replaying the same challenge id must fail.
+        assert!(a.verify(cid, &resp, UserId(1), &v).is_err());
+    }
+
+    #[test]
+    fn sessions_expire() {
+        let (a, clock) = svc();
+        let v = verifier("pw");
+        let (cid, nonce) = a.challenge();
+        let session = a
+            .verify(cid, &AuthService::respond(&v, &nonce), UserId(1), &v)
+            .unwrap();
+        assert!(a.validate(&session.ticket).is_ok());
+        clock.advance((SESSION_TTL_SECS + 1) * 1_000_000_000);
+        let err = a.validate(&session.ticket).unwrap_err();
+        assert!(matches!(err, SrbError::AuthFailed(_)));
+    }
+
+    #[test]
+    fn logout_invalidates() {
+        let (a, _) = svc();
+        let v = verifier("pw");
+        let (cid, nonce) = a.challenge();
+        let s = a
+            .verify(cid, &AuthService::respond(&v, &nonce), UserId(1), &v)
+            .unwrap();
+        a.logout(&s.ticket);
+        assert!(a.validate(&s.ticket).is_err());
+        assert_eq!(a.session_count(), 0);
+    }
+
+    #[test]
+    fn forged_ticket_rejected() {
+        let (a, _) = svc();
+        assert!(a.validate(&[7u8; 32]).is_err());
+    }
+}

@@ -1,0 +1,536 @@
+//! The client connection: single sign-on plus the read path.
+//!
+//! "Users can connect to any SRB server to access data from any other SRB
+//! server." An [`SrbConnection`] is bound to its *contact server*; metadata
+//! operations are forwarded to the MCAT server and data operations to the
+//! server brokering the chosen replica's resource, with every hop charged
+//! to the returned [`Receipt`].
+//!
+//! Write-side operations live in [`crate::ops_write`],
+//! [`crate::ops_container`], [`crate::ops_meta`] and [`crate::ops_lock`] —
+//! all as `impl SrbConnection` blocks.
+
+use crate::auth::{AuthService, Session};
+use crate::grid::Grid;
+use crate::replication::ReplicaPolicy;
+use crate::template::render_template;
+use crate::tlang::TScript;
+use bytes::Bytes;
+use srb_mcat::{AccessSpec, AuditAction, Replica, Template};
+use srb_net::Receipt;
+use srb_storage::sql::QueryResult;
+use srb_types::{
+    DatasetId, LogicalPath, Permission, ServerId, SiteId, SrbError, SrbResult, Timestamp, UserId,
+};
+
+/// What an `open` returned, depending on the object's type.
+#[derive(Debug, Clone)]
+pub enum ObjectContent {
+    /// File bytes (stored/registered files, URL fetches, method output).
+    Bytes(Bytes),
+    /// A SQL result rendered through its template, plus the raw rows.
+    Table {
+        /// The raw query result.
+        result: QueryResult,
+        /// The rendered (HTML/XML/style-sheet) text.
+        rendered: String,
+    },
+    /// The cone of files visible through a registered directory.
+    Listing(Vec<String>),
+}
+
+impl ObjectContent {
+    /// The bytes, when this is a byte object.
+    pub fn as_bytes(&self) -> Option<&Bytes> {
+        match self {
+            ObjectContent::Bytes(b) => Some(b),
+            _ => None,
+        }
+    }
+
+    /// Render any content as display text (what MySRB shows).
+    pub fn display(&self) -> String {
+        match self {
+            ObjectContent::Bytes(b) => String::from_utf8_lossy(b).into_owned(),
+            ObjectContent::Table { rendered, .. } => rendered.clone(),
+            ObjectContent::Listing(files) => files.join("\n"),
+        }
+    }
+}
+
+/// What [`SrbConnection::list_collection`] returns: sub-collection names,
+/// `(name, data type, size)` dataset summaries, and the receipt.
+pub type CollectionListing = (Vec<String>, Vec<(String, String, u64)>, Receipt);
+
+/// An authenticated client session bound to a contact server.
+pub struct SrbConnection<'g> {
+    pub(crate) grid: &'g Grid,
+    pub(crate) server: ServerId,
+    pub(crate) session: Session,
+    pub(crate) policy: ReplicaPolicy,
+}
+
+impl<'g> SrbConnection<'g> {
+    /// Connect to `server` with challenge–response single sign-on.
+    pub fn connect(
+        grid: &'g Grid,
+        server: ServerId,
+        name: &str,
+        domain: &str,
+        password: &str,
+    ) -> SrbResult<Self> {
+        let srv = grid.server(server)?;
+        let user = grid
+            .mcat
+            .users
+            .find(name, domain)
+            .ok_or_else(|| SrbError::AuthFailed(format!("unknown user '{name}@{domain}'")))?;
+        // The contact server fetches the verifier from the MCAT server.
+        let mcat_site = grid.server(grid.mcat_server())?.site;
+        let _ = grid.network.charge_rpc(srv.site, mcat_site)?;
+        let (cid, nonce) = grid.auth.challenge();
+        let client_verifier = srb_mcat::user::derive_verifier(password);
+        let response = AuthService::respond(&client_verifier, &nonce);
+        let session = match grid.auth.verify(cid, &response, user.id, &user.verifier) {
+            Ok(s) => s,
+            Err(e) => {
+                grid.mcat.audit.record(
+                    &grid.mcat.ids,
+                    grid.clock.now(),
+                    user.id,
+                    AuditAction::AuthFail,
+                    &format!("{name}@{domain}"),
+                    e.code(),
+                );
+                return Err(e);
+            }
+        };
+        grid.mcat.audit.record(
+            &grid.mcat.ids,
+            grid.clock.now(),
+            user.id,
+            AuditAction::Connect,
+            &srv.name,
+            "ok",
+        );
+        Ok(SrbConnection {
+            grid,
+            server,
+            session,
+            policy: ReplicaPolicy::default(),
+        })
+    }
+
+    /// The authenticated user.
+    pub fn user(&self) -> UserId {
+        self.session.user
+    }
+
+    /// The grid this connection brokers.
+    pub fn grid(&self) -> &'g Grid {
+        self.grid
+    }
+
+    /// The contact server.
+    pub fn contact_server(&self) -> ServerId {
+        self.server
+    }
+
+    /// Change the replica-selection policy (ablation A3).
+    pub fn set_policy(&mut self, policy: ReplicaPolicy) {
+        self.policy = policy;
+    }
+
+    /// End the session.
+    pub fn logout(self) {
+        self.grid.auth.logout(&self.session.ticket);
+    }
+
+    // ------------------------------------------------------------ plumbing --
+
+    /// Validate the ticket — every brokered request starts here.
+    pub(crate) fn check_session(&self) -> SrbResult<UserId> {
+        self.grid.auth.validate(&self.session.ticket)
+    }
+
+    pub(crate) fn now(&self) -> Timestamp {
+        self.grid.clock.now()
+    }
+
+    pub(crate) fn site(&self) -> SiteId {
+        self.grid
+            .server(self.server)
+            .map(|s| s.site)
+            .expect("connection server exists")
+    }
+
+    /// One metadata round trip: contact server → MCAT server.
+    pub(crate) fn mcat_rpc(&self) -> SrbResult<Receipt> {
+        let mcat_site = self.grid.server(self.grid.mcat_server())?.site;
+        let ns = self.grid.network.charge_rpc(self.site(), mcat_site)?;
+        let mut r = Receipt::time(ns);
+        r.messages = 2;
+        if self.server != self.grid.mcat_server() {
+            r.hops = 1;
+        }
+        Ok(r)
+    }
+
+    pub(crate) fn audit(&self, action: AuditAction, subject: &str, outcome: &str) {
+        self.grid.mcat.audit.record(
+            &self.grid.mcat.ids,
+            self.now(),
+            self.session.user,
+            action,
+            subject,
+            outcome,
+        );
+    }
+
+    pub(crate) fn parse(&self, path: &str) -> SrbResult<LogicalPath> {
+        LogicalPath::parse(path)
+    }
+
+    /// Pull `bytes` from the resource's site to the contact site and note
+    /// the federation hop if the data server differs from the contact.
+    pub(crate) fn data_transfer(
+        &self,
+        resource: srb_types::ResourceId,
+        bytes: u64,
+    ) -> SrbResult<Receipt> {
+        let rsite = self.grid.site_of_resource(resource)?;
+        let ns = self
+            .grid
+            .network
+            .charge_transfer(rsite, self.site(), bytes)?;
+        let mut r = Receipt::time(ns);
+        r.bytes = bytes;
+        r.messages = 1;
+        let home = self.grid.server_for_resource(resource)?;
+        if home != self.server {
+            r.hops = 1;
+        }
+        Ok(r)
+    }
+
+    // ---------------------------------------------------------------- read --
+
+    /// Read a byte object (stored or registered file), with transparent
+    /// failover across replicas.
+    pub fn read(&self, path: &str) -> SrbResult<(Bytes, Receipt)> {
+        let (content, receipt) = self.open(path, &[])?;
+        match content {
+            ObjectContent::Bytes(b) => Ok((b, receipt)),
+            _ => Err(SrbError::Unsupported(format!(
+                "'{path}' is not a byte object; use open()"
+            ))),
+        }
+    }
+
+    /// Open any object. `args` parameterize partial SQL queries and method
+    /// objects.
+    pub fn open(&self, path: &str, args: &[String]) -> SrbResult<(ObjectContent, Receipt)> {
+        let user = self.check_session()?;
+        let mut receipt = self.mcat_rpc()?;
+        let result = (|| {
+            let lp = self.parse(path)?;
+            let ds_id = self.grid.mcat.resolve_dataset(&lp)?;
+            let ds = self.grid.mcat.datasets.resolve_links(ds_id)?;
+            self.grid
+                .mcat
+                .require_dataset(Some(user), ds.id, Permission::Read)?;
+            ds.read_allowed_by_locks(user, self.now())?;
+            self.open_resolved(&ds.replicas, args, &mut receipt)
+        })();
+        match &result {
+            Ok(_) => self.audit(AuditAction::Read, path, "ok"),
+            Err(e) => self.audit(AuditAction::Read, path, e.code()),
+        }
+        let content = result?;
+        Ok((content, receipt))
+    }
+
+    /// Dispatch on the replica specs, with failover across byte replicas.
+    fn open_resolved(
+        &self,
+        replicas: &[Replica],
+        args: &[String],
+        receipt: &mut Receipt,
+    ) -> SrbResult<ObjectContent> {
+        // Non-byte objects are served through their (single) spec.
+        if let Some(first) = replicas.first() {
+            match &first.spec {
+                AccessSpec::Sql {
+                    resource,
+                    sql,
+                    partial,
+                    template,
+                } => {
+                    let sql = if *partial && !args.is_empty() {
+                        format!("{sql} {}", args.join(" "))
+                    } else {
+                        sql.clone()
+                    };
+                    return self.open_sql(*resource, &sql, template, receipt);
+                }
+                AccessSpec::Url { url } => {
+                    let (content, ns) = self.grid.web.fetch(url)?;
+                    receipt.absorb(&Receipt::time(ns));
+                    receipt.bytes += content.len() as u64;
+                    return Ok(ObjectContent::Bytes(content));
+                }
+                AccessSpec::Method {
+                    name,
+                    is_function,
+                    default_args,
+                } => {
+                    let mut full_args = default_args.clone();
+                    full_args.extend_from_slice(args);
+                    return self.open_method(name, *is_function, &full_args, receipt);
+                }
+                AccessSpec::ShadowDir { resource, dir_path } => {
+                    let driver = self.grid.driver(*resource)?;
+                    let fs = driver.as_fs().ok_or_else(|| {
+                        SrbError::Unsupported("shadow directory on non-fs resource".into())
+                    })?;
+                    let rsite = self.grid.site_of_resource(*resource)?;
+                    let ns = self.grid.network.charge_rpc(self.site(), rsite)?;
+                    receipt.absorb(&Receipt::time(ns));
+                    return Ok(ObjectContent::Listing(fs.cone(dir_path)));
+                }
+                AccessSpec::Stored { .. } | AccessSpec::RegisteredFile { .. } => {}
+            }
+        }
+        // Byte replicas: policy order + failover.
+        let ordered = self.policy.order(replicas, &self.grid.load);
+        if ordered.is_empty() {
+            return Err(SrbError::NotFound("object has no readable replica".into()));
+        }
+        let mut last_err = SrbError::ResourceUnavailable("no replica reachable".into());
+        for replica in ordered {
+            receipt.replicas_tried += 1;
+            match self.read_replica(replica, receipt) {
+                Ok(bytes) => {
+                    receipt.served_by = Some(replica.id);
+                    return Ok(ObjectContent::Bytes(bytes));
+                }
+                Err(e) if e.is_retryable() => {
+                    last_err = e;
+                    continue;
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        Err(last_err)
+    }
+
+    /// Read one byte replica (standalone or container slice).
+    fn read_replica(&self, replica: &Replica, receipt: &mut Receipt) -> SrbResult<Bytes> {
+        if let Some(slice) = replica.in_container {
+            return self.read_container_slice(slice, receipt);
+        }
+        let (resource, phys_path) = match &replica.spec {
+            AccessSpec::Stored {
+                resource,
+                phys_path,
+            }
+            | AccessSpec::RegisteredFile {
+                resource,
+                phys_path,
+            } => (*resource, phys_path.as_str()),
+            other => {
+                return Err(SrbError::Unsupported(format!(
+                    "replica of type {} is not byte-readable",
+                    other.type_label()
+                )))
+            }
+        };
+        let site = self.grid.site_of_resource(resource)?;
+        self.grid.faults.check(resource, site)?;
+        let driver = self.grid.driver(resource)?;
+        let _inflight = self.grid.load.begin(resource);
+        let (data, storage_ns) = driver.driver().read(phys_path)?;
+        self.grid.load.charge(resource, storage_ns);
+        receipt.absorb(&Receipt::time(storage_ns));
+        let transfer = self.data_transfer(resource, data.len() as u64)?;
+        receipt.absorb(&transfer);
+        Ok(data)
+    }
+
+    fn open_sql(
+        &self,
+        resource: srb_types::ResourceId,
+        sql: &str,
+        template: &Template,
+        receipt: &mut Receipt,
+    ) -> SrbResult<ObjectContent> {
+        let site = self.grid.site_of_resource(resource)?;
+        self.grid.faults.check(resource, site)?;
+        let driver = self.grid.driver(resource)?;
+        let db = driver
+            .as_db()
+            .ok_or_else(|| SrbError::Unsupported("SQL object on non-database resource".into()))?;
+        let _inflight = self.grid.load.begin(resource);
+        let (result, ns) = db.query(sql)?;
+        self.grid.load.charge(resource, ns);
+        receipt.absorb(&Receipt::time(ns));
+        let rendered = match template {
+            Template::StyleSheet(sheet_ds) => {
+                let (sheet_bytes, sheet_receipt) = self.read_dataset_bytes(*sheet_ds)?;
+                receipt.absorb(&sheet_receipt);
+                let script = TScript::parse(&String::from_utf8_lossy(&sheet_bytes))?;
+                script.render(&result)
+            }
+            builtin => render_template(builtin, &result).expect("non-stylesheet template"),
+        };
+        let rendered_len = rendered.len() as u64;
+        let transfer = self.data_transfer(resource, rendered_len)?;
+        receipt.absorb(&transfer);
+        Ok(ObjectContent::Table { result, rendered })
+    }
+
+    fn open_method(
+        &self,
+        name: &str,
+        is_function: bool,
+        args: &[String],
+        receipt: &mut Receipt,
+    ) -> SrbResult<ObjectContent> {
+        // Find the server whose bin directory holds the command.
+        for srv in self.grid.servers() {
+            let has = if is_function {
+                srv.proxies.has_function(name)
+            } else {
+                srv.proxies.has_command(name)
+            };
+            if has {
+                let ns = self.grid.network.charge_rpc(self.site(), srv.site)?;
+                receipt.absorb(&Receipt::time(ns));
+                if srv.id != self.server {
+                    receipt.hops += 1;
+                }
+                let out = if is_function {
+                    srv.proxies.run_function(name, args)?
+                } else {
+                    srv.proxies.run_command(name, args)?
+                };
+                receipt.bytes += out.len() as u64;
+                self.audit(AuditAction::Proxy, name, "ok");
+                return Ok(ObjectContent::Bytes(Bytes::from(out)));
+            }
+        }
+        Err(SrbError::NotFound(format!(
+            "proxy {} '{name}' not installed on any server",
+            if is_function { "function" } else { "command" }
+        )))
+    }
+
+    /// Read a dataset's bytes by id (internal: style-sheets, copies,
+    /// version preservation).
+    pub(crate) fn read_dataset_bytes(&self, id: DatasetId) -> SrbResult<(Bytes, Receipt)> {
+        let ds = self.grid.mcat.datasets.resolve_links(id)?;
+        let mut receipt = Receipt::free();
+        let ordered = self.policy.order(&ds.replicas, &self.grid.load);
+        let mut last_err = SrbError::NotFound(format!("dataset {id} has no byte replica"));
+        for replica in ordered {
+            receipt.replicas_tried += 1;
+            match self.read_replica(replica, &mut receipt) {
+                Ok(bytes) => {
+                    receipt.served_by = Some(replica.id);
+                    return Ok((bytes, receipt));
+                }
+                Err(e) if e.is_retryable() => {
+                    last_err = e;
+                    continue;
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        Err(last_err)
+    }
+
+    /// Read a file *inside* a registered directory (read-only access to the
+    /// cone; ingestion/update/deletion through the shadow is not allowed —
+    /// paper §4 type 2).
+    pub fn read_from_directory(
+        &self,
+        dir_object: &str,
+        rel_path: &str,
+    ) -> SrbResult<(Bytes, Receipt)> {
+        let user = self.check_session()?;
+        let lp = self.parse(dir_object)?;
+        let mut receipt = self.mcat_rpc()?;
+        let ds_id = self.grid.mcat.resolve_dataset(&lp)?;
+        let ds = self.grid.mcat.datasets.resolve_links(ds_id)?;
+        self.grid
+            .mcat
+            .require_dataset(Some(user), ds.id, Permission::Read)?;
+        let Some(Replica {
+            spec: AccessSpec::ShadowDir { resource, dir_path },
+            ..
+        }) = ds.replicas.first()
+        else {
+            return Err(SrbError::Unsupported(format!(
+                "'{dir_object}' is not a registered directory"
+            )));
+        };
+        let full = format!("{}/{}", dir_path.trim_end_matches('/'), rel_path);
+        let site = self.grid.site_of_resource(*resource)?;
+        self.grid.faults.check(*resource, site)?;
+        let driver = self.grid.driver(*resource)?;
+        let (data, ns) = driver.driver().read(&full)?;
+        receipt.absorb(&Receipt::time(ns));
+        receipt.absorb(&self.data_transfer(*resource, data.len() as u64)?);
+        self.audit(AuditAction::Read, &format!("{dir_object}:{rel_path}"), "ok");
+        Ok((data, receipt))
+    }
+
+    // ---------------------------------------------------------- listings --
+
+    /// List a collection: sub-collection names and dataset summaries.
+    pub fn list_collection(&self, path: &str) -> SrbResult<CollectionListing> {
+        let user = self.check_session()?;
+        let lp = self.parse(path)?;
+        let receipt = self.mcat_rpc()?;
+        let coll = self.grid.mcat.collections.resolve(&lp)?;
+        self.grid
+            .mcat
+            .require_collection(Some(user), coll, Permission::Discover)?;
+        let subs = self
+            .grid
+            .mcat
+            .collections
+            .children(coll)
+            .into_iter()
+            .filter_map(|c| c.path.name().map(|n| n.to_string()))
+            .collect();
+        let datasets = self
+            .grid
+            .mcat
+            .datasets
+            .list(coll)
+            .into_iter()
+            .map(|d| (d.name.clone(), d.data_type.clone(), d.size()))
+            .collect();
+        Ok((subs, datasets, receipt))
+    }
+
+    /// Stat a dataset: (data type, size, replica count, version). For
+    /// datasets ingested without an explicit type the data type equals the
+    /// structural label ("file", "url", …).
+    pub fn stat(&self, path: &str) -> SrbResult<(String, u64, usize, u32)> {
+        let user = self.check_session()?;
+        let lp = self.parse(path)?;
+        let ds_id = self.grid.mcat.resolve_dataset(&lp)?;
+        let ds = self.grid.mcat.datasets.resolve_links(ds_id)?;
+        self.grid
+            .mcat
+            .require_dataset(Some(user), ds.id, Permission::Discover)?;
+        Ok((
+            ds.data_type.clone(),
+            ds.size(),
+            ds.replicas.len(),
+            ds.current_version,
+        ))
+    }
+}

@@ -1,0 +1,550 @@
+//! Grid assembly: sites, servers, resources, and the shared services.
+//!
+//! A [`Grid`] is one SRB deployment — the counterpart of the paper's
+//! federation of SRB servers at SDSC, CalTech, NCSA… Each [`SrbServer`]
+//! "manages/brokers a set of storage resources" at one site; one server
+//! hosts the MCAT. [`GridBuilder`] wires it all together.
+
+use crate::auth::AuthService;
+use crate::proxy::ProxyRegistry;
+use parking_lot::RwLock;
+use srb_mcat::Mcat;
+use srb_net::{FaultPlan, LinkSpec, LoadTracker, Network, NetworkBuilder};
+use srb_storage::{
+    ArchiveDriver, CacheDriver, DbDriver, DriverKind, FsDriver, StorageDriver, UrlDriver,
+};
+use srb_types::{
+    LogicalResourceId, ResourceId, ServerId, SimClock, SiteId, SrbError, SrbResult, UserId,
+};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// A storage driver instance bound to a registered resource.
+pub enum ResourceDriver {
+    /// File system.
+    Fs(FsDriver),
+    /// Tape archive.
+    Archive(ArchiveDriver),
+    /// Disk cache.
+    Cache(CacheDriver),
+    /// Relational database.
+    Db(DbDriver),
+}
+
+impl ResourceDriver {
+    /// The uniform driver API.
+    pub fn driver(&self) -> &dyn StorageDriver {
+        match self {
+            ResourceDriver::Fs(d) => d,
+            ResourceDriver::Archive(d) => d,
+            ResourceDriver::Cache(d) => d,
+            ResourceDriver::Db(d) => d,
+        }
+    }
+
+    /// Downcast to the database driver (registered SQL objects).
+    pub fn as_db(&self) -> Option<&DbDriver> {
+        match self {
+            ResourceDriver::Db(d) => Some(d),
+            _ => None,
+        }
+    }
+
+    /// Downcast to the archive driver (staging experiments).
+    pub fn as_archive(&self) -> Option<&ArchiveDriver> {
+        match self {
+            ResourceDriver::Archive(d) => Some(d),
+            _ => None,
+        }
+    }
+
+    /// Downcast to the cache driver (pinning).
+    pub fn as_cache(&self) -> Option<&CacheDriver> {
+        match self {
+            ResourceDriver::Cache(d) => Some(d),
+            _ => None,
+        }
+    }
+
+    /// Downcast to the file-system driver (shadow directories).
+    pub fn as_fs(&self) -> Option<&FsDriver> {
+        match self {
+            ResourceDriver::Fs(d) => Some(d),
+            _ => None,
+        }
+    }
+
+    /// The driver family.
+    pub fn kind(&self) -> DriverKind {
+        self.driver().kind()
+    }
+}
+
+/// One SRB server in the federation.
+pub struct SrbServer {
+    /// Federation-unique id.
+    pub id: ServerId,
+    /// Display name, e.g. `srb-sdsc`.
+    pub name: String,
+    /// The site this server runs at.
+    pub site: SiteId,
+    /// Proxy command/function bin directory.
+    pub proxies: ProxyRegistry,
+    resources: RwLock<HashMap<ResourceId, Arc<ResourceDriver>>>,
+}
+
+impl SrbServer {
+    /// The driver for a locally brokered resource.
+    pub fn driver(&self, r: ResourceId) -> SrbResult<Arc<ResourceDriver>> {
+        self.resources
+            .read()
+            .get(&r)
+            .cloned()
+            .ok_or_else(|| SrbError::NotFound(format!("resource {r} not on server {}", self.name)))
+    }
+
+    /// Ids of locally brokered resources.
+    pub fn resource_ids(&self) -> Vec<ResourceId> {
+        let mut v: Vec<ResourceId> = self.resources.read().keys().copied().collect();
+        v.sort();
+        v
+    }
+}
+
+/// Specification of a resource to create at build time.
+enum ResourceSpec {
+    Fs,
+    FsCustom { cost: srb_storage::CostModel },
+    Archive,
+    Cache { capacity: u64 },
+    Db,
+}
+
+/// Builder for a [`Grid`].
+pub struct GridBuilder {
+    clock: SimClock,
+    net: NetworkBuilder,
+    servers: Vec<(String, SiteId)>,
+    resources: Vec<(String, usize, ResourceSpec)>,
+    logical: Vec<(String, Vec<String>)>,
+    mcat_server: usize,
+    admin_password: String,
+    auth_seed: u64,
+}
+
+impl Default for GridBuilder {
+    fn default() -> Self {
+        GridBuilder::new()
+    }
+}
+
+impl GridBuilder {
+    /// Start an empty deployment.
+    pub fn new() -> Self {
+        GridBuilder {
+            clock: SimClock::new(),
+            net: NetworkBuilder::new(),
+            servers: Vec::new(),
+            resources: Vec::new(),
+            logical: Vec::new(),
+            mcat_server: 0,
+            admin_password: "srb-admin".to_string(),
+            auth_seed: 0x5eed,
+        }
+    }
+
+    /// Register a site.
+    pub fn site(&mut self, name: &str) -> SiteId {
+        self.net.site(name)
+    }
+
+    /// Add a symmetric network link.
+    pub fn link(&mut self, a: SiteId, b: SiteId, spec: LinkSpec) -> &mut Self {
+        self.net.link(a, b, spec);
+        self
+    }
+
+    /// Fully connect sites lacking explicit links.
+    pub fn default_link(&mut self, spec: LinkSpec) -> &mut Self {
+        self.net.default_link(spec);
+        self
+    }
+
+    /// Add a server at a site. The first server hosts the MCAT unless
+    /// [`GridBuilder::mcat_at`] says otherwise.
+    pub fn server(&mut self, name: &str, site: SiteId) -> ServerId {
+        let id = ServerId(self.servers.len() as u64);
+        self.servers.push((name.to_string(), site));
+        id
+    }
+
+    /// Choose which server hosts the MCAT.
+    pub fn mcat_at(&mut self, server: ServerId) -> &mut Self {
+        self.mcat_server = server.raw() as usize;
+        self
+    }
+
+    /// Set the bootstrap admin password.
+    pub fn admin_password(&mut self, pw: &str) -> &mut Self {
+        self.admin_password = pw.to_string();
+        self
+    }
+
+    /// Add a file-system resource brokered by `server`.
+    pub fn fs_resource(&mut self, name: &str, server: ServerId) -> &mut Self {
+        self.resources
+            .push((name.to_string(), server.raw() as usize, ResourceSpec::Fs));
+        self
+    }
+
+    /// Add a file-system resource with an explicit cost model — for
+    /// modelling heterogeneous media (older disks, NFS mounts, …).
+    pub fn fs_resource_with_cost(
+        &mut self,
+        name: &str,
+        server: ServerId,
+        cost: srb_storage::CostModel,
+    ) -> &mut Self {
+        self.resources.push((
+            name.to_string(),
+            server.raw() as usize,
+            ResourceSpec::FsCustom { cost },
+        ));
+        self
+    }
+
+    /// Add a tape-archive resource.
+    pub fn archive_resource(&mut self, name: &str, server: ServerId) -> &mut Self {
+        self.resources.push((
+            name.to_string(),
+            server.raw() as usize,
+            ResourceSpec::Archive,
+        ));
+        self
+    }
+
+    /// Add a disk-cache resource with a capacity in bytes.
+    pub fn cache_resource(&mut self, name: &str, server: ServerId, capacity: u64) -> &mut Self {
+        self.resources.push((
+            name.to_string(),
+            server.raw() as usize,
+            ResourceSpec::Cache { capacity },
+        ));
+        self
+    }
+
+    /// Add a database resource.
+    pub fn db_resource(&mut self, name: &str, server: ServerId) -> &mut Self {
+        self.resources
+            .push((name.to_string(), server.raw() as usize, ResourceSpec::Db));
+        self
+    }
+
+    /// Declare a logical resource over named physical members.
+    pub fn logical_resource(&mut self, name: &str, members: &[&str]) -> &mut Self {
+        self.logical.push((
+            name.to_string(),
+            members.iter().map(|s| s.to_string()).collect(),
+        ));
+        self
+    }
+
+    /// Assemble the grid.
+    pub fn build(self) -> Grid {
+        assert!(!self.servers.is_empty(), "a grid needs at least one server");
+        let clock = self.clock;
+        let network = self.net.build();
+        let mcat = Mcat::new(clock.clone(), &self.admin_password);
+        let auth = AuthService::new(clock.clone(), self.auth_seed);
+
+        let mut servers = HashMap::new();
+        for (i, (name, site)) in self.servers.iter().enumerate() {
+            servers.insert(
+                ServerId(i as u64),
+                SrbServer {
+                    id: ServerId(i as u64),
+                    name: name.clone(),
+                    site: *site,
+                    proxies: ProxyRegistry::new(name),
+                    resources: RwLock::new(HashMap::new()),
+                },
+            );
+        }
+
+        let mut resource_home = HashMap::new();
+        for (name, server_idx, spec) in self.resources {
+            let server = servers
+                .get(&ServerId(server_idx as u64))
+                .expect("resource references a declared server");
+            let (kind, driver) = match spec {
+                ResourceSpec::Fs => (
+                    DriverKind::FileSystem,
+                    ResourceDriver::Fs(FsDriver::new(clock.clone())),
+                ),
+                ResourceSpec::FsCustom { cost } => (
+                    DriverKind::FileSystem,
+                    ResourceDriver::Fs(FsDriver::with_cost(clock.clone(), cost)),
+                ),
+                ResourceSpec::Archive => (
+                    DriverKind::Archive,
+                    ResourceDriver::Archive(ArchiveDriver::new(clock.clone())),
+                ),
+                ResourceSpec::Cache { capacity } => (
+                    DriverKind::Cache,
+                    ResourceDriver::Cache(CacheDriver::new(clock.clone(), capacity)),
+                ),
+                ResourceSpec::Db => (
+                    DriverKind::Database,
+                    ResourceDriver::Db(DbDriver::new(clock.clone())),
+                ),
+            };
+            let rid = mcat
+                .resources
+                .register(&mcat.ids, &name, kind, server.site)
+                .expect("resource names unique");
+            server.resources.write().insert(rid, Arc::new(driver));
+            resource_home.insert(rid, server.id);
+        }
+
+        for (name, members) in self.logical {
+            let ids: Vec<ResourceId> = members
+                .iter()
+                .map(|m| {
+                    mcat.resources
+                        .find(m)
+                        .unwrap_or_else(|| panic!("logical resource member '{m}' not declared"))
+                        .id
+                })
+                .collect();
+            mcat.resources
+                .create_logical(&mcat.ids, &name, &ids)
+                .expect("logical resource names unique");
+        }
+
+        Grid {
+            clock,
+            network,
+            faults: FaultPlan::new(),
+            load: LoadTracker::new(),
+            mcat,
+            auth,
+            web: UrlDriver::new(),
+            servers,
+            resource_home: RwLock::new(resource_home),
+            mcat_server: ServerId(self.mcat_server as u64),
+        }
+    }
+}
+
+/// One complete SRB deployment.
+pub struct Grid {
+    /// The shared virtual clock.
+    pub clock: SimClock,
+    /// The simulated WAN.
+    pub network: Network,
+    /// Failure-injection switchboard.
+    pub faults: FaultPlan,
+    /// Per-resource load accounting.
+    pub load: LoadTracker,
+    /// The metadata catalog.
+    pub mcat: Mcat,
+    /// Federation-wide authenticator.
+    pub auth: AuthService,
+    /// The simulated web (registered URLs live here).
+    pub web: UrlDriver,
+    servers: HashMap<ServerId, SrbServer>,
+    resource_home: RwLock<HashMap<ResourceId, ServerId>>,
+    mcat_server: ServerId,
+}
+
+impl Grid {
+    /// The server hosting the MCAT.
+    pub fn mcat_server(&self) -> ServerId {
+        self.mcat_server
+    }
+
+    /// Look up a server.
+    pub fn server(&self, id: ServerId) -> SrbResult<&SrbServer> {
+        self.servers
+            .get(&id)
+            .ok_or_else(|| SrbError::NotFound(format!("server {id}")))
+    }
+
+    /// All servers, sorted by id.
+    pub fn servers(&self) -> Vec<&SrbServer> {
+        let mut v: Vec<&SrbServer> = self.servers.values().collect();
+        v.sort_by_key(|s| s.id);
+        v
+    }
+
+    /// Which server brokers a resource.
+    pub fn server_for_resource(&self, r: ResourceId) -> SrbResult<ServerId> {
+        self.resource_home
+            .read()
+            .get(&r)
+            .copied()
+            .ok_or_else(|| SrbError::NotFound(format!("no server brokers resource {r}")))
+    }
+
+    /// The driver instance for a resource, wherever it lives.
+    pub fn driver(&self, r: ResourceId) -> SrbResult<Arc<ResourceDriver>> {
+        let home = self.server_for_resource(r)?;
+        self.server(home)?.driver(r)
+    }
+
+    /// The site a resource lives at.
+    pub fn site_of_resource(&self, r: ResourceId) -> SrbResult<SiteId> {
+        Ok(self.mcat.resources.get(r)?.site)
+    }
+
+    /// Convenience: register a normal (non-admin) user and create their
+    /// home collection `/home/<name>` (as SRB does).
+    pub fn register_user(&self, name: &str, domain: &str, password: &str) -> SrbResult<UserId> {
+        let user = self
+            .mcat
+            .users
+            .register(&self.mcat.ids, name, domain, password, false)?;
+        let root = self.mcat.collections.root();
+        let home_path = srb_types::LogicalPath::parse("/home")?;
+        let home = match self.mcat.collections.resolve(&home_path) {
+            Ok(id) => id,
+            Err(_) => self.mcat.collections.create(
+                &self.mcat.ids,
+                root,
+                "home",
+                self.mcat.admin(),
+                self.clock.now(),
+            )?,
+        };
+        self.mcat
+            .collections
+            .create(&self.mcat.ids, home, name, user, self.clock.now())?;
+        Ok(user)
+    }
+
+    /// Convenience: resolve a resource name to its id.
+    pub fn resource_id(&self, name: &str) -> SrbResult<ResourceId> {
+        self.mcat
+            .resources
+            .find(name)
+            .map(|r| r.id)
+            .ok_or_else(|| SrbError::NotFound(format!("resource '{name}'")))
+    }
+
+    /// Convenience: resolve a logical resource name.
+    pub fn logical_resource_id(&self, name: &str) -> SrbResult<LogicalResourceId> {
+        self.mcat
+            .resources
+            .find_logical(name)
+            .map(|r| r.id)
+            .ok_or_else(|| SrbError::NotFound(format!("logical resource '{name}'")))
+    }
+
+    /// Fail a resource by name (experiments).
+    pub fn fail_resource(&self, name: &str) -> SrbResult<()> {
+        self.faults.fail_resource(self.resource_id(name)?);
+        Ok(())
+    }
+
+    /// Restore a resource by name.
+    pub fn restore_resource(&self, name: &str) -> SrbResult<()> {
+        self.faults.restore_resource(self.resource_id(name)?);
+        Ok(())
+    }
+
+    /// Is the named resource currently reachable?
+    pub fn resource_is_up(&self, r: ResourceId) -> bool {
+        match self.site_of_resource(r) {
+            Ok(site) => self.faults.is_up(r, site),
+            Err(_) => false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn demo_grid() -> (Grid, ServerId, ServerId) {
+        let mut gb = GridBuilder::new();
+        let sdsc = gb.site("sdsc");
+        let caltech = gb.site("caltech");
+        gb.link(sdsc, caltech, LinkSpec::wan());
+        let s1 = gb.server("srb-sdsc", sdsc);
+        let s2 = gb.server("srb-caltech", caltech);
+        gb.fs_resource("unix-sdsc", s1)
+            .archive_resource("hpss-caltech", s2)
+            .cache_resource("cache-sdsc", s1, 1 << 20)
+            .db_resource("oracle-dlib", s2)
+            .logical_resource("logrsrc1", &["unix-sdsc", "hpss-caltech"]);
+        (gb.build(), s1, s2)
+    }
+
+    #[test]
+    fn build_registers_everything() {
+        let (g, s1, s2) = demo_grid();
+        assert_eq!(g.servers().len(), 2);
+        assert_eq!(g.mcat_server(), s1);
+        assert_eq!(g.mcat.resources.list().len(), 4);
+        assert_eq!(g.mcat.resources.list_logical().len(), 1);
+        let unix = g.resource_id("unix-sdsc").unwrap();
+        assert_eq!(g.server_for_resource(unix).unwrap(), s1);
+        let hpss = g.resource_id("hpss-caltech").unwrap();
+        assert_eq!(g.server_for_resource(hpss).unwrap(), s2);
+        assert!(g.resource_id("missing").is_err());
+    }
+
+    #[test]
+    fn drivers_match_declared_kinds() {
+        let (g, ..) = demo_grid();
+        let unix = g.resource_id("unix-sdsc").unwrap();
+        assert_eq!(g.driver(unix).unwrap().kind(), DriverKind::FileSystem);
+        assert!(g.driver(unix).unwrap().as_fs().is_some());
+        let hpss = g.resource_id("hpss-caltech").unwrap();
+        assert!(g.driver(hpss).unwrap().as_archive().is_some());
+        let cache = g.resource_id("cache-sdsc").unwrap();
+        assert!(g.driver(cache).unwrap().as_cache().is_some());
+        let db = g.resource_id("oracle-dlib").unwrap();
+        assert!(g.driver(db).unwrap().as_db().is_some());
+        assert!(g.driver(db).unwrap().as_fs().is_none());
+    }
+
+    #[test]
+    fn logical_resource_resolution() {
+        let (g, ..) = demo_grid();
+        let targets = g.mcat.resources.resolve_targets("logrsrc1").unwrap();
+        assert_eq!(targets.len(), 2);
+        assert!(g.logical_resource_id("logrsrc1").is_ok());
+        assert!(g.logical_resource_id("nope").is_err());
+    }
+
+    #[test]
+    fn fault_helpers() {
+        let (g, ..) = demo_grid();
+        let unix = g.resource_id("unix-sdsc").unwrap();
+        assert!(g.resource_is_up(unix));
+        g.fail_resource("unix-sdsc").unwrap();
+        assert!(!g.resource_is_up(unix));
+        g.restore_resource("unix-sdsc").unwrap();
+        assert!(g.resource_is_up(unix));
+        assert!(g.fail_resource("missing").is_err());
+    }
+
+    #[test]
+    fn register_user_convenience() {
+        let (g, ..) = demo_grid();
+        let u = g.register_user("sekar", "sdsc", "pw").unwrap();
+        assert_eq!(g.mcat.users.get(u).unwrap().qualified(), "sekar@sdsc");
+        assert!(!g.mcat.users.get(u).unwrap().is_admin);
+    }
+
+    #[test]
+    fn servers_sorted_and_named() {
+        let (g, s1, _) = demo_grid();
+        let servers = g.servers();
+        assert_eq!(servers[0].id, s1);
+        assert_eq!(servers[0].name, "srb-sdsc");
+        assert_eq!(servers[0].resource_ids().len(), 2);
+        assert!(g.server(ServerId(99)).is_err());
+    }
+}

@@ -1,0 +1,290 @@
+//! Locks, pins, and checkout/checkin version control (paper §5,
+//! "lock, pin, checkout").
+
+use crate::conn::SrbConnection;
+use srb_mcat::{AccessSpec, AuditAction, CheckoutState, LockKind, LockState, VersionRecord};
+use srb_net::Receipt;
+use srb_types::{sha256_hex, Permission, SrbError, SrbResult};
+
+impl SrbConnection<'_> {
+    // ---------------------------------------------------------------- lock --
+
+    /// Lock an object for `ttl_secs`. A `Shared` lock blocks writes by
+    /// others; an `Exclusive` lock blocks all interactions by others.
+    pub fn lock(&self, path: &str, kind: LockKind, ttl_secs: u64) -> SrbResult<Receipt> {
+        let user = self.check_session()?;
+        let lp = self.parse(path)?;
+        let receipt = self.mcat_rpc()?;
+        let ds_id = self.grid.mcat.resolve_dataset(&lp)?;
+        let ds = self.grid.mcat.datasets.resolve_links(ds_id)?;
+        self.grid
+            .mcat
+            .require_dataset(Some(user), ds.id, Permission::Write)?;
+        let now = self.now();
+        self.grid.mcat.datasets.update(ds.id, |d| {
+            if let Some(l) = d.effective_lock(now) {
+                if l.holder != user {
+                    return Err(SrbError::Locked(format!(
+                        "dataset already locked by {}",
+                        l.holder
+                    )));
+                }
+            }
+            d.lock = Some(LockState {
+                kind,
+                holder: user,
+                expires: now.plus_secs(ttl_secs),
+            });
+            Ok(())
+        })?;
+        self.audit(AuditAction::LockOp, path, "lock");
+        Ok(receipt)
+    }
+
+    /// Release a lock (holder only; expired locks may be cleared by
+    /// anyone with write access).
+    pub fn unlock(&self, path: &str) -> SrbResult<Receipt> {
+        let user = self.check_session()?;
+        let lp = self.parse(path)?;
+        let receipt = self.mcat_rpc()?;
+        let ds_id = self.grid.mcat.resolve_dataset(&lp)?;
+        let ds = self.grid.mcat.datasets.resolve_links(ds_id)?;
+        self.grid
+            .mcat
+            .require_dataset(Some(user), ds.id, Permission::Write)?;
+        let now = self.now();
+        self.grid
+            .mcat
+            .datasets
+            .update(ds.id, |d| match d.effective_lock(now) {
+                Some(l) if l.holder != user => {
+                    Err(SrbError::Locked(format!("lock held by {}", l.holder)))
+                }
+                _ => {
+                    d.lock = None;
+                    Ok(())
+                }
+            })?;
+        self.audit(AuditAction::LockOp, path, "unlock");
+        Ok(receipt)
+    }
+
+    // ----------------------------------------------------------------- pin --
+
+    /// Pin replica `repl_num` to its resource for `ttl_secs`: the object
+    /// will not be purged from a cache resource while pinned.
+    pub fn pin(&self, path: &str, repl_num: u32, ttl_secs: u64) -> SrbResult<Receipt> {
+        let user = self.check_session()?;
+        let lp = self.parse(path)?;
+        let receipt = self.mcat_rpc()?;
+        let ds_id = self.grid.mcat.resolve_dataset(&lp)?;
+        let ds = self.grid.mcat.datasets.resolve_links(ds_id)?;
+        self.grid
+            .mcat
+            .require_dataset(Some(user), ds.id, Permission::Write)?;
+        let expiry = self.now().plus_secs(ttl_secs);
+        let replica = ds
+            .replicas
+            .iter()
+            .find(|r| r.repl_num == repl_num)
+            .ok_or_else(|| SrbError::NotFound(format!("replica #{repl_num} of '{path}'")))?
+            .clone();
+        // Propagate to the cache driver when the replica lives on one.
+        if let AccessSpec::Stored {
+            resource,
+            phys_path,
+        } = &replica.spec
+        {
+            if let Some(cache) = self.grid.driver(*resource)?.as_cache() {
+                cache.pin(phys_path, expiry)?;
+            }
+        }
+        self.grid.mcat.datasets.update(ds.id, |d| {
+            let r = d
+                .replicas
+                .iter_mut()
+                .find(|r| r.repl_num == repl_num)
+                .expect("replica existed above");
+            r.pinned_until = Some(expiry);
+            Ok(())
+        })?;
+        self.audit(AuditAction::LockOp, path, "pin");
+        Ok(receipt)
+    }
+
+    /// Explicit unpin.
+    pub fn unpin(&self, path: &str, repl_num: u32) -> SrbResult<Receipt> {
+        let user = self.check_session()?;
+        let lp = self.parse(path)?;
+        let receipt = self.mcat_rpc()?;
+        let ds_id = self.grid.mcat.resolve_dataset(&lp)?;
+        let ds = self.grid.mcat.datasets.resolve_links(ds_id)?;
+        self.grid
+            .mcat
+            .require_dataset(Some(user), ds.id, Permission::Write)?;
+        let replica = ds
+            .replicas
+            .iter()
+            .find(|r| r.repl_num == repl_num)
+            .ok_or_else(|| SrbError::NotFound(format!("replica #{repl_num} of '{path}'")))?
+            .clone();
+        if let AccessSpec::Stored {
+            resource,
+            phys_path,
+        } = &replica.spec
+        {
+            if let Some(cache) = self.grid.driver(*resource)?.as_cache() {
+                let _ = cache.unpin(phys_path);
+            }
+        }
+        self.grid.mcat.datasets.update(ds.id, |d| {
+            let r = d
+                .replicas
+                .iter_mut()
+                .find(|r| r.repl_num == repl_num)
+                .expect("replica existed above");
+            r.pinned_until = None;
+            Ok(())
+        })?;
+        self.audit(AuditAction::LockOp, path, "unpin");
+        Ok(receipt)
+    }
+
+    // ------------------------------------------------------------ versions --
+
+    /// Check an object out: no one (including other sessions of the same
+    /// user) may change it until checkin.
+    pub fn checkout(&self, path: &str) -> SrbResult<Receipt> {
+        let user = self.check_session()?;
+        let lp = self.parse(path)?;
+        let receipt = self.mcat_rpc()?;
+        let ds_id = self.grid.mcat.resolve_dataset(&lp)?;
+        let ds = self.grid.mcat.datasets.resolve_links(ds_id)?;
+        self.grid
+            .mcat
+            .require_dataset(Some(user), ds.id, Permission::Write)?;
+        let now = self.now();
+        self.grid.mcat.datasets.update(ds.id, |d| {
+            if let Some(c) = d.checkout {
+                return Err(SrbError::Locked(format!(
+                    "already checked out by {}",
+                    c.holder
+                )));
+            }
+            d.checkout = Some(CheckoutState {
+                holder: user,
+                at: now,
+            });
+            Ok(())
+        })?;
+        self.audit(AuditAction::LockOp, path, "checkout");
+        Ok(receipt)
+    }
+
+    /// Check in new content: "the older version of the object is still
+    /// maintained as an earlier version with a distinct version number."
+    pub fn checkin(&self, path: &str, new_data: &[u8]) -> SrbResult<Receipt> {
+        let user = self.check_session()?;
+        let lp = self.parse(path)?;
+        let mut receipt = self.mcat_rpc()?;
+        let ds_id = self.grid.mcat.resolve_dataset(&lp)?;
+        let ds = self.grid.mcat.datasets.resolve_links(ds_id)?;
+        self.grid
+            .mcat
+            .require_dataset(Some(user), ds.id, Permission::Write)?;
+        match ds.checkout {
+            Some(c) if c.holder == user => {}
+            Some(c) => return Err(SrbError::Locked(format!("checked out by {}", c.holder))),
+            None => {
+                return Err(SrbError::Invalid(
+                    "checkin without a matching checkout".into(),
+                ))
+            }
+        }
+        // Preserve the current content as a version on the primary
+        // replica's resource.
+        let primary = ds
+            .replicas
+            .iter()
+            .find(|r| r.spec.is_srb_controlled() && r.in_container.is_none())
+            .ok_or_else(|| {
+                SrbError::Unsupported("versioning requires an SRB-stored replica".into())
+            })?
+            .clone();
+        let AccessSpec::Stored {
+            resource,
+            phys_path,
+        } = &primary.spec
+        else {
+            unreachable!("filtered to Stored above");
+        };
+        let mut tmp = Receipt::free();
+        let old_data = self.read_replica_bytes(&primary, &mut tmp)?;
+        receipt.absorb(&tmp);
+        let version = ds.current_version;
+        let version_path = format!("{phys_path}.v{version}");
+        let r = self.store_bytes(*resource, &version_path, &old_data, false)?;
+        receipt.absorb(&r);
+        let now = self.now();
+        let record = VersionRecord {
+            version,
+            resource: *resource,
+            phys_path: version_path,
+            size: old_data.len() as u64,
+            by: user,
+            at: now,
+        };
+        self.grid.mcat.datasets.update(ds.id, |d| {
+            d.versions.push(record.clone());
+            d.current_version += 1;
+            d.checkout = None;
+            Ok(())
+        })?;
+        // Write the new content through the normal synchronous-update path.
+        let w = self.write(path, new_data)?;
+        receipt.absorb(&w);
+        self.audit(AuditAction::LockOp, path, "checkin");
+        Ok(receipt)
+    }
+
+    /// Read a preserved earlier version.
+    pub fn read_version(&self, path: &str, version: u32) -> SrbResult<(bytes::Bytes, Receipt)> {
+        let user = self.check_session()?;
+        let lp = self.parse(path)?;
+        let mut receipt = self.mcat_rpc()?;
+        let ds_id = self.grid.mcat.resolve_dataset(&lp)?;
+        let ds = self.grid.mcat.datasets.resolve_links(ds_id)?;
+        self.grid
+            .mcat
+            .require_dataset(Some(user), ds.id, Permission::Read)?;
+        let v = ds
+            .versions
+            .iter()
+            .find(|v| v.version == version)
+            .ok_or_else(|| SrbError::NotFound(format!("version {version} of '{path}'")))?;
+        let driver = self.grid.driver(v.resource)?;
+        let (data, ns) = driver.driver().read(&v.phys_path)?;
+        receipt.absorb(&Receipt::time(ns));
+        receipt.absorb(&self.data_transfer(v.resource, data.len() as u64)?);
+        // Integrity: the preserved copy must be exactly what was checked in.
+        debug_assert_eq!(data.len() as u64, v.size);
+        let _ = sha256_hex(&data);
+        Ok((data, receipt))
+    }
+
+    /// List preserved versions (number, size, author).
+    pub fn versions(&self, path: &str) -> SrbResult<Vec<(u32, u64, srb_types::UserId)>> {
+        let user = self.check_session()?;
+        let lp = self.parse(path)?;
+        let ds_id = self.grid.mcat.resolve_dataset(&lp)?;
+        let ds = self.grid.mcat.datasets.resolve_links(ds_id)?;
+        self.grid
+            .mcat
+            .require_dataset(Some(user), ds.id, Permission::Read)?;
+        Ok(ds
+            .versions
+            .iter()
+            .map(|v| (v.version, v.size, v.by))
+            .collect())
+    }
+}

@@ -1,0 +1,416 @@
+//! Metadata and query operations.
+//!
+//! "The importance of metadata in SRB comes from the queriability of the
+//! metadata." These are MySRB's metadata-handling functions: ingestion at
+//! four points (at ingest time, via the insert form, by copying, and by
+//! extraction methods), type-oriented schemas, file-based metadata,
+//! annotations, and the conjunctive query.
+
+use crate::conn::SrbConnection;
+use crate::tlang::TScript;
+use srb_mcat::{
+    Annotation, AnnotationKind, AuditAction, MetaKind, MetaRow, Query, QueryHit, Subject,
+};
+use srb_net::Receipt;
+use srb_types::{MetaValue, Permission, SrbError, SrbResult, Triplet};
+
+impl SrbConnection<'_> {
+    fn subject_of(&self, path: &str) -> SrbResult<Subject> {
+        let lp = self.parse(path)?;
+        if let Ok(ds) = self.grid.mcat.resolve_dataset(&lp) {
+            // Metadata attaches to the link target, as the paper specifies
+            // for viewing; link-local metadata is supported by annotating
+            // the link object itself, which we keep simple by resolving.
+            let resolved = self.grid.mcat.datasets.resolve_links(ds)?;
+            Ok(Subject::Dataset(resolved.id))
+        } else {
+            Ok(Subject::Collection(
+                self.grid.mcat.collections.resolve(&lp)?,
+            ))
+        }
+    }
+
+    fn require_subject(&self, subject: Subject, needed: Permission) -> SrbResult<()> {
+        match subject {
+            Subject::Dataset(d) => self.grid.mcat.require_dataset(Some(self.user()), d, needed),
+            Subject::Collection(c) => {
+                self.grid
+                    .mcat
+                    .require_collection(Some(self.user()), c, needed)
+            }
+        }
+    }
+
+    // ------------------------------------------------------------ triplets --
+
+    /// Attach a user-defined triplet. "User-defined metadata and
+    /// type-oriented metadata can be ingested only by users who have
+    /// 'ownership' permission."
+    pub fn add_metadata(&self, path: &str, triplet: Triplet) -> SrbResult<Receipt> {
+        self.check_session()?;
+        let receipt = self.mcat_rpc()?;
+        let subject = self.subject_of(path)?;
+        self.require_subject(subject, Permission::Own)?;
+        self.grid
+            .mcat
+            .metadata
+            .add(&self.grid.mcat.ids, subject, triplet, MetaKind::UserDefined);
+        self.audit(AuditAction::MetaChange, path, "ok");
+        Ok(receipt)
+    }
+
+    /// Attach a type-oriented (schema) triplet, e.g. Dublin Core.
+    pub fn add_schema_metadata(
+        &self,
+        path: &str,
+        schema: &str,
+        triplet: Triplet,
+    ) -> SrbResult<Receipt> {
+        self.check_session()?;
+        let receipt = self.mcat_rpc()?;
+        let subject = self.subject_of(path)?;
+        self.require_subject(subject, Permission::Own)?;
+        self.grid.mcat.add_type_metadata(subject, schema, triplet)?;
+        self.audit(AuditAction::MetaChange, path, "ok");
+        Ok(receipt)
+    }
+
+    /// All metadata rows on an object or collection (requires Read).
+    pub fn metadata(&self, path: &str) -> SrbResult<Vec<MetaRow>> {
+        self.check_session()?;
+        let subject = self.subject_of(path)?;
+        self.require_subject(subject, Permission::Read)?;
+        Ok(self.grid.mcat.metadata.for_subject(subject))
+    }
+
+    /// Update one row's value/units (Own).
+    pub fn update_metadata(
+        &self,
+        path: &str,
+        meta_id: srb_types::MetaId,
+        value: MetaValue,
+        units: &str,
+    ) -> SrbResult<Receipt> {
+        self.check_session()?;
+        let receipt = self.mcat_rpc()?;
+        let subject = self.subject_of(path)?;
+        self.require_subject(subject, Permission::Own)?;
+        self.grid
+            .mcat
+            .metadata
+            .update(meta_id, value, units.to_string())?;
+        self.audit(AuditAction::MetaChange, path, "ok");
+        Ok(receipt)
+    }
+
+    /// Delete one metadata row (Own).
+    pub fn delete_metadata(&self, path: &str, meta_id: srb_types::MetaId) -> SrbResult<Receipt> {
+        self.check_session()?;
+        let receipt = self.mcat_rpc()?;
+        let subject = self.subject_of(path)?;
+        self.require_subject(subject, Permission::Own)?;
+        self.grid.mcat.metadata.remove(meta_id)?;
+        self.audit(AuditAction::MetaChange, path, "ok");
+        Ok(receipt)
+    }
+
+    /// Copy user/type metadata from another object (ingestion method 3).
+    pub fn copy_metadata(&self, from: &str, to: &str) -> SrbResult<usize> {
+        self.check_session()?;
+        let src = self.subject_of(from)?;
+        let dst = self.subject_of(to)?;
+        self.require_subject(src, Permission::Read)?;
+        self.require_subject(dst, Permission::Own)?;
+        let n = self.grid.mcat.metadata.copy(&self.grid.mcat.ids, src, dst);
+        self.audit(AuditAction::MetaChange, &format!("{from} -> {to}"), "ok");
+        Ok(n)
+    }
+
+    /// Extraction method 4a: run a T-language script over the object's own
+    /// content and attach the extracted triplets.
+    pub fn extract_metadata(&self, path: &str, script: &str) -> SrbResult<Vec<Triplet>> {
+        self.check_session()?;
+        let subject = self.subject_of(path)?;
+        self.require_subject(subject, Permission::Own)?;
+        let Subject::Dataset(ds) = subject else {
+            return Err(SrbError::Unsupported(
+                "metadata extraction applies to datasets".into(),
+            ));
+        };
+        let (bytes, _) = self.read_dataset_bytes(ds)?;
+        let tscript = TScript::parse(script)?;
+        let triplets = tscript.extract(&String::from_utf8_lossy(&bytes));
+        for t in &triplets {
+            self.grid.mcat.metadata.add(
+                &self.grid.mcat.ids,
+                subject,
+                t.clone(),
+                MetaKind::UserDefined,
+            );
+        }
+        self.audit(AuditAction::MetaChange, path, "ok");
+        Ok(triplets)
+    }
+
+    /// Extraction method 4b: extract from a *second* object (e.g. a DICOM
+    /// header file) and attach to the first.
+    pub fn extract_metadata_from(
+        &self,
+        source: &str,
+        target: &str,
+        script: &str,
+    ) -> SrbResult<Vec<Triplet>> {
+        self.check_session()?;
+        let src = self.subject_of(source)?;
+        let dst = self.subject_of(target)?;
+        self.require_subject(src, Permission::Read)?;
+        self.require_subject(dst, Permission::Own)?;
+        let Subject::Dataset(src_ds) = src else {
+            return Err(SrbError::Unsupported("source must be a dataset".into()));
+        };
+        let (bytes, _) = self.read_dataset_bytes(src_ds)?;
+        let tscript = TScript::parse(script)?;
+        let triplets = tscript.extract(&String::from_utf8_lossy(&bytes));
+        for t in &triplets {
+            self.grid.mcat.metadata.add(
+                &self.grid.mcat.ids,
+                dst,
+                t.clone(),
+                MetaKind::FileBased(src_ds),
+            );
+        }
+        self.audit(AuditAction::MetaChange, target, "ok");
+        Ok(triplets)
+    }
+
+    /// Associate a file already in SRB as a metadata-carrying file for
+    /// another object ("file-based metadata … for viewing"). One file may
+    /// serve many objects.
+    pub fn attach_meta_file(&self, target: &str, carrier: &str) -> SrbResult<Receipt> {
+        self.check_session()?;
+        let receipt = self.mcat_rpc()?;
+        let dst = self.subject_of(target)?;
+        self.require_subject(dst, Permission::Own)?;
+        let carrier_lp = self.parse(carrier)?;
+        let carrier_ds = self.grid.mcat.resolve_dataset(&carrier_lp)?;
+        self.grid.mcat.metadata.attach_meta_file(dst, carrier_ds);
+        self.audit(AuditAction::MetaChange, target, "ok");
+        Ok(receipt)
+    }
+
+    /// Render a subject's file-based metadata. Carrier files hold either
+    /// `name|value|units` lines (the paper's triplet format) or XML
+    /// metadata documents (the paper's "later release" format — see
+    /// [`crate::xmlmeta`]); the format is auto-detected per carrier.
+    pub fn view_meta_files(&self, path: &str) -> SrbResult<Vec<Triplet>> {
+        self.check_session()?;
+        let subject = self.subject_of(path)?;
+        self.require_subject(subject, Permission::Read)?;
+        let mut out = Vec::new();
+        for carrier in self.grid.mcat.metadata.meta_files_of(subject) {
+            let (bytes, _) = self.read_dataset_bytes(carrier)?;
+            let text = String::from_utf8_lossy(&bytes);
+            if crate::xmlmeta::looks_like_xml(&text) {
+                out.extend(crate::xmlmeta::parse_xml_triplets(&text)?);
+                continue;
+            }
+            for line in text.lines() {
+                let mut parts = line.splitn(3, '|');
+                let name = parts.next().unwrap_or("").trim();
+                if name.is_empty() {
+                    continue;
+                }
+                let value = parts.next().unwrap_or("").trim();
+                let units = parts.next().unwrap_or("").trim();
+                out.push(Triplet::new(name, MetaValue::parse(value), units));
+            }
+        }
+        Ok(out)
+    }
+
+    // --------------------------------------------------------- annotations --
+
+    /// Annotate an object — any user with *read* permission may.
+    pub fn annotate(
+        &self,
+        path: &str,
+        kind: AnnotationKind,
+        location: &str,
+        text: &str,
+    ) -> SrbResult<Receipt> {
+        self.check_session()?;
+        let receipt = self.mcat_rpc()?;
+        let subject = self.subject_of(path)?;
+        self.require_subject(subject, Permission::Annotate)?;
+        self.grid.mcat.annotations.add(
+            &self.grid.mcat.ids,
+            subject,
+            self.user(),
+            self.now(),
+            kind,
+            location,
+            text,
+        );
+        self.audit(AuditAction::MetaChange, path, "ok");
+        Ok(receipt)
+    }
+
+    /// List an object's annotations.
+    pub fn annotations(&self, path: &str) -> SrbResult<Vec<Annotation>> {
+        self.check_session()?;
+        let subject = self.subject_of(path)?;
+        self.require_subject(subject, Permission::Read)?;
+        Ok(self.grid.mcat.annotations.for_subject(subject))
+    }
+
+    /// Delete one's own annotation.
+    pub fn delete_annotation(&self, id: srb_types::AnnotationId) -> SrbResult<()> {
+        self.check_session()?;
+        self.grid.mcat.annotations.remove(id, self.user())
+    }
+
+    // --------------------------------------------------------------- query --
+
+    /// Run a conjunctive query; hits the user may not Discover are
+    /// filtered out.
+    pub fn query(&self, q: &Query) -> SrbResult<(Vec<QueryHit>, Receipt)> {
+        let user = self.check_session()?;
+        let receipt = self.mcat_rpc()?;
+        let hits = self.grid.mcat.query(q)?;
+        let visible = hits
+            .into_iter()
+            .filter(|h| {
+                self.grid
+                    .mcat
+                    .effective_on_dataset(Some(user), h.dataset)
+                    .map(|p| p.allows(Permission::Read))
+                    .unwrap_or(false)
+            })
+            .collect();
+        self.audit(AuditAction::Query, &q.scope.to_string(), "ok");
+        Ok((visible, receipt))
+    }
+
+    /// The scan-path baseline of the same query (ablation A1).
+    pub fn query_scan(&self, q: &Query) -> SrbResult<(Vec<QueryHit>, Receipt)> {
+        let user = self.check_session()?;
+        let receipt = self.mcat_rpc()?;
+        let hits = self.grid.mcat.query_scan(q)?;
+        let visible = hits
+            .into_iter()
+            .filter(|h| {
+                self.grid
+                    .mcat
+                    .effective_on_dataset(Some(user), h.dataset)
+                    .map(|p| p.allows(Permission::Read))
+                    .unwrap_or(false)
+            })
+            .collect();
+        self.audit(AuditAction::Query, &q.scope.to_string(), "ok");
+        Ok((visible, receipt))
+    }
+
+    // ----------------------------------------------------------------- acl --
+
+    /// Grant a permission level to a user on an object or collection
+    /// (Own required; "the selection should be done by the owner").
+    pub fn grant(
+        &self,
+        path: &str,
+        grantee: srb_types::UserId,
+        level: Permission,
+    ) -> SrbResult<()> {
+        self.check_session()?;
+        let subject = self.subject_of(path)?;
+        self.require_subject(subject, Permission::Own)?;
+        match subject {
+            Subject::Dataset(d) => self.grid.mcat.datasets.update(d, |ds| {
+                ds.acl.grant_user(grantee, level);
+                Ok(())
+            })?,
+            Subject::Collection(c) => {
+                let mut acl = self.grid.mcat.collections.get(c)?.acl;
+                acl.grant_user(grantee, level);
+                self.grid.mcat.collections.set_acl(c, acl)?;
+            }
+        }
+        self.audit(AuditAction::AclChange, path, "ok");
+        Ok(())
+    }
+
+    /// Create a user group (any authenticated user may; the creator is the
+    /// first member).
+    pub fn create_group(&self, name: &str) -> SrbResult<srb_types::GroupId> {
+        let user = self.check_session()?;
+        let g = self
+            .grid
+            .mcat
+            .users
+            .create_group(&self.grid.mcat.ids, name)?;
+        self.grid.mcat.users.add_to_group(user, g)?;
+        Ok(g)
+    }
+
+    /// Add a user to a group (group members may extend their group).
+    pub fn add_to_group(
+        &self,
+        group: srb_types::GroupId,
+        member: srb_types::UserId,
+    ) -> SrbResult<()> {
+        let user = self.check_session()?;
+        let grp = self.grid.mcat.users.get_group(group)?;
+        if !grp.members.contains(&user) && !self.grid.mcat.users.get(user)?.is_admin {
+            return Err(SrbError::PermissionDenied(format!(
+                "only members may extend group '{}'",
+                grp.name
+            )));
+        }
+        self.grid.mcat.users.add_to_group(member, group)
+    }
+
+    /// Grant a permission level to a *group* on an object or collection
+    /// (Own required).
+    pub fn grant_group(
+        &self,
+        path: &str,
+        group: srb_types::GroupId,
+        level: Permission,
+    ) -> SrbResult<()> {
+        self.check_session()?;
+        let subject = self.subject_of(path)?;
+        self.require_subject(subject, Permission::Own)?;
+        match subject {
+            Subject::Dataset(d) => self.grid.mcat.datasets.update(d, |ds| {
+                ds.acl.grant_group(group, level);
+                Ok(())
+            })?,
+            Subject::Collection(c) => {
+                let mut acl = self.grid.mcat.collections.get(c)?.acl;
+                acl.grant_group(group, level);
+                self.grid.mcat.collections.set_acl(c, acl)?;
+            }
+        }
+        self.audit(AuditAction::AclChange, path, "ok");
+        Ok(())
+    }
+
+    /// Set the anonymous/public level on an object or collection.
+    pub fn grant_public(&self, path: &str, level: Permission) -> SrbResult<()> {
+        self.check_session()?;
+        let subject = self.subject_of(path)?;
+        self.require_subject(subject, Permission::Own)?;
+        match subject {
+            Subject::Dataset(d) => self.grid.mcat.datasets.update(d, |ds| {
+                ds.acl.public = level;
+                Ok(())
+            })?,
+            Subject::Collection(c) => {
+                let mut acl = self.grid.mcat.collections.get(c)?.acl;
+                acl.public = level;
+                self.grid.mcat.collections.set_acl(c, acl)?;
+            }
+        }
+        self.audit(AuditAction::AclChange, path, "ok");
+        Ok(())
+    }
+}

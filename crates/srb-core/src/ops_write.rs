@@ -1,0 +1,968 @@
+//! Data-movement operations: ingest, register, replicate, copy, move,
+//! link, delete, and collection management (paper §5, "Data Movement
+//! Operations").
+
+use crate::conn::SrbConnection;
+use bytes::Bytes;
+use srb_mcat::{AccessSpec, AuditAction, ReplicaStatus, Subject, Template};
+use srb_net::Receipt;
+use srb_types::{
+    sha256_hex, CollectionId, DatasetId, LogicalPath, Permission, ResourceId, SrbError, SrbResult,
+    Triplet,
+};
+
+/// How to place ingested data.
+#[derive(Debug, Clone, Default)]
+pub struct IngestOptions {
+    /// Target resource name — physical ("unix-sdsc") or logical
+    /// ("logrsrc1", which fans out to synchronous replicas).
+    pub resource: Option<String>,
+    /// Target container name. "A container specification on ingestion
+    /// overrides a resource specification."
+    pub container: Option<String>,
+    /// Data type (drives type-oriented metadata and extraction methods).
+    pub data_type: String,
+    /// User metadata supplied at ingest time (validated against the
+    /// collection's structural requirements).
+    pub metadata: Vec<Triplet>,
+}
+
+impl IngestOptions {
+    /// Ingest to a named resource.
+    pub fn to_resource(name: &str) -> Self {
+        IngestOptions {
+            resource: Some(name.to_string()),
+            data_type: "generic".to_string(),
+            ..IngestOptions::default()
+        }
+    }
+
+    /// Ingest into a named container.
+    pub fn into_container(name: &str) -> Self {
+        IngestOptions {
+            container: Some(name.to_string()),
+            data_type: "generic".to_string(),
+            ..IngestOptions::default()
+        }
+    }
+
+    /// Set the data type.
+    pub fn with_type(mut self, data_type: &str) -> Self {
+        self.data_type = data_type.to_string();
+        self
+    }
+
+    /// Attach a metadata triplet.
+    pub fn with_metadata(mut self, t: Triplet) -> Self {
+        self.metadata.push(t);
+        self
+    }
+}
+
+/// Registration specs for the paper's five registered-object types.
+#[derive(Debug, Clone)]
+pub enum RegisterSpec {
+    /// Type 1: a file in a file system, archive, or as a database LOB.
+    File {
+        /// Resource holding the file.
+        resource: String,
+        /// Physical path within the resource.
+        phys_path: String,
+    },
+    /// Type 2: a directory (shadow directory object).
+    Directory {
+        /// Resource holding the directory.
+        resource: String,
+        /// Directory path.
+        dir_path: String,
+    },
+    /// Type 3: a SQL query against a database resource.
+    Sql {
+        /// Database resource to query.
+        resource: String,
+        /// Query text (must begin with SELECT).
+        sql: String,
+        /// Partial query completed at retrieval time.
+        partial: bool,
+        /// Rendering template.
+        template: Template,
+    },
+    /// Type 4: a URL.
+    Url {
+        /// The URL.
+        url: String,
+    },
+    /// Type 5: a method object (proxy command or proxy function).
+    Method {
+        /// Registered command/function name.
+        name: String,
+        /// True for in-server proxy functions.
+        is_function: bool,
+        /// Default command-line arguments.
+        default_args: Vec<String>,
+    },
+}
+
+impl SrbConnection<'_> {
+    // --------------------------------------------------------- collections --
+
+    /// Create a collection (and any missing ancestors).
+    pub fn make_collection(&self, path: &str) -> SrbResult<Receipt> {
+        let user = self.check_session()?;
+        let lp = self.parse(path)?;
+        let receipt = self.mcat_rpc()?;
+        let mut cur = LogicalPath::root();
+        let mut cur_id = self.grid.mcat.collections.root();
+        for comp in lp.components() {
+            let next = cur.child(comp)?;
+            match self.grid.mcat.collections.resolve(&next) {
+                Ok(id) => cur_id = id,
+                Err(_) => {
+                    self.grid
+                        .mcat
+                        .require_collection(Some(user), cur_id, Permission::Write)
+                        .or_else(|e| {
+                            // The admin may build anywhere.
+                            if self.grid.mcat.users.get(user)?.is_admin {
+                                Ok(())
+                            } else {
+                                Err(e)
+                            }
+                        })?;
+                    cur_id = self.grid.mcat.collections.create(
+                        &self.grid.mcat.ids,
+                        cur_id,
+                        comp,
+                        user,
+                        self.now(),
+                    )?;
+                }
+            }
+            cur = next;
+        }
+        self.audit(AuditAction::Ingest, path, "ok");
+        Ok(receipt)
+    }
+
+    /// Delete a collection. `recursive` removes contained datasets and
+    /// sub-collections; otherwise the collection must be empty.
+    pub fn delete_collection(&self, path: &str, recursive: bool) -> SrbResult<Receipt> {
+        let user = self.check_session()?;
+        let lp = self.parse(path)?;
+        let mut receipt = self.mcat_rpc()?;
+        let coll = self.grid.mcat.collections.resolve_nofollow(&lp)?;
+        self.grid
+            .mcat
+            .require_collection(Some(user), coll, Permission::Own)?;
+        // A linked collection node is just unlinked.
+        if self.grid.mcat.collections.get(coll)?.link_target.is_some() {
+            self.grid.mcat.collections.delete(coll)?;
+            self.audit(AuditAction::Delete, path, "ok");
+            return Ok(receipt);
+        }
+        let datasets = self.grid.mcat.datasets.list(coll);
+        let subs = self.grid.mcat.collections.children(coll);
+        if !recursive && (!datasets.is_empty() || !subs.is_empty()) {
+            return Err(SrbError::Invalid(format!("collection '{path}' not empty")));
+        }
+        if recursive {
+            for sub in subs {
+                let r = self.delete_collection(&sub.path.to_string(), true)?;
+                receipt.absorb(&r);
+            }
+            for d in datasets {
+                let dpath = self.grid.mcat.dataset_path(d.id)?;
+                let r = self.delete(&dpath.to_string(), None)?;
+                receipt.absorb(&r);
+            }
+        }
+        self.grid.mcat.collections.delete(coll)?;
+        self.audit(AuditAction::Delete, path, "ok");
+        Ok(receipt)
+    }
+
+    // -------------------------------------------------------------- ingest --
+
+    /// Ingest a new file at `path`.
+    pub fn ingest(&self, path: &str, data: &[u8], opts: IngestOptions) -> SrbResult<Receipt> {
+        let user = self.check_session()?;
+        let lp = self.parse(path)?;
+        let name = lp
+            .name()
+            .ok_or_else(|| SrbError::Invalid("cannot ingest at the root".into()))?;
+        let parent = lp.parent().expect("non-root path");
+        let mut receipt = self.mcat_rpc()?;
+        let coll = self.grid.mcat.collections.resolve(&parent)?;
+        self.grid
+            .mcat
+            .require_collection(Some(user), coll, Permission::Write)?;
+        self.grid.mcat.validate_structural(coll, &opts.metadata)?;
+
+        // Container placement overrides resource placement.
+        if let Some(container) = &opts.container {
+            let r = self.ingest_into_container_impl(coll, name, data, container, &opts, user)?;
+            receipt.absorb(&r);
+            self.audit(AuditAction::Ingest, path, "ok");
+            return Ok(receipt);
+        }
+
+        let resource_name = opts
+            .resource
+            .as_deref()
+            .ok_or_else(|| SrbError::Invalid("ingest needs a resource or container".into()))?;
+        let targets = self.grid.mcat.resources.resolve_targets(resource_name)?;
+        let checksum = sha256_hex(data);
+        let mut replicas = Vec::with_capacity(targets.len());
+        for rid in &targets {
+            let phys_path = Self::phys_path(coll, name);
+            let r = self.store_bytes(*rid, &phys_path, data, false)?;
+            receipt.absorb(&r);
+            replicas.push((
+                AccessSpec::Stored {
+                    resource: *rid,
+                    phys_path,
+                },
+                data.len() as u64,
+                Some(checksum.clone()),
+            ));
+        }
+        let ds = self.grid.mcat.datasets.create(
+            &self.grid.mcat.ids,
+            coll,
+            name,
+            &opts.data_type,
+            user,
+            replicas,
+            self.now(),
+        )?;
+        self.attach_ingest_metadata(ds, &opts.metadata);
+        self.audit(AuditAction::Ingest, path, "ok");
+        Ok(receipt)
+    }
+
+    /// Overwrite an object's data; all up replicas are updated
+    /// synchronously, replicas on failed resources are marked stale.
+    pub fn write(&self, path: &str, data: &[u8]) -> SrbResult<Receipt> {
+        let user = self.check_session()?;
+        let lp = self.parse(path)?;
+        let mut receipt = self.mcat_rpc()?;
+        let ds_id = self.grid.mcat.resolve_dataset(&lp)?;
+        let ds = self.grid.mcat.datasets.resolve_links(ds_id)?;
+        self.grid
+            .mcat
+            .require_dataset(Some(user), ds.id, Permission::Write)?;
+        ds.write_allowed_by_locks(user, self.now())?;
+        let checksum = sha256_hex(data);
+        let mut staleness: Vec<(u32, ReplicaStatus)> = Vec::new();
+        for replica in &ds.replicas {
+            if let Some(slice) = replica.in_container {
+                let r = self.rewrite_container_slice(ds.id, slice, data)?;
+                receipt.absorb(&r);
+                staleness.push((replica.repl_num, ReplicaStatus::UpToDate));
+                continue;
+            }
+            match &replica.spec {
+                AccessSpec::Stored {
+                    resource,
+                    phys_path,
+                } => match self.store_bytes(*resource, phys_path, data, true) {
+                    Ok(r) => {
+                        receipt.absorb(&r);
+                        staleness.push((replica.repl_num, ReplicaStatus::UpToDate));
+                    }
+                    Err(e) if e.is_retryable() => {
+                        staleness.push((replica.repl_num, ReplicaStatus::Stale));
+                    }
+                    Err(e) => return Err(e),
+                },
+                AccessSpec::RegisteredFile { .. } => {
+                    return Err(SrbError::Unsupported(
+                        "cannot write through a registered file (not under SRB control)".into(),
+                    ))
+                }
+                other => {
+                    return Err(SrbError::Unsupported(format!(
+                        "cannot write a {} object",
+                        other.type_label()
+                    )))
+                }
+            }
+        }
+        if staleness.iter().all(|(_, s)| *s == ReplicaStatus::Stale) {
+            return Err(SrbError::ResourceUnavailable(
+                "no replica accepted the write".into(),
+            ));
+        }
+        let now = self.now();
+        self.grid.mcat.datasets.update(ds.id, |d| {
+            for (num, status) in &staleness {
+                if let Some(r) = d.replicas.iter_mut().find(|r| r.repl_num == *num) {
+                    r.status = *status;
+                    if *status == ReplicaStatus::UpToDate {
+                        r.size = data.len() as u64;
+                        r.checksum = Some(checksum.clone());
+                    }
+                }
+            }
+            d.modified = now;
+            Ok(())
+        })?;
+        self.audit(AuditAction::Write, path, "ok");
+        Ok(receipt)
+    }
+
+    /// Re-ingest: replace the data, keeping all linked metadata (paper:
+    /// "a user can reingest a file (i.e., all metadata associated with the
+    /// file by the SRB are still linked to it)").
+    pub fn reingest(&self, path: &str, data: &[u8]) -> SrbResult<Receipt> {
+        self.write(path, data)
+    }
+
+    // ------------------------------------------------------------ register --
+
+    /// Register an external object (paper §4's five types). No data is
+    /// copied; SRB stores a pointer/spec.
+    pub fn register(
+        &self,
+        path: &str,
+        spec: RegisterSpec,
+        opts: IngestOptions,
+    ) -> SrbResult<Receipt> {
+        let user = self.check_session()?;
+        let lp = self.parse(path)?;
+        let name = lp
+            .name()
+            .ok_or_else(|| SrbError::Invalid("cannot register at the root".into()))?;
+        let parent = lp.parent().expect("non-root path");
+        let receipt = self.mcat_rpc()?;
+        let coll = self.grid.mcat.collections.resolve(&parent)?;
+        self.grid
+            .mcat
+            .require_collection(Some(user), coll, Permission::Write)?;
+        self.grid.mcat.validate_structural(coll, &opts.metadata)?;
+        let (access, size) = self.resolve_register_spec(&spec)?;
+        let data_type = if opts.data_type.is_empty() || opts.data_type == "generic" {
+            access.type_label().to_string()
+        } else {
+            opts.data_type.clone()
+        };
+        let ds = self.grid.mcat.datasets.create(
+            &self.grid.mcat.ids,
+            coll,
+            name,
+            &data_type,
+            user,
+            vec![(access, size, None)],
+            self.now(),
+        )?;
+        self.attach_ingest_metadata(ds, &opts.metadata);
+        self.audit(AuditAction::Register, path, "ok");
+        Ok(receipt)
+    }
+
+    pub(crate) fn resolve_register_spec(
+        &self,
+        spec: &RegisterSpec,
+    ) -> SrbResult<(AccessSpec, u64)> {
+        Ok(match spec {
+            RegisterSpec::File {
+                resource,
+                phys_path,
+            } => {
+                let rid = self.grid.resource_id(resource)?;
+                let driver = self.grid.driver(rid)?;
+                let stat = driver.driver().stat(phys_path)?;
+                (
+                    AccessSpec::RegisteredFile {
+                        resource: rid,
+                        phys_path: phys_path.clone(),
+                    },
+                    stat.size,
+                )
+            }
+            RegisterSpec::Directory { resource, dir_path } => {
+                let rid = self.grid.resource_id(resource)?;
+                let driver = self.grid.driver(rid)?;
+                if driver.as_fs().is_none() {
+                    return Err(SrbError::Unsupported(
+                        "shadow directories require a file-system resource".into(),
+                    ));
+                }
+                (
+                    AccessSpec::ShadowDir {
+                        resource: rid,
+                        dir_path: dir_path.clone(),
+                    },
+                    0,
+                )
+            }
+            RegisterSpec::Sql {
+                resource,
+                sql,
+                partial,
+                template,
+            } => {
+                // "For security reasons, we recommend that one register only
+                // 'select' commands" — we enforce it.
+                if !sql.trim_start().to_ascii_lowercase().starts_with("select") {
+                    return Err(SrbError::Invalid(
+                        "registered SQL must start with SELECT".into(),
+                    ));
+                }
+                let rid = self.grid.resource_id(resource)?;
+                if self.grid.driver(rid)?.as_db().is_none() {
+                    return Err(SrbError::Unsupported(
+                        "SQL objects require a database resource".into(),
+                    ));
+                }
+                (
+                    AccessSpec::Sql {
+                        resource: rid,
+                        sql: sql.clone(),
+                        partial: *partial,
+                        template: template.clone(),
+                    },
+                    0,
+                )
+            }
+            RegisterSpec::Url { url } => (AccessSpec::Url { url: url.clone() }, 0),
+            RegisterSpec::Method {
+                name,
+                is_function,
+                default_args,
+            } => (
+                AccessSpec::Method {
+                    name: name.clone(),
+                    is_function: *is_function,
+                    default_args: default_args.clone(),
+                },
+                0,
+            ),
+        })
+    }
+
+    // ----------------------------------------------------------- replicate --
+
+    /// Create a new physical replica on `resource_name`. "The new replica
+    /// inherits all metadata associated with its siblings."
+    pub fn replicate(&self, path: &str, resource_name: &str) -> SrbResult<Receipt> {
+        let user = self.check_session()?;
+        let lp = self.parse(path)?;
+        let mut receipt = self.mcat_rpc()?;
+        let ds_id = self.grid.mcat.resolve_dataset(&lp)?;
+        let ds = self.grid.mcat.datasets.resolve_links(ds_id)?;
+        self.grid
+            .mcat
+            .require_dataset(Some(user), ds.id, Permission::Write)?;
+        if ds.replicas.iter().any(|r| r.in_container.is_some()) {
+            return Err(SrbError::Unsupported(
+                "replication of files inside a container is not supported by this \
+                 operation (the container replicates as a whole)"
+                    .into(),
+            ));
+        }
+        let (data, read_receipt) = self.read_dataset_bytes(ds.id)?;
+        receipt.absorb(&read_receipt);
+        let targets = self.grid.mcat.resources.resolve_targets(resource_name)?;
+        let checksum = sha256_hex(&data);
+        for rid in targets {
+            let phys_path = format!(
+                "{}.r{}",
+                Self::phys_path(ds.coll, &ds.name),
+                ds.max_repl_num() + 1
+            );
+            let r = self.store_bytes(rid, &phys_path, &data, false)?;
+            receipt.absorb(&r);
+            self.grid.mcat.datasets.add_replica(
+                &self.grid.mcat.ids,
+                ds.id,
+                AccessSpec::Stored {
+                    resource: rid,
+                    phys_path,
+                },
+                data.len() as u64,
+                Some(checksum.clone()),
+                self.now(),
+            )?;
+        }
+        self.audit(AuditAction::Replicate, path, "ok");
+        Ok(receipt)
+    }
+
+    /// Register another spec as a replica of an existing object ("register
+    /// replicate"; SRB "does not check whether a registered replica is
+    /// really an equal of the other copy").
+    pub fn register_replica(&self, path: &str, spec: RegisterSpec) -> SrbResult<Receipt> {
+        let user = self.check_session()?;
+        let lp = self.parse(path)?;
+        let receipt = self.mcat_rpc()?;
+        let ds_id = self.grid.mcat.resolve_dataset(&lp)?;
+        let ds = self.grid.mcat.datasets.resolve_links(ds_id)?;
+        self.grid
+            .mcat
+            .require_dataset(Some(user), ds.id, Permission::Write)?;
+        let (access, size) = self.resolve_register_spec(&spec)?;
+        self.grid.mcat.datasets.add_replica(
+            &self.grid.mcat.ids,
+            ds.id,
+            access,
+            size,
+            None,
+            self.now(),
+        )?;
+        self.audit(AuditAction::Replicate, path, "ok");
+        Ok(receipt)
+    }
+
+    /// Ingest new bytes as a replica ("ingest replica": e.g. a tiff and a
+    /// gif of the same image; SRB "does not check for syntactic or semantic
+    /// equality").
+    pub fn ingest_replica(
+        &self,
+        path: &str,
+        data: &[u8],
+        resource_name: &str,
+    ) -> SrbResult<Receipt> {
+        let user = self.check_session()?;
+        let lp = self.parse(path)?;
+        let mut receipt = self.mcat_rpc()?;
+        let ds_id = self.grid.mcat.resolve_dataset(&lp)?;
+        let ds = self.grid.mcat.datasets.resolve_links(ds_id)?;
+        self.grid
+            .mcat
+            .require_dataset(Some(user), ds.id, Permission::Write)?;
+        let targets = self.grid.mcat.resources.resolve_targets(resource_name)?;
+        for rid in targets {
+            let phys_path = format!(
+                "{}.ir{}",
+                Self::phys_path(ds.coll, &ds.name),
+                ds.max_repl_num() + 1
+            );
+            let r = self.store_bytes(rid, &phys_path, data, false)?;
+            receipt.absorb(&r);
+            self.grid.mcat.datasets.add_replica(
+                &self.grid.mcat.ids,
+                ds.id,
+                AccessSpec::Stored {
+                    resource: rid,
+                    phys_path,
+                },
+                data.len() as u64,
+                Some(sha256_hex(data)),
+                self.now(),
+            )?;
+        }
+        self.audit(AuditAction::Replicate, path, "ok");
+        Ok(receipt)
+    }
+
+    // ------------------------------------------------------------ copy/move --
+
+    /// Copy an object to a new path. "The copy command does not copy any
+    /// user-defined metadata or annotations … these two objects are
+    /// considered to be entirely different and unconnected."
+    pub fn copy(&self, src: &str, dst: &str, resource_name: &str) -> SrbResult<Receipt> {
+        let user = self.check_session()?;
+        let src_lp = self.parse(src)?;
+        let dst_lp = self.parse(dst)?;
+        let mut receipt = self.mcat_rpc()?;
+        let src_id = self.grid.mcat.resolve_dataset(&src_lp)?;
+        let src_ds = self.grid.mcat.datasets.resolve_links(src_id)?;
+        self.grid
+            .mcat
+            .require_dataset(Some(user), src_ds.id, Permission::Read)?;
+        // "Currently we do not support copy of URL, SQL or method objects."
+        if !src_ds
+            .replicas
+            .first()
+            .map(|r| r.spec.is_byte_addressable())
+            .unwrap_or(false)
+        {
+            return Err(SrbError::Unsupported(format!(
+                "copy of {} objects is not supported",
+                src_ds.type_label()
+            )));
+        }
+        let dst_name = dst_lp
+            .name()
+            .ok_or_else(|| SrbError::Invalid("destination is the root".into()))?;
+        let dst_parent = dst_lp.parent().expect("non-root");
+        let dst_coll = self.grid.mcat.collections.resolve(&dst_parent)?;
+        self.grid
+            .mcat
+            .require_collection(Some(user), dst_coll, Permission::Write)?;
+        let (data, read_receipt) = self.read_dataset_bytes(src_ds.id)?;
+        receipt.absorb(&read_receipt);
+        let targets = self.grid.mcat.resources.resolve_targets(resource_name)?;
+        let checksum = sha256_hex(&data);
+        let mut replicas = Vec::new();
+        for rid in targets {
+            let phys_path = Self::phys_path(dst_coll, dst_name);
+            let r = self.store_bytes(rid, &phys_path, &data, false)?;
+            receipt.absorb(&r);
+            replicas.push((
+                AccessSpec::Stored {
+                    resource: rid,
+                    phys_path,
+                },
+                data.len() as u64,
+                Some(checksum.clone()),
+            ));
+        }
+        self.grid.mcat.datasets.create(
+            &self.grid.mcat.ids,
+            dst_coll,
+            dst_name,
+            &src_ds.data_type,
+            user,
+            replicas,
+            self.now(),
+        )?;
+        self.audit(AuditAction::Copy, &format!("{src} -> {dst}"), "ok");
+        Ok(receipt)
+    }
+
+    /// Logical move: re-home the object (or collection) in the name space;
+    /// "the user-defined metadata remains unchanged".
+    pub fn move_logical(&self, src: &str, dst: &str) -> SrbResult<Receipt> {
+        let user = self.check_session()?;
+        let src_lp = self.parse(src)?;
+        let dst_lp = self.parse(dst)?;
+        let receipt = self.mcat_rpc()?;
+        let dst_name = dst_lp
+            .name()
+            .ok_or_else(|| SrbError::Invalid("destination is the root".into()))?;
+        let dst_parent = dst_lp.parent().expect("non-root");
+        let dst_coll = self.grid.mcat.collections.resolve(&dst_parent)?;
+        self.grid
+            .mcat
+            .require_collection(Some(user), dst_coll, Permission::Write)?;
+        // Dataset move, or collection move?
+        if let Ok(ds) = self.grid.mcat.resolve_dataset(&src_lp) {
+            self.grid
+                .mcat
+                .require_dataset(Some(user), ds, Permission::Own)?;
+            self.grid
+                .mcat
+                .datasets
+                .move_dataset(ds, dst_coll, dst_name)?;
+        } else {
+            let coll = self.grid.mcat.collections.resolve_nofollow(&src_lp)?;
+            self.grid
+                .mcat
+                .require_collection(Some(user), coll, Permission::Own)?;
+            self.grid
+                .mcat
+                .collections
+                .move_collection(coll, dst_coll, dst_name)?;
+        }
+        self.audit(AuditAction::Move, &format!("{src} -> {dst}"), "ok");
+        Ok(receipt)
+    }
+
+    /// Physical move: relocate the bytes of an ingested object to another
+    /// resource, keeping the logical path. "Container-based files cannot be
+    /// moved using this operation."
+    pub fn move_physical(
+        &self,
+        path: &str,
+        repl_num: u32,
+        resource_name: &str,
+    ) -> SrbResult<Receipt> {
+        let user = self.check_session()?;
+        let lp = self.parse(path)?;
+        let mut receipt = self.mcat_rpc()?;
+        let ds_id = self.grid.mcat.resolve_dataset(&lp)?;
+        let ds = self.grid.mcat.datasets.resolve_links(ds_id)?;
+        self.grid
+            .mcat
+            .require_dataset(Some(user), ds.id, Permission::Own)?;
+        let replica = ds
+            .replicas
+            .iter()
+            .find(|r| r.repl_num == repl_num)
+            .ok_or_else(|| SrbError::NotFound(format!("replica #{repl_num} of '{path}'")))?;
+        if replica.in_container.is_some() {
+            return Err(SrbError::Unsupported(
+                "container-based files cannot be moved with this operation".into(),
+            ));
+        }
+        let AccessSpec::Stored {
+            resource: old_rid,
+            phys_path: old_path,
+        } = replica.spec.clone()
+        else {
+            return Err(SrbError::Unsupported(
+                "physical move applies only to ingested files".into(),
+            ));
+        };
+        let targets = self.grid.mcat.resources.resolve_targets(resource_name)?;
+        let new_rid = *targets.first().expect("resolve_targets is non-empty");
+        let mut tmp = Receipt::free();
+        let data = self.read_replica_bytes(replica, &mut tmp)?;
+        receipt.absorb(&tmp);
+        let new_path = format!("{}.mv{}", Self::phys_path(ds.coll, &ds.name), repl_num);
+        let r = self.store_bytes(new_rid, &new_path, &data, false)?;
+        receipt.absorb(&r);
+        // Best effort: remove the old copy (the old resource may be down).
+        if let Ok(driver) = self.grid.driver(old_rid) {
+            let _ = driver.driver().delete(&old_path);
+        }
+        self.grid.mcat.datasets.update(ds.id, |d| {
+            let rep = d
+                .replicas
+                .iter_mut()
+                .find(|r| r.repl_num == repl_num)
+                .expect("replica existed above");
+            rep.spec = AccessSpec::Stored {
+                resource: new_rid,
+                phys_path: new_path.clone(),
+            };
+            Ok(())
+        })?;
+        self.audit(AuditAction::Move, path, "ok");
+        Ok(receipt)
+    }
+
+    // ---------------------------------------------------------------- link --
+
+    /// Soft-link an object into another collection (Unix-style; chains
+    /// collapse; ACL of the original governs).
+    pub fn link(&self, target: &str, link_path: &str) -> SrbResult<Receipt> {
+        let user = self.check_session()?;
+        let target_lp = self.parse(target)?;
+        let link_lp = self.parse(link_path)?;
+        let receipt = self.mcat_rpc()?;
+        let link_name = link_lp
+            .name()
+            .ok_or_else(|| SrbError::Invalid("link path is the root".into()))?;
+        let link_parent = link_lp.parent().expect("non-root");
+        let link_coll = self.grid.mcat.collections.resolve(&link_parent)?;
+        self.grid
+            .mcat
+            .require_collection(Some(user), link_coll, Permission::Write)?;
+        if let Ok(ds) = self.grid.mcat.resolve_dataset(&target_lp) {
+            self.grid
+                .mcat
+                .require_dataset(Some(user), ds, Permission::Read)?;
+            self.grid.mcat.datasets.create_link(
+                &self.grid.mcat.ids,
+                link_coll,
+                link_name,
+                ds,
+                user,
+                self.now(),
+            )?;
+        } else {
+            let coll = self.grid.mcat.collections.resolve(&target_lp)?;
+            self.grid
+                .mcat
+                .require_collection(Some(user), coll, Permission::Read)?;
+            self.grid.mcat.collections.link(
+                &self.grid.mcat.ids,
+                link_coll,
+                link_name,
+                coll,
+                user,
+                self.now(),
+            )?;
+        }
+        self.audit(AuditAction::Link, &format!("{target} <- {link_path}"), "ok");
+        Ok(receipt)
+    }
+
+    // -------------------------------------------------------------- delete --
+
+    /// Delete an object, "one replica at a time": `Some(n)` removes replica
+    /// `n`; `None` removes everything. "When the last replica is deleted
+    /// all the metadata and annotations are also deleted." Registered
+    /// objects are unlinked without touching the physical object; deleting
+    /// a link unlinks it.
+    pub fn delete(&self, path: &str, repl_num: Option<u32>) -> SrbResult<Receipt> {
+        let user = self.check_session()?;
+        let lp = self.parse(path)?;
+        let receipt = self.mcat_rpc()?;
+        let ds_id = self.grid.mcat.resolve_dataset(&lp)?;
+        let ds = self.grid.mcat.datasets.get(ds_id)?;
+        // "A linked file cannot be deleted through the link; a delete
+        // operation on a link basically performs an unlink operation."
+        if ds.link_target.is_some() {
+            self.grid
+                .mcat
+                .require_dataset(Some(user), ds_id, Permission::Read)?;
+            self.grid.mcat.datasets.delete(ds_id)?;
+            self.grid.mcat.metadata.remove_all(Subject::Dataset(ds_id));
+            self.grid
+                .mcat
+                .annotations
+                .remove_all(Subject::Dataset(ds_id));
+            self.audit(AuditAction::Delete, path, "unlink");
+            return Ok(receipt);
+        }
+        self.grid
+            .mcat
+            .require_dataset(Some(user), ds_id, Permission::Own)?;
+        ds.write_allowed_by_locks(user, self.now())?;
+        let nums: Vec<u32> = match repl_num {
+            Some(n) => vec![n],
+            None => ds.replicas.iter().map(|r| r.repl_num).collect(),
+        };
+        let mut last_deleted = ds.replicas.is_empty();
+        for n in nums {
+            let (replica, was_last) = self.grid.mcat.datasets.remove_replica(ds_id, n)?;
+            last_deleted = was_last;
+            self.dispose_replica(ds_id, &replica);
+        }
+        if last_deleted {
+            self.grid.mcat.datasets.delete(ds_id)?;
+            self.grid.mcat.metadata.remove_all(Subject::Dataset(ds_id));
+            self.grid
+                .mcat
+                .annotations
+                .remove_all(Subject::Dataset(ds_id));
+        }
+        self.audit(AuditAction::Delete, path, "ok");
+        Ok(receipt)
+    }
+
+    /// Physically dispose of an SRB-controlled replica's bytes; registered
+    /// specs leave the physical object untouched.
+    fn dispose_replica(&self, ds: DatasetId, replica: &srb_mcat::Replica) {
+        if let Some(slice) = replica.in_container {
+            let _ = self.grid.mcat.containers.remove_member(slice.container, ds);
+            return;
+        }
+        if let AccessSpec::Stored {
+            resource,
+            phys_path,
+        } = &replica.spec
+        {
+            if let Ok(driver) = self.grid.driver(*resource) {
+                let _ = driver.driver().delete(phys_path);
+            }
+        }
+    }
+
+    // ------------------------------------------------------------- migrate --
+
+    /// Recursively move every SRB-stored object under a collection onto a
+    /// new resource, "without changing the name by which the data is
+    /// discovered and accessed" (the persistence capability).
+    pub fn migrate_collection(&self, path: &str, resource_name: &str) -> SrbResult<Receipt> {
+        let user = self.check_session()?;
+        let lp = self.parse(path)?;
+        let mut receipt = self.mcat_rpc()?;
+        let root = self.grid.mcat.collections.resolve(&lp)?;
+        self.grid
+            .mcat
+            .require_collection(Some(user), root, Permission::Own)?;
+        let mut colls = vec![root];
+        colls.extend(self.grid.mcat.collections.descendants(root));
+        for coll in colls {
+            for ds in self.grid.mcat.datasets.list(coll) {
+                let replica_nums: Vec<u32> = ds
+                    .replicas
+                    .iter()
+                    .filter(|r| r.spec.is_srb_controlled() && r.in_container.is_none())
+                    .map(|r| r.repl_num)
+                    .collect();
+                if replica_nums.is_empty() {
+                    continue;
+                }
+                let dpath = self.grid.mcat.dataset_path(ds.id)?.to_string();
+                for num in replica_nums {
+                    let r = self.move_physical(&dpath, num, resource_name)?;
+                    receipt.absorb(&r);
+                }
+            }
+        }
+        self.audit(
+            AuditAction::Move,
+            &format!("{path} => {resource_name}"),
+            "ok",
+        );
+        Ok(receipt)
+    }
+
+    // ------------------------------------------------------------ plumbing --
+
+    pub(crate) fn phys_path(coll: CollectionId, name: &str) -> String {
+        format!("srb/c{}/{name}", coll.raw())
+    }
+
+    /// Push bytes to a resource (create or overwrite), charging transfer +
+    /// storage costs and load.
+    pub(crate) fn store_bytes(
+        &self,
+        resource: ResourceId,
+        phys_path: &str,
+        data: &[u8],
+        overwrite: bool,
+    ) -> SrbResult<Receipt> {
+        let site = self.grid.site_of_resource(resource)?;
+        self.grid.faults.check(resource, site)?;
+        let driver = self.grid.driver(resource)?;
+        let _inflight = self.grid.load.begin(resource);
+        let storage_ns = if overwrite {
+            driver.driver().write(phys_path, data)?
+        } else {
+            driver.driver().create(phys_path, data)?
+        };
+        self.grid.load.charge(resource, storage_ns);
+        let net_ns = self
+            .grid
+            .network
+            .charge_transfer(self.site(), site, data.len() as u64)?;
+        let mut r = Receipt::time(storage_ns + net_ns);
+        r.bytes = data.len() as u64;
+        r.messages = 1;
+        if self.grid.server_for_resource(resource)? != self.server {
+            r.hops = 1;
+        }
+        Ok(r)
+    }
+
+    /// Read one replica's bytes (no failover; used by physical move).
+    pub(crate) fn read_replica_bytes(
+        &self,
+        replica: &srb_mcat::Replica,
+        receipt: &mut Receipt,
+    ) -> SrbResult<Bytes> {
+        if let Some(slice) = replica.in_container {
+            return self.read_container_slice(slice, receipt);
+        }
+        match &replica.spec {
+            AccessSpec::Stored {
+                resource,
+                phys_path,
+            }
+            | AccessSpec::RegisteredFile {
+                resource,
+                phys_path,
+            } => {
+                let site = self.grid.site_of_resource(*resource)?;
+                self.grid.faults.check(*resource, site)?;
+                let driver = self.grid.driver(*resource)?;
+                let (data, ns) = driver.driver().read(phys_path)?;
+                receipt.absorb(&Receipt::time(ns));
+                receipt.absorb(&self.data_transfer(*resource, data.len() as u64)?);
+                Ok(data)
+            }
+            other => Err(SrbError::Unsupported(format!(
+                "replica of type {} has no bytes",
+                other.type_label()
+            ))),
+        }
+    }
+
+    fn attach_ingest_metadata(&self, ds: DatasetId, metadata: &[Triplet]) {
+        for t in metadata {
+            self.grid.mcat.metadata.add(
+                &self.grid.mcat.ids,
+                Subject::Dataset(ds),
+                t.clone(),
+                srb_mcat::MetaKind::UserDefined,
+            );
+        }
+    }
+}

@@ -1,0 +1,197 @@
+//! Replica selection policies.
+//!
+//! The paper's federation replicates "to provide load balancing" and for
+//! fault tolerance, "automatically redirecting access to a replica on a
+//! separate storage system when the first storage system is unavailable".
+//! The policy decides the *order* in which replicas are tried; failover
+//! walks that order skipping unavailable resources. `LeastLoaded` is the
+//! default; `Random` and `FirstAlive` are the ablation baselines (A3).
+
+use srb_mcat::{Replica, ReplicaStatus};
+use srb_net::LoadTracker;
+use srb_types::ResourceId;
+
+/// How to order candidate replicas for a read.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ReplicaPolicy {
+    /// Prefer the replica whose resource has the least outstanding load
+    /// (in-flight operations, then accumulated busy time).
+    #[default]
+    LeastLoaded,
+    /// Deterministic pseudo-random order, seeded per request.
+    Random(u64),
+    /// Catalog order: always try replica #1 first (the naive baseline).
+    FirstAlive,
+}
+
+impl ReplicaPolicy {
+    /// Order the byte-addressable, up-to-date replicas for a read attempt.
+    /// Stale replicas are appended last — better a stale copy than no copy
+    /// only when every fresh replica is unreachable (the caller decides
+    /// whether to accept them; we keep them out entirely).
+    pub fn order<'a>(&self, replicas: &'a [Replica], load: &LoadTracker) -> Vec<&'a Replica> {
+        let mut fresh: Vec<&Replica> = replicas
+            .iter()
+            .filter(|r| r.spec.is_byte_addressable() && r.status == ReplicaStatus::UpToDate)
+            .collect();
+        match self {
+            ReplicaPolicy::FirstAlive => {
+                fresh.sort_by_key(|r| r.repl_num);
+            }
+            ReplicaPolicy::LeastLoaded => {
+                fresh.sort_by_key(|r| {
+                    (
+                        r.spec
+                            .resource()
+                            .map(|res| load.score(res))
+                            .unwrap_or(u128::MAX),
+                        r.repl_num,
+                    )
+                });
+            }
+            ReplicaPolicy::Random(seed) => {
+                // Fisher–Yates with a splitmix64 stream — deterministic per
+                // seed, no allocation beyond the output vec.
+                let mut state = seed.wrapping_add(0x9e3779b97f4a7c15);
+                let mut next = || {
+                    state = state.wrapping_add(0x9e3779b97f4a7c15);
+                    let mut z = state;
+                    z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+                    z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+                    z ^ (z >> 31)
+                };
+                for i in (1..fresh.len()).rev() {
+                    let j = (next() % (i as u64 + 1)) as usize;
+                    fresh.swap(i, j);
+                }
+            }
+        }
+        fresh
+    }
+
+    /// The resource the policy would pick first (for tests and the MySRB
+    /// replica display).
+    pub fn pick(&self, replicas: &[Replica], load: &LoadTracker) -> Option<ResourceId> {
+        self.order(replicas, load)
+            .first()
+            .and_then(|r| r.spec.resource())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use srb_mcat::AccessSpec;
+    use srb_types::{ReplicaId, Timestamp};
+
+    fn replica(num: u32, resource: u64, status: ReplicaStatus) -> Replica {
+        Replica {
+            id: ReplicaId(num as u64),
+            repl_num: num,
+            spec: AccessSpec::Stored {
+                resource: ResourceId(resource),
+                phys_path: format!("/p{num}"),
+            },
+            size: 10,
+            checksum: None,
+            in_container: None,
+            status,
+            pinned_until: None,
+            created: Timestamp(0),
+        }
+    }
+
+    #[test]
+    fn first_alive_uses_catalog_order() {
+        let reps = vec![
+            replica(2, 20, ReplicaStatus::UpToDate),
+            replica(1, 10, ReplicaStatus::UpToDate),
+        ];
+        let load = LoadTracker::new();
+        let order = ReplicaPolicy::FirstAlive.order(&reps, &load);
+        assert_eq!(order[0].repl_num, 1);
+        assert_eq!(order[1].repl_num, 2);
+    }
+
+    #[test]
+    fn least_loaded_prefers_idle_resource() {
+        let reps = vec![
+            replica(1, 10, ReplicaStatus::UpToDate),
+            replica(2, 20, ReplicaStatus::UpToDate),
+        ];
+        let load = LoadTracker::new();
+        load.charge(ResourceId(10), 1_000_000);
+        let order = ReplicaPolicy::LeastLoaded.order(&reps, &load);
+        assert_eq!(order[0].spec.resource(), Some(ResourceId(20)));
+        assert_eq!(
+            ReplicaPolicy::LeastLoaded.pick(&reps, &load),
+            Some(ResourceId(20))
+        );
+    }
+
+    #[test]
+    fn stale_replicas_excluded() {
+        let reps = vec![
+            replica(1, 10, ReplicaStatus::Stale),
+            replica(2, 20, ReplicaStatus::UpToDate),
+        ];
+        let load = LoadTracker::new();
+        for policy in [
+            ReplicaPolicy::FirstAlive,
+            ReplicaPolicy::LeastLoaded,
+            ReplicaPolicy::Random(1),
+        ] {
+            let order = policy.order(&reps, &load);
+            assert_eq!(order.len(), 1);
+            assert_eq!(order[0].repl_num, 2);
+        }
+    }
+
+    #[test]
+    fn non_byte_replicas_excluded() {
+        let mut url = replica(1, 10, ReplicaStatus::UpToDate);
+        url.spec = AccessSpec::Url {
+            url: "http://x/".into(),
+        };
+        let reps = vec![url, replica(2, 20, ReplicaStatus::UpToDate)];
+        let load = LoadTracker::new();
+        let order = ReplicaPolicy::FirstAlive.order(&reps, &load);
+        assert_eq!(order.len(), 1);
+        assert_eq!(order[0].repl_num, 2);
+    }
+
+    #[test]
+    fn random_is_deterministic_per_seed_and_covers_all() {
+        let reps: Vec<Replica> = (1..=8)
+            .map(|i| replica(i, i as u64 * 10, ReplicaStatus::UpToDate))
+            .collect();
+        let load = LoadTracker::new();
+        let a: Vec<u32> = ReplicaPolicy::Random(7)
+            .order(&reps, &load)
+            .iter()
+            .map(|r| r.repl_num)
+            .collect();
+        let b: Vec<u32> = ReplicaPolicy::Random(7)
+            .order(&reps, &load)
+            .iter()
+            .map(|r| r.repl_num)
+            .collect();
+        assert_eq!(a, b);
+        let mut sorted = a.clone();
+        sorted.sort();
+        assert_eq!(sorted, (1..=8).collect::<Vec<_>>());
+        // Different seeds give different orders (with 8! permutations the
+        // chance of collision across 3 seeds is negligible).
+        let c: Vec<u32> = ReplicaPolicy::Random(8)
+            .order(&reps, &load)
+            .iter()
+            .map(|r| r.repl_num)
+            .collect();
+        let d: Vec<u32> = ReplicaPolicy::Random(9)
+            .order(&reps, &load)
+            .iter()
+            .map(|r| r.repl_num)
+            .collect();
+        assert!(a != c || a != d);
+    }
+}

@@ -1,0 +1,229 @@
+//! Whole-grid state save/restore.
+//!
+//! [`Grid::save_state`] captures the catalog snapshot
+//! ([`srb_mcat::CatalogSnapshot`]) together with every resource's physical
+//! objects and database tables; [`Grid::restore_state`] loads it back into
+//! a freshly built grid with the *same topology* (resources are matched by
+//! name). Together with E9's media migration this completes the
+//! persistent-archive story: both the data and the catalog survive process
+//! and technology generations.
+//!
+//! Caveats, by design: cache pin expiries and archive staging state are
+//! cost-model state, not data, and reset to "staged" on restore; sessions
+//! and in-flight locks' wall-clock context follow the restored virtual
+//! clock.
+
+use crate::grid::Grid;
+use serde::{Deserialize, Serialize};
+use srb_mcat::CatalogSnapshot;
+use srb_storage::sql::SqlValue;
+use srb_types::{from_hex, to_hex, SrbError, SrbResult};
+
+/// Serialized image of one resource's physical objects.
+#[derive(Debug, Serialize, Deserialize)]
+pub struct ResourceState {
+    /// Resource name (topology key).
+    pub name: String,
+    /// `(physical path, hex-encoded bytes)` pairs.
+    pub objects: Vec<(String, String)>,
+    /// Database tables, for database resources.
+    pub tables: Vec<(String, Vec<String>, Vec<Vec<SqlValue>>)>,
+}
+
+/// A complete grid image: catalog + storage.
+#[derive(Debug, Serialize, Deserialize)]
+pub struct GridState {
+    /// Format version.
+    pub version: u32,
+    /// The catalog.
+    pub catalog: CatalogSnapshot,
+    /// Per-resource physical state.
+    pub resources: Vec<ResourceState>,
+    /// Virtual time at save.
+    pub clock_ns: u64,
+}
+
+/// Current grid-state format version.
+pub const GRID_STATE_VERSION: u32 = 1;
+
+impl Grid {
+    /// Capture the full grid state (catalog + every resource's objects).
+    pub fn save_state(&self) -> SrbResult<String> {
+        let mut resources = Vec::new();
+        for r in self.mcat.resources.list() {
+            let driver = self.driver(r.id)?;
+            let mut objects = Vec::new();
+            for path in driver.driver().list("")? {
+                let (bytes, _) = driver.driver().read(&path)?;
+                objects.push((path, to_hex(&bytes)));
+            }
+            let tables = driver
+                .as_db()
+                .map(|db| db.engine().dump_tables())
+                .unwrap_or_default();
+            resources.push(ResourceState {
+                name: r.name.clone(),
+                objects,
+                tables,
+            });
+        }
+        let state = GridState {
+            version: GRID_STATE_VERSION,
+            catalog: self.mcat.snapshot(),
+            resources,
+            clock_ns: self.clock.now().nanos(),
+        };
+        serde_json::to_string(&state).map_err(|e| SrbError::Internal(format!("serialize: {e}")))
+    }
+
+    /// Load a saved state into this (freshly built, same-topology) grid.
+    /// Every resource named in the state must exist here; extra resources
+    /// in the grid simply start empty.
+    pub fn restore_state(&mut self, json: &str) -> SrbResult<()> {
+        let state: GridState = serde_json::from_str(json)
+            .map_err(|e| SrbError::Parse(format!("grid state JSON: {e}")))?;
+        if state.version != GRID_STATE_VERSION {
+            return Err(SrbError::Invalid(format!(
+                "unsupported grid-state version {}",
+                state.version
+            )));
+        }
+        // Restore the catalog first: resource ids in it must agree with the
+        // topology, which we verify by name.
+        let mcat = srb_mcat::Mcat::restore(self.clock.clone(), state.catalog)?;
+        for r in mcat.resources.list() {
+            let local = self.mcat.resources.find(&r.name).ok_or_else(|| {
+                SrbError::Invalid(format!(
+                    "grid topology lacks resource '{}' required by the saved state",
+                    r.name
+                ))
+            })?;
+            if local.id != r.id || local.kind != r.kind {
+                return Err(SrbError::Invalid(format!(
+                    "resource '{}' differs between topology and saved state \
+                     (declare resources in the same order)",
+                    r.name
+                )));
+            }
+        }
+        // Physical objects.
+        for rs in state.resources {
+            let rid = self
+                .mcat
+                .resources
+                .find(&rs.name)
+                .expect("verified above")
+                .id;
+            let driver = self.driver(rid)?;
+            for (path, hexed) in rs.objects {
+                let bytes = from_hex(&hexed)
+                    .ok_or_else(|| SrbError::Parse(format!("bad hex for object '{path}'")))?;
+                driver.driver().write(&path, &bytes)?;
+            }
+            if let Some(db) = driver.as_db() {
+                db.engine().restore_tables(rs.tables);
+            }
+        }
+        self.clock.advance_to(srb_types::Timestamp(state.clock_ns));
+        self.mcat = mcat;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::grid::GridBuilder;
+    use crate::ops_write::{IngestOptions, RegisterSpec};
+    use crate::SrbConnection;
+    use srb_mcat::Template;
+    use srb_types::Triplet;
+
+    fn build() -> crate::Grid {
+        let mut gb = GridBuilder::new();
+        let site = gb.site("sdsc");
+        let srv = gb.server("srb", site);
+        gb.fs_resource("fs", srv)
+            .cache_resource("cache", srv, 1 << 20)
+            .archive_resource("tape", srv)
+            .db_resource("db", srv)
+            .logical_resource("ct-store", &["cache", "tape"]);
+        gb.build()
+    }
+
+    #[test]
+    fn full_grid_round_trip() {
+        let grid = build();
+        grid.register_user("sekar", "sdsc", "pw").unwrap();
+        let srv = grid.servers()[0].id;
+        let conn = SrbConnection::connect(&grid, srv, "sekar", "sdsc", "pw").unwrap();
+        conn.ingest(
+            "/home/sekar/a.txt",
+            b"alpha",
+            IngestOptions::to_resource("fs").with_metadata(Triplet::new("k", "v", "")),
+        )
+        .unwrap();
+        conn.create_container("ct", "ct-store", 1 << 16).unwrap();
+        conn.ingest(
+            "/home/sekar/b.txt",
+            b"bravo",
+            IngestOptions::into_container("ct"),
+        )
+        .unwrap();
+        {
+            let db = grid.driver(grid.resource_id("db").unwrap()).unwrap();
+            let db = db.as_db().unwrap();
+            db.engine().execute("CREATE TABLE t (x)").unwrap();
+            db.engine().execute("INSERT INTO t VALUES (42)").unwrap();
+        }
+        conn.register(
+            "/home/sekar/q",
+            RegisterSpec::Sql {
+                resource: "db".into(),
+                sql: "SELECT x FROM t".into(),
+                partial: false,
+                template: Template::HtmlRel,
+            },
+            IngestOptions::default(),
+        )
+        .unwrap();
+        let saved = grid.save_state().unwrap();
+
+        // Fresh same-topology grid, restore, and use it.
+        let mut grid2 = build();
+        grid2.restore_state(&saved).unwrap();
+        let srv2 = grid2.servers()[0].id;
+        // The restored catalog carries users and verifiers: sekar signs on.
+        let conn2 = SrbConnection::connect(&grid2, srv2, "sekar", "sdsc", "pw").unwrap();
+        assert_eq!(&conn2.read("/home/sekar/a.txt").unwrap().0[..], b"alpha");
+        // Container members survive (slice offsets + cache object).
+        assert_eq!(&conn2.read("/home/sekar/b.txt").unwrap().0[..], b"bravo");
+        // The registered SQL object still queries live tables.
+        let (content, _) = conn2.open("/home/sekar/q", &[]).unwrap();
+        assert!(content.display().contains("42"));
+        // Metadata survived with its indexes.
+        assert_eq!(conn2.metadata("/home/sekar/a.txt").unwrap().len(), 1);
+        // And new work proceeds without id collisions.
+        conn2
+            .ingest(
+                "/home/sekar/c.txt",
+                b"new",
+                IngestOptions::to_resource("fs"),
+            )
+            .unwrap();
+    }
+
+    #[test]
+    fn topology_mismatch_is_rejected() {
+        let grid = build();
+        grid.register_user("u", "d", "pw").unwrap();
+        let saved = grid.save_state().unwrap();
+        let mut gb = GridBuilder::new();
+        let site = gb.site("sdsc");
+        let srv = gb.server("srb", site);
+        gb.fs_resource("other-name", srv);
+        let mut wrong = gb.build();
+        let err = wrong.restore_state(&saved).unwrap_err();
+        assert!(err.to_string().contains("lacks resource"));
+        assert!(wrong.restore_state("{]").is_err());
+    }
+}

@@ -1,0 +1,417 @@
+//! End-to-end data-movement tests: ingest, read, write, replicate, copy,
+//! move, link, delete — the paper's §5 operation set.
+
+mod common;
+
+use common::{connect, grid};
+use srb_core::{IngestOptions, SrbConnection};
+use srb_types::{Permission, SrbError, Triplet};
+
+#[test]
+fn ingest_and_read_round_trip() {
+    let f = grid();
+    let conn = connect(&f, "sekar");
+    let r = conn
+        .ingest(
+            "/home/sekar/a.txt",
+            b"hello grid",
+            IngestOptions::to_resource("unix-sdsc").with_type("ascii text"),
+        )
+        .unwrap();
+    assert!(r.sim_ns > 0);
+    assert!(r.bytes >= 10);
+    let (data, read_r) = conn.read("/home/sekar/a.txt").unwrap();
+    assert_eq!(&data[..], b"hello grid");
+    assert_eq!(read_r.replicas_tried, 1);
+    assert!(read_r.served_by.is_some());
+    let (ty, size, nrep, ver) = conn.stat("/home/sekar/a.txt").unwrap();
+    assert_eq!(ty, "ascii text");
+    assert_eq!(size, 10);
+    assert_eq!(nrep, 1);
+    assert_eq!(ver, 1);
+}
+
+#[test]
+fn ingest_to_logical_resource_creates_synchronous_replicas() {
+    let f = grid();
+    let conn = connect(&f, "sekar");
+    conn.ingest(
+        "/home/sekar/multi.dat",
+        b"replicated",
+        IngestOptions::to_resource("logrsrc1"),
+    )
+    .unwrap();
+    let (_, _, nrep, _) = conn.stat("/home/sekar/multi.dat").unwrap();
+    assert_eq!(nrep, 2, "logrsrc1 has two members -> two replicas");
+    // Both physical copies exist.
+    let unix = f.grid.resource_id("unix-sdsc").unwrap();
+    let hpss = f.grid.resource_id("hpss-caltech").unwrap();
+    assert!(f.grid.driver(unix).unwrap().driver().used_bytes() >= 10);
+    assert!(f.grid.driver(hpss).unwrap().driver().used_bytes() >= 10);
+}
+
+#[test]
+fn duplicate_ingest_rejected() {
+    let f = grid();
+    let conn = connect(&f, "sekar");
+    let opts = || IngestOptions::to_resource("unix-sdsc");
+    conn.ingest("/home/sekar/x", b"1", opts()).unwrap();
+    assert!(matches!(
+        conn.ingest("/home/sekar/x", b"2", opts()),
+        Err(SrbError::AlreadyExists(_))
+    ));
+}
+
+#[test]
+fn write_updates_all_replicas_synchronously() {
+    let f = grid();
+    let conn = connect(&f, "sekar");
+    conn.ingest(
+        "/home/sekar/doc",
+        b"v1",
+        IngestOptions::to_resource("logrsrc1"),
+    )
+    .unwrap();
+    conn.write("/home/sekar/doc", b"v2 is longer").unwrap();
+    let (data, _) = conn.read("/home/sekar/doc").unwrap();
+    assert_eq!(&data[..], b"v2 is longer");
+    // Knock out one resource; the read must still return the new content
+    // from the other replica.
+    f.grid.fail_resource("unix-sdsc").unwrap();
+    let (data, r) = conn.read("/home/sekar/doc").unwrap();
+    assert_eq!(&data[..], b"v2 is longer");
+    assert!(r.served_by.is_some());
+    f.grid.restore_resource("unix-sdsc").unwrap();
+}
+
+#[test]
+fn write_with_one_resource_down_marks_stale_then_errors_when_all_down() {
+    let f = grid();
+    let conn = connect(&f, "sekar");
+    conn.ingest(
+        "/home/sekar/doc",
+        b"v1",
+        IngestOptions::to_resource("logrsrc1"),
+    )
+    .unwrap();
+    f.grid.fail_resource("hpss-caltech").unwrap();
+    conn.write("/home/sekar/doc", b"v2").unwrap();
+    // The hpss replica is now stale and excluded from reads.
+    f.grid.restore_resource("hpss-caltech").unwrap();
+    let (data, r) = conn.read("/home/sekar/doc").unwrap();
+    assert_eq!(&data[..], b"v2");
+    assert_eq!(r.replicas_tried, 1);
+    // All resources down: the write fails outright.
+    f.grid.fail_resource("unix-sdsc").unwrap();
+    f.grid.fail_resource("hpss-caltech").unwrap();
+    assert!(conn.write("/home/sekar/doc", b"v3").is_err());
+}
+
+#[test]
+fn replicate_and_failover() {
+    let f = grid();
+    let conn = connect(&f, "sekar");
+    conn.ingest(
+        "/home/sekar/img",
+        b"pixels",
+        IngestOptions::to_resource("unix-sdsc"),
+    )
+    .unwrap();
+    conn.replicate("/home/sekar/img", "unix-ncsa").unwrap();
+    let (_, _, nrep, _) = conn.stat("/home/sekar/img").unwrap();
+    assert_eq!(nrep, 2);
+    // Fail the first resource: the read fails over transparently.
+    f.grid.fail_resource("unix-sdsc").unwrap();
+    let (data, r) = conn.read("/home/sekar/img").unwrap();
+    assert_eq!(&data[..], b"pixels");
+    assert!(r.replicas_tried >= 1);
+    // With both down the read reports unavailability.
+    f.grid.fail_resource("unix-ncsa").unwrap();
+    let err = conn.read("/home/sekar/img").unwrap_err();
+    assert!(matches!(err, SrbError::ResourceUnavailable(_)));
+}
+
+#[test]
+fn copy_does_not_copy_metadata_or_annotations() {
+    let f = grid();
+    let conn = connect(&f, "sekar");
+    conn.ingest(
+        "/home/sekar/orig",
+        b"data",
+        IngestOptions::to_resource("unix-sdsc")
+            .with_metadata(Triplet::new("species", "condor", "")),
+    )
+    .unwrap();
+    conn.annotate(
+        "/home/sekar/orig",
+        srb_mcat::AnnotationKind::Comment,
+        "",
+        "nice",
+    )
+    .unwrap();
+    conn.copy("/home/sekar/orig", "/home/sekar/dup", "unix-ncsa")
+        .unwrap();
+    let (data, _) = conn.read("/home/sekar/dup").unwrap();
+    assert_eq!(&data[..], b"data");
+    assert!(conn.metadata("/home/sekar/dup").unwrap().is_empty());
+    assert!(conn.annotations("/home/sekar/dup").unwrap().is_empty());
+    // The original keeps both.
+    assert_eq!(conn.metadata("/home/sekar/orig").unwrap().len(), 1);
+    assert_eq!(conn.annotations("/home/sekar/orig").unwrap().len(), 1);
+    // Writing the copy does not change the original.
+    conn.write("/home/sekar/dup", b"changed").unwrap();
+    assert_eq!(&conn.read("/home/sekar/orig").unwrap().0[..], b"data");
+}
+
+#[test]
+fn logical_move_keeps_metadata() {
+    let f = grid();
+    let conn = connect(&f, "sekar");
+    conn.make_collection("/home/sekar/sub").unwrap();
+    conn.ingest(
+        "/home/sekar/file",
+        b"x",
+        IngestOptions::to_resource("unix-sdsc").with_metadata(Triplet::new("k", "v", "")),
+    )
+    .unwrap();
+    conn.move_logical("/home/sekar/file", "/home/sekar/sub/renamed")
+        .unwrap();
+    assert!(conn.read("/home/sekar/file").is_err());
+    let (data, _) = conn.read("/home/sekar/sub/renamed").unwrap();
+    assert_eq!(&data[..], b"x");
+    assert_eq!(conn.metadata("/home/sekar/sub/renamed").unwrap().len(), 1);
+}
+
+#[test]
+fn move_whole_collection_rebases_objects() {
+    let f = grid();
+    let conn = connect(&f, "sekar");
+    conn.make_collection("/home/sekar/proj/deep").unwrap();
+    conn.ingest(
+        "/home/sekar/proj/deep/f",
+        b"1",
+        IngestOptions::to_resource("unix-sdsc"),
+    )
+    .unwrap();
+    conn.move_logical("/home/sekar/proj", "/home/sekar/renamed")
+        .unwrap();
+    assert_eq!(
+        &conn.read("/home/sekar/renamed/deep/f").unwrap().0[..],
+        b"1"
+    );
+    assert!(conn.read("/home/sekar/proj/deep/f").is_err());
+}
+
+#[test]
+fn physical_move_preserves_logical_access() {
+    let f = grid();
+    let conn = connect(&f, "sekar");
+    conn.ingest(
+        "/home/sekar/f",
+        b"bytes",
+        IngestOptions::to_resource("unix-sdsc"),
+    )
+    .unwrap();
+    conn.move_physical("/home/sekar/f", 1, "unix-ncsa").unwrap();
+    let (data, _) = conn.read("/home/sekar/f").unwrap();
+    assert_eq!(&data[..], b"bytes");
+    // Old resource no longer holds the bytes.
+    let unix = f.grid.resource_id("unix-sdsc").unwrap();
+    assert_eq!(f.grid.driver(unix).unwrap().driver().used_bytes(), 0);
+}
+
+#[test]
+fn links_share_data_and_collapse_chains() {
+    let f = grid();
+    let conn = connect(&f, "sekar");
+    conn.make_collection("/home/sekar/alt").unwrap();
+    conn.ingest(
+        "/home/sekar/orig",
+        b"shared",
+        IngestOptions::to_resource("unix-sdsc"),
+    )
+    .unwrap();
+    conn.link("/home/sekar/orig", "/home/sekar/alt/l1").unwrap();
+    conn.link("/home/sekar/alt/l1", "/home/sekar/alt/l2")
+        .unwrap();
+    assert_eq!(&conn.read("/home/sekar/alt/l1").unwrap().0[..], b"shared");
+    assert_eq!(&conn.read("/home/sekar/alt/l2").unwrap().0[..], b"shared");
+    // Deleting a link unlinks; the original survives.
+    conn.delete("/home/sekar/alt/l1", None).unwrap();
+    assert!(conn.read("/home/sekar/alt/l1").is_err());
+    assert_eq!(&conn.read("/home/sekar/orig").unwrap().0[..], b"shared");
+    assert_eq!(&conn.read("/home/sekar/alt/l2").unwrap().0[..], b"shared");
+}
+
+#[test]
+fn link_collection_as_subcollection() {
+    let f = grid();
+    let conn = connect(&f, "sekar");
+    conn.make_collection("/home/sekar/real").unwrap();
+    conn.ingest(
+        "/home/sekar/real/f",
+        b"1",
+        IngestOptions::to_resource("unix-sdsc"),
+    )
+    .unwrap();
+    conn.link("/home/sekar/real", "/home/sekar/alias").unwrap();
+    let (data, _) = conn.read("/home/sekar/alias/f").unwrap();
+    assert_eq!(&data[..], b"1");
+    let (subs, _, _) = conn.list_collection("/home/sekar").unwrap();
+    assert!(subs.contains(&"alias".to_string()));
+}
+
+#[test]
+fn delete_replica_by_replica_then_metadata_goes_with_last() {
+    let f = grid();
+    let conn = connect(&f, "sekar");
+    conn.ingest(
+        "/home/sekar/f",
+        b"d",
+        IngestOptions::to_resource("unix-sdsc").with_metadata(Triplet::new("k", "v", "")),
+    )
+    .unwrap();
+    conn.replicate("/home/sekar/f", "unix-ncsa").unwrap();
+    conn.delete("/home/sekar/f", Some(1)).unwrap();
+    // One replica left; object still readable, metadata intact.
+    let (_, _, nrep, _) = conn.stat("/home/sekar/f").unwrap();
+    assert_eq!(nrep, 1);
+    assert_eq!(conn.metadata("/home/sekar/f").unwrap().len(), 1);
+    conn.delete("/home/sekar/f", None).unwrap();
+    assert!(conn.read("/home/sekar/f").is_err());
+    assert!(conn.metadata("/home/sekar/f").is_err());
+    assert_eq!(f.grid.mcat.metadata.count(), 0);
+}
+
+#[test]
+fn permissions_enforced_between_users() {
+    let f = grid();
+    let sekar = connect(&f, "sekar");
+    let mwan = connect(&f, "mwan");
+    sekar
+        .ingest(
+            "/home/sekar/private",
+            b"secret",
+            IngestOptions::to_resource("unix-sdsc"),
+        )
+        .unwrap();
+    // mwan cannot read, write or delete sekar's file.
+    assert!(matches!(
+        mwan.read("/home/sekar/private"),
+        Err(SrbError::PermissionDenied(_))
+    ));
+    assert!(mwan.write("/home/sekar/private", b"x").is_err());
+    assert!(mwan.delete("/home/sekar/private", None).is_err());
+    // After a grant, reading works but writing still fails.
+    sekar
+        .grant("/home/sekar/private", mwan.user(), Permission::Read)
+        .unwrap();
+    assert_eq!(&mwan.read("/home/sekar/private").unwrap().0[..], b"secret");
+    assert!(mwan.write("/home/sekar/private", b"x").is_err());
+    // mwan cannot ingest into sekar's home either.
+    assert!(mwan
+        .ingest(
+            "/home/sekar/intruder",
+            b"x",
+            IngestOptions::to_resource("unix-sdsc")
+        )
+        .is_err());
+}
+
+#[test]
+fn delete_collection_recursive() {
+    let f = grid();
+    let conn = connect(&f, "sekar");
+    conn.make_collection("/home/sekar/tree/a/b").unwrap();
+    conn.ingest(
+        "/home/sekar/tree/a/f",
+        b"1",
+        IngestOptions::to_resource("unix-sdsc"),
+    )
+    .unwrap();
+    assert!(conn.delete_collection("/home/sekar/tree", false).is_err());
+    conn.delete_collection("/home/sekar/tree", true).unwrap();
+    assert!(conn.list_collection("/home/sekar/tree").is_err());
+    // Physical bytes were reclaimed.
+    let unix = f.grid.resource_id("unix-sdsc").unwrap();
+    assert_eq!(f.grid.driver(unix).unwrap().driver().used_bytes(), 0);
+}
+
+#[test]
+fn session_required_for_every_op() {
+    let f = grid();
+    let conn = connect(&f, "sekar");
+    // Expire the session by advancing virtual time past the TTL.
+    f.grid
+        .clock
+        .advance((srb_core::auth::SESSION_TTL_SECS + 1) * 1_000_000_000);
+    assert!(matches!(
+        conn.read("/home/sekar/x"),
+        Err(SrbError::AuthFailed(_))
+    ));
+    assert!(matches!(
+        conn.ingest(
+            "/home/sekar/x",
+            b"1",
+            IngestOptions::to_resource("unix-sdsc")
+        ),
+        Err(SrbError::AuthFailed(_))
+    ));
+}
+
+#[test]
+fn bad_password_and_unknown_user_rejected() {
+    let f = grid();
+    assert!(matches!(
+        SrbConnection::connect(&f.grid, f.sdsc, "sekar", "sdsc", "wrong"),
+        Err(SrbError::AuthFailed(_))
+    ));
+    assert!(SrbConnection::connect(&f.grid, f.sdsc, "nobody", "sdsc", "x").is_err());
+    assert!(f.grid.auth.failure_count() >= 1);
+}
+
+#[test]
+fn connect_via_any_server_reaches_same_data() {
+    let f = grid();
+    let conn_sdsc = connect(&f, "sekar");
+    conn_sdsc
+        .ingest(
+            "/home/sekar/f",
+            b"anywhere",
+            IngestOptions::to_resource("unix-ncsa"),
+        )
+        .unwrap();
+    // Connect through the NCSA server: same logical path, same data.
+    let conn_ncsa = SrbConnection::connect(&f.grid, f.ncsa, "sekar", "sdsc", "pw-sekar").unwrap();
+    let (data, r) = conn_ncsa.read("/home/sekar/f").unwrap();
+    assert_eq!(&data[..], b"anywhere");
+    // NCSA contact + NCSA data -> no data hop, but the MCAT is remote.
+    assert!(r.hops >= 1 || r.sim_ns > 0);
+    // Through CalTech: data hop charged.
+    let conn_ct = SrbConnection::connect(&f.grid, f.caltech, "sekar", "sdsc", "pw-sekar").unwrap();
+    let (data, r2) = conn_ct.read("/home/sekar/f").unwrap();
+    assert_eq!(&data[..], b"anywhere");
+    assert!(r2.hops >= 1);
+}
+
+#[test]
+fn audit_trail_records_operations() {
+    let f = grid();
+    let conn = connect(&f, "sekar");
+    conn.ingest(
+        "/home/sekar/f",
+        b"1",
+        IngestOptions::to_resource("unix-sdsc"),
+    )
+    .unwrap();
+    conn.read("/home/sekar/f").unwrap();
+    let _ = conn.read("/home/sekar/missing");
+    let rows = f.grid.mcat.audit.for_user(conn.user());
+    assert!(rows.iter().any(|r| r.outcome == "ok"));
+    assert!(rows.iter().any(|r| r.outcome == "NOT_FOUND"));
+    // Toggle auditing off: no new rows.
+    let before = f.grid.mcat.audit.count();
+    f.grid.mcat.audit.set_enabled(false);
+    conn.read("/home/sekar/f").unwrap();
+    assert_eq!(f.grid.mcat.audit.count(), before);
+}

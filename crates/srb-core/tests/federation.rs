@@ -1,0 +1,215 @@
+//! Federation behaviour: load balancing across replicas, parallel client
+//! pools, migration, and hop accounting.
+
+mod common;
+
+use common::{connect, grid};
+use srb_core::{IngestOptions, ReplicaPolicy, SrbConnection};
+use srb_types::Permission;
+
+#[test]
+fn least_loaded_policy_spreads_reads_across_replicas() {
+    let f = grid();
+    let conn = connect(&f, "sekar");
+    conn.ingest(
+        "/home/sekar/hot",
+        &vec![7u8; 4096],
+        IngestOptions::to_resource("unix-sdsc"),
+    )
+    .unwrap();
+    conn.replicate("/home/sekar/hot", "unix-ncsa").unwrap();
+    let unix_sdsc = f.grid.resource_id("unix-sdsc").unwrap();
+    let unix_ncsa = f.grid.resource_id("unix-ncsa").unwrap();
+    for _ in 0..50 {
+        conn.read("/home/sekar/hot").unwrap();
+    }
+    // Completed ops include the ingest-store, the replicate's read+store,
+    // and the 50 reads.
+    let a = f.grid.load.completed(unix_sdsc);
+    let b = f.grid.load.completed(unix_ncsa);
+    assert_eq!(a + b, 53);
+    assert!(
+        a >= 15 && b >= 15,
+        "least-loaded should alternate between replicas, got {a}/{b}"
+    );
+}
+
+#[test]
+fn first_alive_policy_hammers_replica_one() {
+    let f = grid();
+    let mut conn = connect(&f, "sekar");
+    conn.ingest(
+        "/home/sekar/hot",
+        b"data",
+        IngestOptions::to_resource("unix-sdsc"),
+    )
+    .unwrap();
+    conn.replicate("/home/sekar/hot", "unix-ncsa").unwrap();
+    conn.set_policy(ReplicaPolicy::FirstAlive);
+    let unix_ncsa = f.grid.resource_id("unix-ncsa").unwrap();
+    let before = f.grid.load.completed(unix_ncsa);
+    for _ in 0..20 {
+        conn.read("/home/sekar/hot").unwrap();
+    }
+    assert_eq!(
+        f.grid.load.completed(unix_ncsa),
+        before,
+        "FirstAlive never touches replica 2 while replica 1 is up"
+    );
+}
+
+#[test]
+fn parallel_clients_ingest_concurrently() {
+    let f = grid();
+    let admin_conn = connect(&f, "sekar");
+    admin_conn.make_collection("/home/sekar/bulk").unwrap();
+    admin_conn
+        .grant("/home/sekar/bulk", admin_conn.user(), Permission::Own)
+        .unwrap();
+    let threads = 8;
+    let per_thread = 25;
+    std::thread::scope(|s| {
+        for t in 0..threads {
+            let f = &f;
+            s.spawn(move || {
+                let conn =
+                    SrbConnection::connect(&f.grid, f.sdsc, "sekar", "sdsc", "pw-sekar").unwrap();
+                for i in 0..per_thread {
+                    conn.ingest(
+                        &format!("/home/sekar/bulk/t{t}-f{i}"),
+                        format!("payload {t}/{i}").as_bytes(),
+                        IngestOptions::to_resource("unix-sdsc"),
+                    )
+                    .unwrap();
+                }
+            });
+        }
+    });
+    let conn = connect(&f, "sekar");
+    let (_, datasets, _) = conn.list_collection("/home/sekar/bulk").unwrap();
+    assert_eq!(datasets.len(), threads * per_thread);
+    // Spot-check content integrity under concurrency.
+    let (data, _) = conn.read("/home/sekar/bulk/t3-f7").unwrap();
+    assert_eq!(&data[..], b"payload 3/7");
+}
+
+#[test]
+fn parallel_readers_with_failover_mid_stream() {
+    let f = grid();
+    let conn = connect(&f, "sekar");
+    conn.ingest(
+        "/home/sekar/shared",
+        b"resilient",
+        IngestOptions::to_resource("logrsrc1"),
+    )
+    .unwrap();
+    std::thread::scope(|s| {
+        let f_ref = &f;
+        // Reader threads hammer the object…
+        for _ in 0..4 {
+            s.spawn(move || {
+                let conn =
+                    SrbConnection::connect(&f_ref.grid, f_ref.sdsc, "sekar", "sdsc", "pw-sekar")
+                        .unwrap();
+                for _ in 0..100 {
+                    let (data, _) = conn.read("/home/sekar/shared").unwrap();
+                    assert_eq!(&data[..], b"resilient");
+                }
+            });
+        }
+        // …while a chaos thread flaps one resource.
+        s.spawn(move || {
+            for _ in 0..20 {
+                f_ref.grid.fail_resource("unix-sdsc").unwrap();
+                std::thread::yield_now();
+                f_ref.grid.restore_resource("unix-sdsc").unwrap();
+                std::thread::yield_now();
+            }
+        });
+    });
+}
+
+#[test]
+fn migration_preserves_names_and_data() {
+    let f = grid();
+    let conn = connect(&f, "sekar");
+    conn.make_collection("/home/sekar/archive2001/sub").unwrap();
+    for i in 0..20 {
+        conn.ingest(
+            &format!("/home/sekar/archive2001/f{i}"),
+            format!("record {i}").as_bytes(),
+            IngestOptions::to_resource("unix-sdsc"),
+        )
+        .unwrap();
+    }
+    conn.ingest(
+        "/home/sekar/archive2001/sub/deep",
+        b"nested",
+        IngestOptions::to_resource("unix-sdsc"),
+    )
+    .unwrap();
+    // Migrate the whole collection onto the new-generation resource.
+    conn.migrate_collection("/home/sekar/archive2001", "unix-ncsa")
+        .unwrap();
+    // Every logical name still resolves and returns identical content.
+    for i in 0..20 {
+        let (data, _) = conn.read(&format!("/home/sekar/archive2001/f{i}")).unwrap();
+        assert_eq!(&data[..], format!("record {i}").as_bytes());
+    }
+    assert_eq!(
+        &conn.read("/home/sekar/archive2001/sub/deep").unwrap().0[..],
+        b"nested"
+    );
+    // The old resource is empty; the new one holds everything.
+    let old = f.grid.resource_id("unix-sdsc").unwrap();
+    let new = f.grid.resource_id("unix-ncsa").unwrap();
+    assert_eq!(f.grid.driver(old).unwrap().driver().used_bytes(), 0);
+    assert!(f.grid.driver(new).unwrap().driver().used_bytes() > 0);
+}
+
+#[test]
+fn hop_accounting_scales_with_distance() {
+    let f = grid();
+    let conn = connect(&f, "sekar");
+    conn.ingest(
+        "/home/sekar/near",
+        &vec![1u8; 10_000],
+        IngestOptions::to_resource("unix-sdsc"),
+    )
+    .unwrap();
+    conn.ingest(
+        "/home/sekar/far",
+        &vec![1u8; 10_000],
+        IngestOptions::to_resource("unix-ncsa"),
+    )
+    .unwrap();
+    let (_, near) = conn.read("/home/sekar/near").unwrap();
+    let (_, far) = conn.read("/home/sekar/far").unwrap();
+    assert_eq!(near.hops, 0, "local data, local contact");
+    assert_eq!(far.hops, 1, "data brokered by the NCSA server");
+    assert!(
+        far.sim_ns > near.sim_ns,
+        "WAN transfer must cost more than local ({} vs {})",
+        far.sim_ns,
+        near.sim_ns
+    );
+}
+
+#[test]
+fn network_traffic_is_accounted() {
+    let f = grid();
+    let before_msgs = f.grid.network.message_count();
+    let conn = connect(&f, "sekar");
+    conn.ingest(
+        "/home/sekar/f",
+        &vec![1u8; 50_000],
+        IngestOptions::to_resource("unix-ncsa"),
+    )
+    .unwrap();
+    conn.read("/home/sekar/f").unwrap();
+    assert!(f.grid.network.message_count() > before_msgs);
+    assert!(
+        f.grid.network.bytes_moved() >= 100_000,
+        "ingest + read moved the payload twice"
+    );
+}

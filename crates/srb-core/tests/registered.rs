@@ -1,0 +1,413 @@
+//! The five registered-object types (paper §4) end to end.
+
+mod common;
+
+use common::{connect, grid};
+use srb_core::{IngestOptions, ObjectContent, RegisterSpec};
+use srb_mcat::Template;
+use srb_types::SrbError;
+
+#[test]
+fn type1_registered_file_readable_but_not_controlled() {
+    let f = grid();
+    let conn = connect(&f, "sekar");
+    // A file exists outside SRB's control on unix-ncsa.
+    let ncsa = f.grid.resource_id("unix-ncsa").unwrap();
+    let driver = f.grid.driver(ncsa).unwrap();
+    driver
+        .driver()
+        .create("outside/legacy.dat", b"pre-existing")
+        .unwrap();
+    conn.register(
+        "/home/sekar/legacy",
+        RegisterSpec::File {
+            resource: "unix-ncsa".into(),
+            phys_path: "outside/legacy.dat".into(),
+        },
+        IngestOptions::default(),
+    )
+    .unwrap();
+    let (data, _) = conn.read("/home/sekar/legacy").unwrap();
+    assert_eq!(&data[..], b"pre-existing");
+    // The paper: content may change without SRB knowing.
+    driver
+        .driver()
+        .write("outside/legacy.dat", b"changed!")
+        .unwrap();
+    assert_eq!(&conn.read("/home/sekar/legacy").unwrap().0[..], b"changed!");
+    // Writing through SRB is refused (not under SRB control).
+    assert!(conn.write("/home/sekar/legacy", b"x").is_err());
+    // Deleting unlinks the pointer without touching the physical file.
+    conn.delete("/home/sekar/legacy", None).unwrap();
+    assert!(driver.driver().exists("outside/legacy.dat"));
+}
+
+#[test]
+fn registering_a_missing_file_fails() {
+    let f = grid();
+    let conn = connect(&f, "sekar");
+    assert!(matches!(
+        conn.register(
+            "/home/sekar/ghost",
+            RegisterSpec::File {
+                resource: "unix-ncsa".into(),
+                phys_path: "no/such/file".into(),
+            },
+            IngestOptions::default(),
+        ),
+        Err(SrbError::NotFound(_))
+    ));
+}
+
+#[test]
+fn type2_shadow_directory_exposes_cone_read_only() {
+    let f = grid();
+    let conn = connect(&f, "sekar");
+    let ncsa = f.grid.resource_id("unix-ncsa").unwrap();
+    let driver = f.grid.driver(ncsa).unwrap();
+    driver.driver().create("survey/img1.fits", b"AAAA").unwrap();
+    driver
+        .driver()
+        .create("survey/sub/img2.fits", b"BBBB")
+        .unwrap();
+    conn.register(
+        "/home/sekar/survey",
+        RegisterSpec::Directory {
+            resource: "unix-ncsa".into(),
+            dir_path: "survey".into(),
+        },
+        IngestOptions::default(),
+    )
+    .unwrap();
+    // Opening the shadow dir lists the cone of files under it.
+    let (content, _) = conn.open("/home/sekar/survey", &[]).unwrap();
+    match content {
+        ObjectContent::Listing(files) => {
+            assert_eq!(files, vec!["survey/img1.fits", "survey/sub/img2.fits"]);
+        }
+        other => panic!("expected listing, got {other:?}"),
+    }
+    // Individual cone files are readable through the shadow object.
+    let (data, _) = conn
+        .read_from_directory("/home/sekar/survey", "sub/img2.fits")
+        .unwrap();
+    assert_eq!(&data[..], b"BBBB");
+    // Shadow directories are not replicable (paper: "files inside a
+    // registered directory is not replicable").
+    assert!(conn.replicate("/home/sekar/survey", "unix-sdsc").is_err());
+}
+
+#[test]
+fn type3_sql_object_runs_at_retrieval_time() {
+    let f = grid();
+    let conn = connect(&f, "sekar");
+    let db_rid = f.grid.resource_id("oracle-dlib").unwrap();
+    let driver = f.grid.driver(db_rid).unwrap();
+    let db = driver.as_db().unwrap();
+    db.engine()
+        .execute("CREATE TABLE art (title, artist)")
+        .unwrap();
+    db.engine()
+        .execute("INSERT INTO art VALUES ('Composition','Mondrian')")
+        .unwrap();
+    conn.register(
+        "/home/sekar/artworks",
+        RegisterSpec::Sql {
+            resource: "oracle-dlib".into(),
+            sql: "SELECT title, artist FROM art".into(),
+            partial: false,
+            template: Template::HtmlRel,
+        },
+        IngestOptions::default(),
+    )
+    .unwrap();
+    let (content, _) = conn.open("/home/sekar/artworks", &[]).unwrap();
+    let ObjectContent::Table { result, rendered } = content else {
+        panic!("expected table");
+    };
+    assert_eq!(result.rows.len(), 1);
+    assert!(rendered.contains("<td>Mondrian</td>"));
+    // "The answer to the query can vary with time."
+    db.engine()
+        .execute("INSERT INTO art VALUES ('Water Lilies','Monet')")
+        .unwrap();
+    let (content, _) = conn.open("/home/sekar/artworks", &[]).unwrap();
+    let ObjectContent::Table { result, .. } = content else {
+        panic!()
+    };
+    assert_eq!(result.rows.len(), 2);
+    // Deleting the SQL object leaves the underlying table intact.
+    conn.delete("/home/sekar/artworks", None).unwrap();
+    assert_eq!(db.engine().row_count("art"), 2);
+}
+
+#[test]
+fn partial_sql_completed_at_retrieval() {
+    let f = grid();
+    let conn = connect(&f, "sekar");
+    let db_rid = f.grid.resource_id("oracle-dlib").unwrap();
+    let driver = f.grid.driver(db_rid).unwrap();
+    let db = driver.as_db().unwrap();
+    db.engine().execute("CREATE TABLE n (v)").unwrap();
+    db.engine()
+        .execute("INSERT INTO n VALUES (1), (5), (10)")
+        .unwrap();
+    conn.register(
+        "/home/sekar/bign",
+        RegisterSpec::Sql {
+            resource: "oracle-dlib".into(),
+            sql: "SELECT v FROM n WHERE".into(),
+            partial: true,
+            template: Template::XmlRel,
+        },
+        IngestOptions::default(),
+    )
+    .unwrap();
+    let (content, _) = conn
+        .open("/home/sekar/bign", &["v > 3".to_string()])
+        .unwrap();
+    let ObjectContent::Table { result, rendered } = content else {
+        panic!()
+    };
+    assert_eq!(result.rows.len(), 2);
+    assert!(rendered.starts_with("<?xml"));
+}
+
+#[test]
+fn non_select_sql_rejected_at_registration() {
+    let f = grid();
+    let conn = connect(&f, "sekar");
+    assert!(matches!(
+        conn.register(
+            "/home/sekar/evil",
+            RegisterSpec::Sql {
+                resource: "oracle-dlib".into(),
+                sql: "DROP TABLE art".into(),
+                partial: false,
+                template: Template::HtmlRel,
+            },
+            IngestOptions::default(),
+        ),
+        Err(SrbError::Invalid(_))
+    ));
+}
+
+#[test]
+fn sql_with_tlang_style_sheet() {
+    let f = grid();
+    let conn = connect(&f, "sekar");
+    let db_rid = f.grid.resource_id("oracle-dlib").unwrap();
+    let driver = f.grid.driver(db_rid).unwrap();
+    let db = driver.as_db().unwrap();
+    db.engine().execute("CREATE TABLE b (name, span)").unwrap();
+    db.engine()
+        .execute("INSERT INTO b VALUES ('condor', 290)")
+        .unwrap();
+    // The style-sheet itself lives in SRB, as the paper specifies.
+    conn.ingest(
+        "/home/sekar/style.t",
+        b"header \"== birds ==\"\nrow \"{name}: {span} cm\"\n",
+        IngestOptions::to_resource("unix-sdsc").with_type("t-language"),
+    )
+    .unwrap();
+    let sheet_ds = f
+        .grid
+        .mcat
+        .resolve_dataset(&srb_types::LogicalPath::parse("/home/sekar/style.t").unwrap())
+        .unwrap();
+    conn.register(
+        "/home/sekar/styled",
+        RegisterSpec::Sql {
+            resource: "oracle-dlib".into(),
+            sql: "SELECT name, span FROM b".into(),
+            partial: false,
+            template: Template::StyleSheet(sheet_ds),
+        },
+        IngestOptions::default(),
+    )
+    .unwrap();
+    let (content, _) = conn.open("/home/sekar/styled", &[]).unwrap();
+    let ObjectContent::Table { rendered, .. } = content else {
+        panic!()
+    };
+    assert_eq!(rendered, "== birds ==\ncondor: 290 cm\n");
+}
+
+#[test]
+fn type4_url_object_fetches_live_content() {
+    let f = grid();
+    let conn = connect(&f, "sekar");
+    f.grid
+        .web
+        .host_static("http://knb.ecoinformatics.org/", &b"<html>KNB</html>"[..]);
+    conn.register(
+        "/home/sekar/knb",
+        RegisterSpec::Url {
+            url: "http://knb.ecoinformatics.org/".into(),
+        },
+        IngestOptions::default(),
+    )
+    .unwrap();
+    let (data, receipt) = conn.read("/home/sekar/knb").unwrap();
+    assert_eq!(&data[..], b"<html>KNB</html>");
+    assert!(receipt.sim_ns >= 60_000_000, "URL fetch pays web latency");
+    // Content is not stored: taking down the origin breaks retrieval.
+    f.grid.web.take_down("http://knb.ecoinformatics.org/");
+    assert!(conn.read("/home/sekar/knb").is_err());
+    // Deleting removes the URL and metadata, not the (gone) content.
+    conn.delete("/home/sekar/knb", None).unwrap();
+}
+
+#[test]
+fn type5_method_object_runs_proxy_command() {
+    let f = grid();
+    let conn = connect(&f, "sekar");
+    conn.register(
+        "/home/sekar/ps",
+        RegisterSpec::Method {
+            name: "srbps".into(),
+            is_function: false,
+            default_args: vec![],
+        },
+        IngestOptions::default(),
+    )
+    .unwrap();
+    let (data, _) = conn.read("/home/sekar/ps").unwrap();
+    assert!(String::from_utf8_lossy(&data).contains("srbMaster"));
+    // Command-line parameters at invocation.
+    let (content, _) = conn.open("/home/sekar/ps", &["-ef".to_string()]).unwrap();
+    assert!(content.display().contains("flags: -ef"));
+}
+
+#[test]
+fn method_object_proxy_function() {
+    let f = grid();
+    // The admin installs a proxy function on the CalTech server.
+    f.grid
+        .server(f.caltech)
+        .unwrap()
+        .proxies
+        .install_function("checksum16", |args| {
+            let s: u32 = args.iter().flat_map(|a| a.bytes()).map(|b| b as u32).sum();
+            format!("{:04x}", s & 0xffff).into_bytes()
+        });
+    let conn = connect(&f, "sekar");
+    conn.register(
+        "/home/sekar/cksum",
+        RegisterSpec::Method {
+            name: "checksum16".into(),
+            is_function: true,
+            default_args: vec!["seed".into()],
+        },
+        IngestOptions::default(),
+    )
+    .unwrap();
+    let (data, receipt) = conn.read("/home/sekar/cksum").unwrap();
+    assert_eq!(data.len(), 4);
+    // The function lives on a remote server: a hop was charged.
+    assert!(receipt.hops >= 1);
+}
+
+#[test]
+fn register_replicate_pairs_equivalent_queries() {
+    let f = grid();
+    let conn = connect(&f, "sekar");
+    let db_rid = f.grid.resource_id("oracle-dlib").unwrap();
+    let driver = f.grid.driver(db_rid).unwrap();
+    let db = driver.as_db().unwrap();
+    db.engine().execute("CREATE TABLE dlib1 (x)").unwrap();
+    db.engine().execute("INSERT INTO dlib1 VALUES (1)").unwrap();
+    conn.register(
+        "/home/sekar/q",
+        RegisterSpec::Sql {
+            resource: "oracle-dlib".into(),
+            sql: "SELECT x FROM dlib1".into(),
+            partial: false,
+            template: Template::HtmlRel,
+        },
+        IngestOptions::default(),
+    )
+    .unwrap();
+    // Register an XML-rendering twin as a replica — the paper's example of
+    // "semantically equal" copies. SRB does not check equality.
+    conn.register_replica(
+        "/home/sekar/q",
+        RegisterSpec::Sql {
+            resource: "oracle-dlib".into(),
+            sql: "SELECT x FROM dlib1".into(),
+            partial: false,
+            template: Template::XmlRel,
+        },
+    )
+    .unwrap();
+    let (_, _, nrep, _) = conn.stat("/home/sekar/q").unwrap();
+    assert_eq!(nrep, 2);
+}
+
+#[test]
+fn ingest_replica_tiff_and_gif() {
+    let f = grid();
+    let conn = connect(&f, "sekar");
+    conn.ingest(
+        "/home/sekar/image",
+        b"TIFF-bytes",
+        IngestOptions::to_resource("unix-sdsc").with_type("tiff image"),
+    )
+    .unwrap();
+    conn.ingest_replica("/home/sekar/image", b"GIF-bytes", "unix-ncsa")
+        .unwrap();
+    let (_, _, nrep, _) = conn.stat("/home/sekar/image").unwrap();
+    assert_eq!(nrep, 2);
+    // Failover serves the other (semantically equal, syntactically
+    // different) replica.
+    f.grid.fail_resource("unix-sdsc").unwrap();
+    let (data, _) = conn.read("/home/sekar/image").unwrap();
+    assert_eq!(&data[..], b"GIF-bytes");
+}
+
+#[test]
+fn copy_of_sql_and_url_objects_unsupported() {
+    let f = grid();
+    let conn = connect(&f, "sekar");
+    f.grid.web.host_static("http://x/", &b"x"[..]);
+    conn.register(
+        "/home/sekar/u",
+        RegisterSpec::Url {
+            url: "http://x/".into(),
+        },
+        IngestOptions::default(),
+    )
+    .unwrap();
+    assert!(matches!(
+        conn.copy("/home/sekar/u", "/home/sekar/u2", "unix-sdsc"),
+        Err(SrbError::Unsupported(_))
+    ));
+}
+
+#[test]
+fn type1_registered_lob_in_database() {
+    // Paper type 1 includes "a file that can exist … as a LOB in a
+    // database system".
+    let f = grid();
+    let conn = connect(&f, "sekar");
+    let db_rid = f.grid.resource_id("oracle-dlib").unwrap();
+    let driver = f.grid.driver(db_rid).unwrap();
+    driver
+        .driver()
+        .create("lobs/scan-0001", b"binary LOB payload")
+        .unwrap();
+    conn.register(
+        "/home/sekar/scan",
+        RegisterSpec::File {
+            resource: "oracle-dlib".into(),
+            phys_path: "lobs/scan-0001".into(),
+        },
+        IngestOptions::default(),
+    )
+    .unwrap();
+    let (data, _) = conn.read("/home/sekar/scan").unwrap();
+    assert_eq!(&data[..], b"binary LOB payload");
+    // Unlinking leaves the LOB in the database.
+    conn.delete("/home/sekar/scan", None).unwrap();
+    assert!(driver.driver().exists("lobs/scan-0001"));
+}

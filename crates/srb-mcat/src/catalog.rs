@@ -1,0 +1,882 @@
+//! The catalog facade: one `Mcat` owns every table and implements the
+//! cross-table operations — path resolution, permission evaluation,
+//! structural-metadata enforcement, and the conjunctive query engine with
+//! its indexed planner and full-scan baseline (ablation A1).
+
+use crate::annotation::AnnotationTable;
+use crate::audit::AuditLog;
+use crate::collection::{AttrRequirement, CollectionTable};
+use crate::container::ContainerTable;
+use crate::dataset::DatasetTable;
+use crate::metadata::{MetaKind, MetaStore, Subject, DUBLIN_CORE};
+use crate::query::{Query, QueryCondition, QueryHit};
+use crate::resource::ResourceTable;
+use crate::user::UserTable;
+use srb_types::{
+    CollectionId, DatasetId, IdGen, LogicalPath, MetaValue, Permission, SimClock, SrbError,
+    SrbResult, Triplet, UserId,
+};
+use std::collections::HashSet;
+
+/// The Metadata Catalog.
+///
+/// One `Mcat` instance serves an entire SRB federation (the paper's
+/// deployments ran a single MCAT at SDSC). All tables are individually
+/// thread-safe; the facade adds cross-table invariants.
+pub struct Mcat {
+    /// Shared id allocator.
+    pub ids: IdGen,
+    /// The grid's virtual clock.
+    pub clock: SimClock,
+    /// Users and groups.
+    pub users: UserTable,
+    /// Physical and logical resources.
+    pub resources: ResourceTable,
+    /// The collection hierarchy.
+    pub collections: CollectionTable,
+    /// Datasets and replicas.
+    pub datasets: DatasetTable,
+    /// Containers.
+    pub containers: ContainerTable,
+    /// Metadata triplets.
+    pub metadata: MetaStore,
+    /// Annotations.
+    pub annotations: AnnotationTable,
+    /// Audit trail.
+    pub audit: AuditLog,
+    admin: UserId,
+}
+
+impl Mcat {
+    /// Create a catalog with a bootstrap administrator (`srb@sdsc`).
+    pub fn new(clock: SimClock, admin_password: &str) -> Self {
+        let ids = IdGen::new();
+        let users = UserTable::new();
+        let admin = users
+            .register(&ids, "srb", "sdsc", admin_password, true)
+            .expect("fresh table");
+        let collections = CollectionTable::new(&ids, admin, clock.now());
+        Mcat {
+            ids,
+            clock,
+            users,
+            resources: ResourceTable::new(),
+            collections,
+            datasets: DatasetTable::new(),
+            containers: ContainerTable::new(),
+            metadata: MetaStore::new(),
+            annotations: AnnotationTable::new(),
+            audit: AuditLog::new(),
+            admin,
+        }
+    }
+
+    /// The bootstrap administrator.
+    pub fn admin(&self) -> UserId {
+        self.admin
+    }
+
+    /// Assemble a catalog from restored tables (see [`crate::snapshot`]).
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn from_parts(
+        ids: IdGen,
+        clock: SimClock,
+        admin: UserId,
+        users: UserTable,
+        resources: ResourceTable,
+        collections: CollectionTable,
+        datasets: DatasetTable,
+        containers: ContainerTable,
+        metadata: MetaStore,
+        annotations: AnnotationTable,
+        audit: AuditLog,
+    ) -> Mcat {
+        Mcat {
+            ids,
+            clock,
+            users,
+            resources,
+            collections,
+            datasets,
+            containers,
+            metadata,
+            annotations,
+            audit,
+            admin,
+        }
+    }
+
+    // ------------------------------------------------------- resolution --
+
+    /// Resolve a logical path to a dataset id (the final component is the
+    /// dataset name; collection links along the way are followed; a final
+    /// dataset link is *not* followed).
+    pub fn resolve_dataset(&self, path: &LogicalPath) -> SrbResult<DatasetId> {
+        let name = path
+            .name()
+            .ok_or_else(|| SrbError::Invalid("root is not a dataset".into()))?;
+        let parent = path.parent().expect("non-root has a parent");
+        let coll = self.collections.resolve(&parent)?;
+        self.datasets
+            .find(coll, name)
+            .ok_or_else(|| SrbError::NotFound(format!("dataset '{path}'")))
+    }
+
+    /// The current logical path of a dataset.
+    pub fn dataset_path(&self, id: DatasetId) -> SrbResult<LogicalPath> {
+        let d = self.datasets.get(id)?;
+        let coll = self.collections.get(d.coll)?;
+        coll.path.child(&d.name)
+    }
+
+    // ------------------------------------------------------ permissions --
+
+    /// Effective permission of `user` on a collection: the collection's own
+    /// matrix, or any ancestor grant (a grant on `/Cultures` extends to
+    /// `/Cultures/Avian Culture`).
+    pub fn effective_on_collection(
+        &self,
+        user: Option<UserId>,
+        coll: CollectionId,
+    ) -> SrbResult<Permission> {
+        let groups = user.map(|u| self.users.groups_of(u)).unwrap_or_default();
+        let mut best = Permission::None;
+        let mut cur = Some(coll);
+        while let Some(c) = cur {
+            let node = self.collections.get(c)?;
+            let p = match user {
+                Some(u) => node.acl.effective(u, &groups),
+                None => node.acl.effective_anonymous(),
+            };
+            best = best.max(p);
+            cur = node.parent;
+        }
+        Ok(best)
+    }
+
+    /// Effective permission of `user` on a dataset: max of the dataset's
+    /// own matrix and the containing collection's effective permission.
+    /// For link objects, the *target*'s ACL governs (paper: "the access
+    /// control of the original object is inherited by the linked object").
+    pub fn effective_on_dataset(
+        &self,
+        user: Option<UserId>,
+        dataset: DatasetId,
+    ) -> SrbResult<Permission> {
+        let d = self.datasets.get(dataset)?;
+        if let Some(target) = d.link_target {
+            return self.effective_on_dataset(user, target);
+        }
+        let groups = user.map(|u| self.users.groups_of(u)).unwrap_or_default();
+        let own = match user {
+            Some(u) => d.acl.effective(u, &groups),
+            None => d.acl.effective_anonymous(),
+        };
+        Ok(own.max(self.effective_on_collection(user, d.coll)?))
+    }
+
+    /// Error unless `user` has `needed` on the dataset.
+    pub fn require_dataset(
+        &self,
+        user: Option<UserId>,
+        dataset: DatasetId,
+        needed: Permission,
+    ) -> SrbResult<()> {
+        if self.effective_on_dataset(user, dataset)?.allows(needed) {
+            Ok(())
+        } else {
+            Err(SrbError::PermissionDenied(format!(
+                "need {} on dataset {dataset}",
+                needed.name()
+            )))
+        }
+    }
+
+    /// Error unless `user` has `needed` on the collection.
+    pub fn require_collection(
+        &self,
+        user: Option<UserId>,
+        coll: CollectionId,
+        needed: Permission,
+    ) -> SrbResult<()> {
+        if self.effective_on_collection(user, coll)?.allows(needed) {
+            Ok(())
+        } else {
+            Err(SrbError::PermissionDenied(format!(
+                "need {} on collection {coll}",
+                needed.name()
+            )))
+        }
+    }
+
+    // ---------------------------------------------- structural metadata --
+
+    /// The attribute requirements applying to items added to `coll`: the
+    /// collection's own requirements plus every ancestor's (the curator
+    /// scenario: "MetaCore for Cultures" on the parent, augmented on the
+    /// sub-collection).
+    pub fn requirements_for(&self, coll: CollectionId) -> SrbResult<Vec<AttrRequirement>> {
+        let mut out = Vec::new();
+        let mut cur = Some(coll);
+        while let Some(c) = cur {
+            let node = self.collections.get(c)?;
+            for r in &node.requirements {
+                if !out.iter().any(|x: &AttrRequirement| x.name == r.name) {
+                    out.push(r.clone());
+                }
+            }
+            cur = node.parent;
+        }
+        Ok(out)
+    }
+
+    /// Validate supplied triplets against the structural requirements of a
+    /// collection: every mandatory attribute must be present, and values of
+    /// restricted-vocabulary attributes must come from the vocabulary.
+    pub fn validate_structural(&self, coll: CollectionId, supplied: &[Triplet]) -> SrbResult<()> {
+        for req in self.requirements_for(coll)? {
+            let given: Vec<&Triplet> = supplied.iter().filter(|t| t.name == req.name).collect();
+            if req.mandatory && given.is_empty() {
+                return Err(SrbError::MissingMetadata(format!(
+                    "attribute '{}' is mandatory here ({})",
+                    req.name, req.comment
+                )));
+            }
+            if req.allowed.len() > 1 {
+                for t in given {
+                    let lex = t.value.lexical();
+                    if !req.allowed.iter().any(|a| a == &lex) {
+                        return Err(SrbError::Invalid(format!(
+                            "'{}' is not in the vocabulary for '{}' ({:?})",
+                            lex, req.name, req.allowed
+                        )));
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Attach a type-oriented (schema) triplet, validating Dublin Core
+    /// element names.
+    pub fn add_type_metadata(
+        &self,
+        subject: Subject,
+        schema: &str,
+        triplet: Triplet,
+    ) -> SrbResult<()> {
+        if schema == "DublinCore" && !DUBLIN_CORE.contains(&triplet.name.as_str()) {
+            return Err(SrbError::Invalid(format!(
+                "'{}' is not a Dublin Core element",
+                triplet.name
+            )));
+        }
+        self.metadata.add(
+            &self.ids,
+            subject,
+            triplet,
+            MetaKind::TypeOriented(schema.to_string()),
+        );
+        Ok(())
+    }
+
+    // ------------------------------------------------------------ query --
+
+    /// Attribute names queryable in a scope — "a drop-down menu containing
+    /// all the metadata names that are queryable in that collection and
+    /// every collection in the hierarchy under the collection".
+    pub fn queryable_attrs(&self, scope: &LogicalPath) -> SrbResult<Vec<String>> {
+        let subjects: Vec<Subject> = self
+            .datasets_in_scope(scope)?
+            .into_iter()
+            .map(Subject::Dataset)
+            .collect();
+        Ok(self.metadata.attr_names(Some(&subjects)))
+    }
+
+    fn scope_set(&self, scope: &LogicalPath) -> SrbResult<HashSet<CollectionId>> {
+        let root = self.collections.resolve(scope)?;
+        let mut set: HashSet<CollectionId> =
+            self.collections.descendants(root).into_iter().collect();
+        set.insert(root);
+        // Follow collection links inside the scope so linked sub-collections
+        // are searched through their targets too.
+        let linked: Vec<CollectionId> = set
+            .iter()
+            .filter_map(|c| self.collections.get(*c).ok().and_then(|n| n.link_target))
+            .collect();
+        for t in linked {
+            if set.insert(t) {
+                for d in self.collections.descendants(t) {
+                    set.insert(d);
+                }
+            }
+        }
+        Ok(set)
+    }
+
+    fn datasets_in_scope(&self, scope: &LogicalPath) -> SrbResult<Vec<DatasetId>> {
+        let set = self.scope_set(scope)?;
+        let mut out = Vec::new();
+        for coll in &set {
+            for d in self.datasets.list(*coll) {
+                out.push(d.id);
+            }
+        }
+        Ok(out)
+    }
+
+    fn is_system_attr(attr: &str) -> bool {
+        matches!(attr, "name" | "data_type" | "size" | "owner")
+    }
+
+    fn system_value(&self, d: &crate::dataset::Dataset, attr: &str) -> Option<MetaValue> {
+        match attr {
+            "name" => Some(MetaValue::Text(d.name.clone())),
+            "data_type" => Some(MetaValue::Text(d.data_type.clone())),
+            "size" => Some(MetaValue::Int(d.size() as i64)),
+            "owner" => self
+                .users
+                .get(d.owner)
+                .ok()
+                .map(|u| MetaValue::Text(u.qualified())),
+            _ => None,
+        }
+    }
+
+    fn condition_matches(&self, q: &Query, dataset: DatasetId, c: &QueryCondition) -> bool {
+        let subject = Subject::Dataset(dataset);
+        // Any user triplet with the attribute name may satisfy the
+        // condition.
+        let rows = self.metadata.for_subject(subject);
+        for r in &rows {
+            if r.triplet.name == c.attr && c.op.eval(&r.triplet.value, &c.value) {
+                return true;
+            }
+        }
+        if q.include_system && Self::is_system_attr(&c.attr) {
+            if let Ok(d) = self.datasets.get(dataset) {
+                if let Some(v) = self.system_value(&d, &c.attr) {
+                    if c.op.eval(&v, &c.value) {
+                        return true;
+                    }
+                }
+            }
+        }
+        if q.include_annotations
+            && c.attr == "annotation"
+            && self.annotations.text_matches(subject, &c.value.lexical())
+        {
+            return true;
+        }
+        false
+    }
+
+    fn build_hit(&self, q: &Query, dataset: DatasetId) -> QueryHit {
+        let path = self
+            .dataset_path(dataset)
+            .map(|p| p.to_string())
+            .unwrap_or_default();
+        let selected = q
+            .select
+            .iter()
+            .map(|attr| {
+                let v = self
+                    .metadata
+                    .value_of(Subject::Dataset(dataset), attr)
+                    .or_else(|| {
+                        if q.include_system {
+                            self.datasets
+                                .get(dataset)
+                                .ok()
+                                .and_then(|d| self.system_value(&d, attr))
+                        } else {
+                            None
+                        }
+                    })
+                    .map(|v| v.lexical())
+                    .unwrap_or_default();
+                (attr.clone(), v)
+            })
+            .collect();
+        QueryHit {
+            dataset,
+            path,
+            selected,
+        }
+    }
+
+    /// Execute a query using the attribute indexes: the planner picks the
+    /// most selective indexable condition, reads its candidates from the
+    /// value index, then verifies the remaining conditions per candidate.
+    pub fn query(&self, q: &Query) -> SrbResult<Vec<QueryHit>> {
+        let scope = self.scope_set(&q.scope)?;
+        // Pick the cheapest indexable driver condition.
+        let driver = q
+            .conditions
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| !Self::is_system_attr(&c.attr) && c.attr != "annotation")
+            .min_by_key(|(_, c)| self.metadata.selectivity(&c.attr, c.op, &c.value));
+        let candidates: Vec<DatasetId> = match driver {
+            Some((_, c)) => {
+                let rows = self.metadata.candidates(&c.attr, c.op, &c.value);
+                let mut seen = HashSet::new();
+                self.metadata
+                    .subjects_of(&rows)
+                    .into_iter()
+                    .filter_map(|s| match s {
+                        Subject::Dataset(d) if seen.insert(d) => Some(d),
+                        _ => None,
+                    })
+                    .collect()
+            }
+            None => self.datasets_in_scope(&q.scope)?,
+        };
+        let mut hits: Vec<QueryHit> = candidates
+            .into_iter()
+            .filter(|d| {
+                self.datasets
+                    .get(*d)
+                    .map(|row| scope.contains(&row.coll))
+                    .unwrap_or(false)
+            })
+            .filter(|d| {
+                q.conditions
+                    .iter()
+                    .all(|c| self.condition_matches(q, *d, c))
+            })
+            .map(|d| self.build_hit(q, d))
+            .collect();
+        hits.sort_by(|a, b| a.path.cmp(&b.path));
+        if q.limit > 0 {
+            hits.truncate(q.limit);
+        }
+        Ok(hits)
+    }
+
+    /// Full-scan baseline (ablation A1): evaluate every dataset in scope
+    /// against every condition, ignoring the indexes.
+    pub fn query_scan(&self, q: &Query) -> SrbResult<Vec<QueryHit>> {
+        let mut hits: Vec<QueryHit> = self
+            .datasets_in_scope(&q.scope)?
+            .into_iter()
+            .filter(|d| {
+                q.conditions
+                    .iter()
+                    .all(|c| self.condition_matches(q, *d, c))
+            })
+            .map(|d| self.build_hit(q, d))
+            .collect();
+        hits.sort_by(|a, b| a.path.cmp(&b.path));
+        if q.limit > 0 {
+            hits.truncate(q.limit);
+        }
+        Ok(hits)
+    }
+
+    // ------------------------------------------------------------ stats --
+
+    /// Entity counts for the MySRB admin page and capacity reports.
+    pub fn summary(&self) -> serde_json::Value {
+        serde_json::json!({
+            "users": self.users.user_count(),
+            "collections": self.collections.count(),
+            "datasets": self.datasets.count(),
+            "metadata_rows": self.metadata.count(),
+            "annotations": self.annotations.count(),
+            "audit_rows": self.audit.count(),
+            "containers": self.containers.list().len(),
+            "resources": self.resources.list().len(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::AccessSpec;
+    use srb_types::{CompareOp, ResourceId};
+
+    fn mcat() -> Mcat {
+        Mcat::new(SimClock::new(), "admin-pw")
+    }
+
+    fn stored() -> AccessSpec {
+        AccessSpec::Stored {
+            resource: ResourceId(1),
+            phys_path: "/p".into(),
+        }
+    }
+
+    /// Build `/zoo/{birds,mammals}` with a few datasets + metadata.
+    fn seeded() -> (Mcat, DatasetId, DatasetId, DatasetId) {
+        let m = mcat();
+        let root = m.collections.root();
+        let admin = m.admin();
+        let now = m.clock.now();
+        let zoo = m
+            .collections
+            .create(&m.ids, root, "zoo", admin, now)
+            .unwrap();
+        let birds = m
+            .collections
+            .create(&m.ids, zoo, "birds", admin, now)
+            .unwrap();
+        let mammals = m
+            .collections
+            .create(&m.ids, zoo, "mammals", admin, now)
+            .unwrap();
+        let condor = m
+            .datasets
+            .create(
+                &m.ids,
+                birds,
+                "condor.jpg",
+                "jpeg image",
+                admin,
+                vec![(stored(), 1000, None)],
+                now,
+            )
+            .unwrap();
+        let sparrow = m
+            .datasets
+            .create(
+                &m.ids,
+                birds,
+                "sparrow.jpg",
+                "jpeg image",
+                admin,
+                vec![(stored(), 200, None)],
+                now,
+            )
+            .unwrap();
+        let lion = m
+            .datasets
+            .create(
+                &m.ids,
+                mammals,
+                "lion.jpg",
+                "jpeg image",
+                admin,
+                vec![(stored(), 4000, None)],
+                now,
+            )
+            .unwrap();
+        for (d, span) in [(condor, 290i64), (sparrow, 20)] {
+            m.metadata.add(
+                &m.ids,
+                Subject::Dataset(d),
+                Triplet::new("wingspan", span, "cm"),
+                MetaKind::UserDefined,
+            );
+        }
+        m.metadata.add(
+            &m.ids,
+            Subject::Dataset(lion),
+            Triplet::new("habitat", "savanna", ""),
+            MetaKind::UserDefined,
+        );
+        (m, condor, sparrow, lion)
+    }
+
+    fn p(s: &str) -> LogicalPath {
+        LogicalPath::parse(s).unwrap()
+    }
+
+    #[test]
+    fn resolve_dataset_and_path_round_trip() {
+        let (m, condor, ..) = seeded();
+        let path = m.dataset_path(condor).unwrap();
+        assert_eq!(path.to_string(), "/zoo/birds/condor.jpg");
+        assert_eq!(m.resolve_dataset(&path).unwrap(), condor);
+        assert!(m.resolve_dataset(&p("/zoo/birds/none")).is_err());
+        assert!(m.resolve_dataset(&LogicalPath::root()).is_err());
+    }
+
+    #[test]
+    fn indexed_query_matches_scan() {
+        let (m, condor, ..) = seeded();
+        let q = Query::everywhere()
+            .and("wingspan", CompareOp::Gt, 100i64)
+            .show("wingspan");
+        let a = m.query(&q).unwrap();
+        let b = m.query_scan(&q).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 1);
+        assert_eq!(a[0].dataset, condor);
+        assert_eq!(
+            a[0].selected,
+            vec![("wingspan".to_string(), "290".to_string())]
+        );
+    }
+
+    #[test]
+    fn scope_restricts_results() {
+        let (m, ..) = seeded();
+        let q_all = Query::everywhere().and("habitat", CompareOp::Eq, "savanna");
+        assert_eq!(m.query(&q_all).unwrap().len(), 1);
+        let q_birds =
+            Query::everywhere()
+                .under(p("/zoo/birds"))
+                .and("habitat", CompareOp::Eq, "savanna");
+        assert_eq!(m.query(&q_birds).unwrap().len(), 0);
+    }
+
+    #[test]
+    fn conjunction_requires_all_conditions() {
+        let (m, ..) = seeded();
+        let q = Query::everywhere()
+            .and("wingspan", CompareOp::Gt, 10i64)
+            .and("wingspan", CompareOp::Lt, 100i64);
+        let hits = m.query(&q).unwrap();
+        assert_eq!(hits.len(), 1);
+        assert!(hits[0].path.ends_with("sparrow.jpg"));
+    }
+
+    #[test]
+    fn system_attributes_when_enabled() {
+        let (m, ..) = seeded();
+        let q = Query::everywhere()
+            .and("size", CompareOp::Ge, 1000i64)
+            .with_system()
+            .show("size")
+            .show("owner");
+        let hits = m.query(&q).unwrap();
+        assert_eq!(hits.len(), 2); // condor + lion
+        assert!(hits.iter().any(|h| h.path.ends_with("lion.jpg")));
+        let owner = &hits[0].selected[1].1;
+        assert_eq!(owner, "srb@sdsc");
+        // Without the flag, system attrs never match.
+        let q2 = Query::everywhere().and("size", CompareOp::Ge, 1000i64);
+        assert!(m.query(&q2).unwrap().is_empty());
+    }
+
+    #[test]
+    fn annotation_matching_when_enabled() {
+        let (m, condor, ..) = seeded();
+        m.annotations.add(
+            &m.ids,
+            Subject::Dataset(condor),
+            m.admin(),
+            m.clock.now(),
+            crate::annotation::AnnotationKind::Comment,
+            "",
+            "magnificent specimen",
+        );
+        let q = Query::everywhere()
+            .and("annotation", CompareOp::Like, "%magnificent%")
+            .with_annotations();
+        assert_eq!(m.query(&q).unwrap().len(), 1);
+        let q_off = Query::everywhere().and("annotation", CompareOp::Like, "%magnificent%");
+        assert!(m.query(&q_off).unwrap().is_empty());
+    }
+
+    #[test]
+    fn empty_conditions_list_everything_in_scope() {
+        let (m, ..) = seeded();
+        let q = Query::everywhere().under(p("/zoo"));
+        assert_eq!(m.query(&q).unwrap().len(), 3);
+        let q = Query::everywhere().under(p("/zoo")).limit(2);
+        assert_eq!(m.query(&q).unwrap().len(), 2);
+    }
+
+    #[test]
+    fn hits_sorted_by_path() {
+        let (m, ..) = seeded();
+        let hits = m.query(&Query::everywhere().under(p("/zoo"))).unwrap();
+        let paths: Vec<&str> = hits.iter().map(|h| h.path.as_str()).collect();
+        let mut sorted = paths.clone();
+        sorted.sort();
+        assert_eq!(paths, sorted);
+    }
+
+    #[test]
+    fn permissions_inherit_from_ancestors() {
+        let (m, condor, ..) = seeded();
+        let reader = m
+            .users
+            .register(&m.ids, "reader", "d", "pw", false)
+            .unwrap();
+        // Before any grant, the reader only has what root's public level
+        // (Discover) passes down.
+        assert_eq!(
+            m.effective_on_dataset(Some(reader), condor).unwrap(),
+            Permission::Discover
+        );
+        // Grant read on /zoo; it flows down to the dataset.
+        let zoo = m.collections.resolve(&p("/zoo")).unwrap();
+        let mut acl = m.collections.get(zoo).unwrap().acl;
+        acl.grant_user(reader, Permission::Read);
+        m.collections.set_acl(zoo, acl).unwrap();
+        assert_eq!(
+            m.effective_on_dataset(Some(reader), condor).unwrap(),
+            Permission::Read
+        );
+        assert!(m
+            .require_dataset(Some(reader), condor, Permission::Read)
+            .is_ok());
+        assert!(m
+            .require_dataset(Some(reader), condor, Permission::Write)
+            .is_err());
+        // Anonymous users see only what `public` grants.
+        assert_eq!(
+            m.effective_on_dataset(None, condor).unwrap(),
+            Permission::Discover // root grants Discover to public
+        );
+    }
+
+    #[test]
+    fn link_dataset_uses_target_acl() {
+        let (m, condor, ..) = seeded();
+        let root = m.collections.root();
+        let lnk = m
+            .datasets
+            .create_link(
+                &m.ids,
+                root,
+                "condor-link",
+                condor,
+                m.admin(),
+                m.clock.now(),
+            )
+            .unwrap();
+        let reader = m.users.register(&m.ids, "r", "d", "pw", false).unwrap();
+        let mut acl = m.datasets.get(condor).unwrap().acl;
+        acl.grant_user(reader, Permission::Read);
+        m.datasets
+            .update(condor, |d| {
+                d.acl = acl;
+                Ok(())
+            })
+            .unwrap();
+        assert_eq!(
+            m.effective_on_dataset(Some(reader), lnk).unwrap(),
+            Permission::Read
+        );
+    }
+
+    #[test]
+    fn structural_requirements_accumulate_up_the_tree() {
+        let m = mcat();
+        let root = m.collections.root();
+        let admin = m.admin();
+        let now = m.clock.now();
+        let cultures = m
+            .collections
+            .create(&m.ids, root, "Cultures", admin, now)
+            .unwrap();
+        let avian = m
+            .collections
+            .create(&m.ids, cultures, "Avian Culture", admin, now)
+            .unwrap();
+        m.collections
+            .set_requirements(
+                cultures,
+                vec![AttrRequirement::mandatory(
+                    "culture",
+                    "MetaCore for Cultures",
+                )],
+            )
+            .unwrap();
+        m.collections
+            .set_requirements(
+                avian,
+                vec![AttrRequirement::vocabulary(
+                    "medium",
+                    &["image", "movie", "text"],
+                    "media type",
+                )],
+            )
+            .unwrap();
+        let reqs = m.requirements_for(avian).unwrap();
+        assert_eq!(reqs.len(), 2);
+        // Missing mandatory ancestor attribute fails.
+        let err = m
+            .validate_structural(avian, &[Triplet::new("medium", "image", "")])
+            .unwrap_err();
+        assert!(matches!(err, SrbError::MissingMetadata(_)));
+        // Out-of-vocabulary value fails.
+        let err = m
+            .validate_structural(
+                avian,
+                &[
+                    Triplet::new("culture", "avian", ""),
+                    Triplet::new("medium", "sculpture", ""),
+                ],
+            )
+            .unwrap_err();
+        assert!(matches!(err, SrbError::Invalid(_)));
+        // A valid submission passes.
+        m.validate_structural(
+            avian,
+            &[
+                Triplet::new("culture", "avian", ""),
+                Triplet::new("medium", "movie", ""),
+            ],
+        )
+        .unwrap();
+    }
+
+    #[test]
+    fn dublin_core_names_validated() {
+        let (m, condor, ..) = seeded();
+        m.add_type_metadata(
+            Subject::Dataset(condor),
+            "DublinCore",
+            Triplet::new("Title", "Andean Condor", ""),
+        )
+        .unwrap();
+        assert!(m
+            .add_type_metadata(
+                Subject::Dataset(condor),
+                "DublinCore",
+                Triplet::new("Wingspan", "290", "cm"),
+            )
+            .is_err());
+        // Custom schemas accept any names.
+        m.add_type_metadata(
+            Subject::Dataset(condor),
+            "MetaCoreForCultures",
+            Triplet::new("Wingspan", "290", "cm"),
+        )
+        .unwrap();
+    }
+
+    #[test]
+    fn queryable_attrs_scoped() {
+        let (m, ..) = seeded();
+        assert_eq!(
+            m.queryable_attrs(&p("/zoo/birds")).unwrap(),
+            vec!["wingspan"]
+        );
+        let all = m.queryable_attrs(&LogicalPath::root()).unwrap();
+        assert_eq!(all, vec!["habitat", "wingspan"]);
+    }
+
+    #[test]
+    fn summary_counts() {
+        let (m, ..) = seeded();
+        let s = m.summary();
+        assert_eq!(s["datasets"], 3);
+        assert_eq!(s["collections"], 4); // root + zoo + birds + mammals
+        assert_eq!(s["metadata_rows"], 3);
+    }
+
+    #[test]
+    fn query_through_linked_collection_scope() {
+        let (m, _, _, lion) = seeded();
+        let root = m.collections.root();
+        let mammals = m.collections.resolve(&p("/zoo/mammals")).unwrap();
+        m.collections
+            .link(&m.ids, root, "cats", mammals, m.admin(), m.clock.now())
+            .unwrap();
+        // Scoping to the link finds the target's datasets.
+        let q = Query::everywhere()
+            .under(p("/cats"))
+            .and("habitat", CompareOp::Eq, "savanna");
+        let hits = m.query(&q).unwrap();
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].dataset, lion);
+    }
+}

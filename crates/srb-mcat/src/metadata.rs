@@ -1,0 +1,650 @@
+//! The metadata triplet store and its attribute indexes.
+//!
+//! Five kinds of metadata (paper §5): system-defined, user-defined,
+//! type-oriented (e.g. Dublin Core), file-based, and annotations (the last
+//! live in [`crate::annotation`]). User/type metadata are *(name, value,
+//! units)* triplets. The store keeps a per-attribute ordered value index so
+//! the query engine can answer `=` and range conditions without scanning —
+//! the design choice ablated in experiment E5/A1.
+
+use parking_lot::RwLock;
+use serde::{Deserialize, Serialize};
+use srb_types::{
+    CollectionId, CompareOp, DatasetId, IdGen, MetaId, MetaValue, SrbError, SrbResult, Triplet,
+};
+use std::cmp::Ordering;
+use std::collections::{BTreeMap, HashMap};
+
+/// What a metadata row is attached to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Subject {
+    /// A dataset.
+    Dataset(DatasetId),
+    /// A collection.
+    Collection(CollectionId),
+}
+
+impl std::fmt::Display for Subject {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Subject::Dataset(d) => write!(f, "{d}"),
+            Subject::Collection(c) => write!(f, "{c}"),
+        }
+    }
+}
+
+/// Which of the paper's metadata categories a row belongs to.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum MetaKind {
+    /// Maintained by SRB itself.
+    System,
+    /// Free-form user-defined triplet.
+    UserDefined,
+    /// Part of a named type-oriented schema (e.g. `DublinCore`).
+    TypeOriented(String),
+    /// Extracted from / carried by a metadata file (the carrying dataset).
+    FileBased(DatasetId),
+}
+
+/// One metadata row.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MetaRow {
+    /// Catalog id.
+    pub id: MetaId,
+    /// What the row describes.
+    pub subject: Subject,
+    /// The (name, value, units) triplet.
+    pub triplet: Triplet,
+    /// Category.
+    pub kind: MetaKind,
+}
+
+/// The fifteen Dublin Core elements, as the paper's canonical example of a
+/// type-oriented schema.
+pub const DUBLIN_CORE: [&str; 15] = [
+    "Title",
+    "Creator",
+    "Subject",
+    "Description",
+    "Publisher",
+    "Contributor",
+    "Date",
+    "Type",
+    "Format",
+    "Identifier",
+    "Source",
+    "Language",
+    "Relation",
+    "Coverage",
+    "Rights",
+];
+
+/// Ordered wrapper so `MetaValue`s can key a BTreeMap (numbers before text,
+/// numeric order then lexicographic — see `MetaValue::index_cmp`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct IndexKey(MetaValue);
+
+impl PartialOrd for IndexKey {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for IndexKey {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.0.index_cmp(&other.0)
+    }
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    rows: HashMap<MetaId, MetaRow>,
+    by_subject: HashMap<Subject, Vec<MetaId>>,
+    /// attribute name → ordered value → row ids.
+    index: HashMap<String, BTreeMap<IndexKey, Vec<MetaId>>>,
+    /// file-based metadata associations: subject → carrying datasets.
+    meta_files: HashMap<Subject, Vec<DatasetId>>,
+}
+
+/// The triplet store.
+#[derive(Debug, Default)]
+pub struct MetaStore {
+    inner: RwLock<Inner>,
+}
+
+impl MetaStore {
+    /// Empty store.
+    pub fn new() -> Self {
+        MetaStore::default()
+    }
+
+    /// Attach a triplet to a subject. There is no limit on rows per
+    /// subject ("this operation can be performed as many times as
+    /// required").
+    pub fn add(&self, ids: &IdGen, subject: Subject, triplet: Triplet, kind: MetaKind) -> MetaId {
+        let id: MetaId = ids.next();
+        let mut g = self.inner.write();
+        g.by_subject.entry(subject).or_default().push(id);
+        g.index
+            .entry(triplet.name.clone())
+            .or_default()
+            .entry(IndexKey(triplet.value.clone()))
+            .or_default()
+            .push(id);
+        g.rows.insert(
+            id,
+            MetaRow {
+                id,
+                subject,
+                triplet,
+                kind,
+            },
+        );
+        id
+    }
+
+    /// Update a row's value/units in place.
+    pub fn update(&self, id: MetaId, value: MetaValue, units: String) -> SrbResult<()> {
+        let mut g = self.inner.write();
+        let row = g
+            .rows
+            .get(&id)
+            .cloned()
+            .ok_or_else(|| SrbError::NotFound(format!("metadata {id}")))?;
+        // Re-index under the new value.
+        if let Some(vals) = g.index.get_mut(&row.triplet.name) {
+            if let Some(v) = vals.get_mut(&IndexKey(row.triplet.value.clone())) {
+                v.retain(|&m| m != id);
+                if v.is_empty() {
+                    vals.remove(&IndexKey(row.triplet.value.clone()));
+                }
+            }
+        }
+        g.index
+            .entry(row.triplet.name.clone())
+            .or_default()
+            .entry(IndexKey(value.clone()))
+            .or_default()
+            .push(id);
+        let row = g.rows.get_mut(&id).expect("checked above");
+        row.triplet.value = value;
+        row.triplet.units = units;
+        Ok(())
+    }
+
+    /// Remove one row.
+    pub fn remove(&self, id: MetaId) -> SrbResult<()> {
+        let mut g = self.inner.write();
+        let row = g
+            .rows
+            .remove(&id)
+            .ok_or_else(|| SrbError::NotFound(format!("metadata {id}")))?;
+        if let Some(v) = g.by_subject.get_mut(&row.subject) {
+            v.retain(|&m| m != id);
+        }
+        if let Some(vals) = g.index.get_mut(&row.triplet.name) {
+            if let Some(v) = vals.get_mut(&IndexKey(row.triplet.value.clone())) {
+                v.retain(|&m| m != id);
+                if v.is_empty() {
+                    vals.remove(&IndexKey(row.triplet.value));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Remove every row attached to a subject ("when the last replica is
+    /// deleted all the metadata … are also deleted").
+    pub fn remove_all(&self, subject: Subject) {
+        let ids = self
+            .inner
+            .read()
+            .by_subject
+            .get(&subject)
+            .cloned()
+            .unwrap_or_default();
+        for id in ids {
+            let _ = self.remove(id);
+        }
+        self.inner.write().meta_files.remove(&subject);
+    }
+
+    /// All rows for a subject, in insertion order.
+    pub fn for_subject(&self, subject: Subject) -> Vec<MetaRow> {
+        let g = self.inner.read();
+        g.by_subject
+            .get(&subject)
+            .map(|ids| ids.iter().filter_map(|i| g.rows.get(i)).cloned().collect())
+            .unwrap_or_default()
+    }
+
+    /// Copy user-defined and type-oriented rows from one subject to
+    /// another (MySRB's "copy metadata from other SRB objects").
+    pub fn copy(&self, ids: &IdGen, from: Subject, to: Subject) -> usize {
+        let rows = self.for_subject(from);
+        let mut n = 0;
+        for r in rows {
+            match &r.kind {
+                MetaKind::UserDefined | MetaKind::TypeOriented(_) => {
+                    self.add(ids, to, r.triplet.clone(), r.kind.clone());
+                    n += 1;
+                }
+                _ => {}
+            }
+        }
+        n
+    }
+
+    /// First value of a named attribute on a subject.
+    pub fn value_of(&self, subject: Subject, name: &str) -> Option<MetaValue> {
+        self.for_subject(subject)
+            .into_iter()
+            .find(|r| r.triplet.name == name)
+            .map(|r| r.triplet.value)
+    }
+
+    /// Row ids whose attribute `name` satisfies `op value`, found via the
+    /// ordered index. `Like`/`NotLike`/`Ne` scan only the index partition
+    /// for that attribute name.
+    pub fn candidates(&self, name: &str, op: CompareOp, value: &MetaValue) -> Vec<MetaId> {
+        let g = self.inner.read();
+        let Some(vals) = g.index.get(name) else {
+            return Vec::new();
+        };
+        let key = IndexKey(value.clone());
+        let mut out = Vec::new();
+        match op {
+            CompareOp::Eq => {
+                if let Some(v) = vals.get(&key) {
+                    out.extend_from_slice(v);
+                }
+            }
+            CompareOp::Gt => {
+                for (k, v) in
+                    vals.range((std::ops::Bound::Excluded(key), std::ops::Bound::Unbounded))
+                {
+                    if op_applies(op, &k.0, value) {
+                        out.extend_from_slice(v);
+                    }
+                }
+            }
+            CompareOp::Ge => {
+                for (k, v) in vals.range(key..) {
+                    if op_applies(op, &k.0, value) {
+                        out.extend_from_slice(v);
+                    }
+                }
+            }
+            CompareOp::Lt => {
+                for (k, v) in vals.range(..key) {
+                    if op_applies(op, &k.0, value) {
+                        out.extend_from_slice(v);
+                    }
+                }
+            }
+            CompareOp::Le => {
+                for (k, v) in vals.range(..=key) {
+                    if op_applies(op, &k.0, value) {
+                        out.extend_from_slice(v);
+                    }
+                }
+            }
+            CompareOp::Ne | CompareOp::Like | CompareOp::NotLike => {
+                for (k, v) in vals.iter() {
+                    if op.eval(&k.0, value) {
+                        out.extend_from_slice(v);
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Estimated number of matches for a condition, used by the planner to
+    /// pick the most selective condition first.
+    pub fn selectivity(&self, name: &str, op: CompareOp, value: &MetaValue) -> usize {
+        let g = self.inner.read();
+        let Some(vals) = g.index.get(name) else {
+            return 0;
+        };
+        match op {
+            CompareOp::Eq => vals
+                .get(&IndexKey(value.clone()))
+                .map(|v| v.len())
+                .unwrap_or(0),
+            // Cheap upper bound for non-point conditions: the whole
+            // attribute partition.
+            _ => vals.values().map(|v| v.len()).sum(),
+        }
+    }
+
+    /// Resolve row ids to their subjects.
+    pub fn subjects_of(&self, ids: &[MetaId]) -> Vec<Subject> {
+        let g = self.inner.read();
+        ids.iter()
+            .filter_map(|i| g.rows.get(i).map(|r| r.subject))
+            .collect()
+    }
+
+    /// Attribute names present on the given subject set plus all names in
+    /// the store when `subjects` is `None` — feeds MySRB's query drop-down.
+    pub fn attr_names(&self, subjects: Option<&[Subject]>) -> Vec<String> {
+        let g = self.inner.read();
+        let mut names: Vec<String> = match subjects {
+            None => g.index.keys().cloned().collect(),
+            Some(subs) => {
+                let mut names = Vec::new();
+                for s in subs {
+                    if let Some(ids) = g.by_subject.get(s) {
+                        for id in ids {
+                            if let Some(r) = g.rows.get(id) {
+                                names.push(r.triplet.name.clone());
+                            }
+                        }
+                    }
+                }
+                names
+            }
+        };
+        names.sort();
+        names.dedup();
+        names
+    }
+
+    /// Associate `carrier` as a metadata-carrying file for `subject`. One
+    /// file may serve many subjects.
+    pub fn attach_meta_file(&self, subject: Subject, carrier: DatasetId) {
+        let mut g = self.inner.write();
+        let v = g.meta_files.entry(subject).or_default();
+        if !v.contains(&carrier) {
+            v.push(carrier);
+        }
+    }
+
+    /// The metadata-carrying files of a subject.
+    pub fn meta_files_of(&self, subject: Subject) -> Vec<DatasetId> {
+        self.inner
+            .read()
+            .meta_files
+            .get(&subject)
+            .cloned()
+            .unwrap_or_default()
+    }
+
+    /// Every metadata row plus the meta-file associations (snapshots).
+    pub fn dump(&self) -> (Vec<MetaRow>, Vec<(Subject, Vec<DatasetId>)>) {
+        let g = self.inner.read();
+        let mut rows: Vec<MetaRow> = g.rows.values().cloned().collect();
+        rows.sort_by_key(|r| r.id);
+        let mut files: Vec<(Subject, Vec<DatasetId>)> =
+            g.meta_files.iter().map(|(k, v)| (*k, v.clone())).collect();
+        files.sort_by_key(|(s, _)| format!("{s}"));
+        (rows, files)
+    }
+
+    /// Rebuild the store (subject lists + value indexes) from snapshot
+    /// rows.
+    pub fn restore(rows: Vec<MetaRow>, meta_files: Vec<(Subject, Vec<DatasetId>)>) -> Self {
+        let t = MetaStore::new();
+        {
+            let mut g = t.inner.write();
+            for r in rows {
+                g.by_subject.entry(r.subject).or_default().push(r.id);
+                g.index
+                    .entry(r.triplet.name.clone())
+                    .or_default()
+                    .entry(IndexKey(r.triplet.value.clone()))
+                    .or_default()
+                    .push(r.id);
+                g.rows.insert(r.id, r);
+            }
+            for (s, v) in meta_files {
+                g.meta_files.insert(s, v);
+            }
+        }
+        t
+    }
+
+    /// Total number of rows.
+    pub fn count(&self) -> usize {
+        self.inner.read().rows.len()
+    }
+}
+
+/// Range scans over the index can cross the number/text boundary (numbers
+/// sort before text); re-check the operator against mixed types.
+fn op_applies(op: CompareOp, candidate: &MetaValue, value: &MetaValue) -> bool {
+    op.eval(candidate, value)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn store() -> (MetaStore, IdGen) {
+        (MetaStore::new(), IdGen::new())
+    }
+
+    fn ds(n: u64) -> Subject {
+        Subject::Dataset(DatasetId(n))
+    }
+
+    #[test]
+    fn add_and_list() {
+        let (s, ids) = store();
+        s.add(
+            &ids,
+            ds(1),
+            Triplet::new("species", "condor", ""),
+            MetaKind::UserDefined,
+        );
+        s.add(
+            &ids,
+            ds(1),
+            Triplet::new("wingspan", 290, "cm"),
+            MetaKind::UserDefined,
+        );
+        let rows = s.for_subject(ds(1));
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0].triplet.name, "species");
+        assert_eq!(s.value_of(ds(1), "wingspan"), Some(MetaValue::Int(290)));
+        assert_eq!(s.value_of(ds(1), "absent"), None);
+        assert_eq!(s.count(), 2);
+    }
+
+    #[test]
+    fn eq_candidates_via_index() {
+        let (s, ids) = store();
+        for i in 0..10 {
+            s.add(
+                &ids,
+                ds(i),
+                Triplet::new("n", i as i64, ""),
+                MetaKind::UserDefined,
+            );
+        }
+        let hits = s.candidates("n", CompareOp::Eq, &MetaValue::Int(4));
+        assert_eq!(hits.len(), 1);
+        assert_eq!(s.subjects_of(&hits), vec![ds(4)]);
+    }
+
+    #[test]
+    fn range_candidates() {
+        let (s, ids) = store();
+        for i in 0..10 {
+            s.add(
+                &ids,
+                ds(i),
+                Triplet::new("n", i as i64, ""),
+                MetaKind::UserDefined,
+            );
+        }
+        assert_eq!(
+            s.candidates("n", CompareOp::Gt, &MetaValue::Int(7)).len(),
+            2
+        );
+        assert_eq!(
+            s.candidates("n", CompareOp::Ge, &MetaValue::Int(7)).len(),
+            3
+        );
+        assert_eq!(
+            s.candidates("n", CompareOp::Lt, &MetaValue::Int(2)).len(),
+            2
+        );
+        assert_eq!(
+            s.candidates("n", CompareOp::Le, &MetaValue::Int(2)).len(),
+            3
+        );
+        assert_eq!(
+            s.candidates("n", CompareOp::Ne, &MetaValue::Int(5)).len(),
+            9
+        );
+    }
+
+    #[test]
+    fn range_does_not_leak_text_values() {
+        let (s, ids) = store();
+        s.add(&ids, ds(1), Triplet::new("v", 5, ""), MetaKind::UserDefined);
+        s.add(
+            &ids,
+            ds(2),
+            Triplet::new("v", "pear", ""),
+            MetaKind::UserDefined,
+        );
+        // "pear" sorts after numbers in the index but must not satisfy > 3.
+        let hits = s.candidates("v", CompareOp::Gt, &MetaValue::Int(3));
+        assert_eq!(s.subjects_of(&hits), vec![ds(1)]);
+    }
+
+    #[test]
+    fn like_candidates() {
+        let (s, ids) = store();
+        s.add(
+            &ids,
+            ds(1),
+            Triplet::new("species", "condor", ""),
+            MetaKind::UserDefined,
+        );
+        s.add(
+            &ids,
+            ds(2),
+            Triplet::new("species", "condor andino", ""),
+            MetaKind::UserDefined,
+        );
+        s.add(
+            &ids,
+            ds(3),
+            Triplet::new("species", "sparrow", ""),
+            MetaKind::UserDefined,
+        );
+        let hits = s.candidates("species", CompareOp::Like, &MetaValue::parse("condor%"));
+        assert_eq!(hits.len(), 2);
+        let hits = s.candidates("species", CompareOp::NotLike, &MetaValue::parse("condor%"));
+        assert_eq!(s.subjects_of(&hits), vec![ds(3)]);
+    }
+
+    #[test]
+    fn update_reindexes() {
+        let (s, ids) = store();
+        let id = s.add(&ids, ds(1), Triplet::new("n", 1, ""), MetaKind::UserDefined);
+        s.update(id, MetaValue::Int(9), "".into()).unwrap();
+        assert!(s
+            .candidates("n", CompareOp::Eq, &MetaValue::Int(1))
+            .is_empty());
+        assert_eq!(
+            s.candidates("n", CompareOp::Eq, &MetaValue::Int(9)).len(),
+            1
+        );
+        assert!(s.update(MetaId(999), MetaValue::Int(0), "".into()).is_err());
+    }
+
+    #[test]
+    fn remove_and_remove_all() {
+        let (s, ids) = store();
+        let a = s.add(&ids, ds(1), Triplet::new("x", 1, ""), MetaKind::UserDefined);
+        s.add(&ids, ds(1), Triplet::new("y", 2, ""), MetaKind::UserDefined);
+        s.remove(a).unwrap();
+        assert_eq!(s.for_subject(ds(1)).len(), 1);
+        assert!(s
+            .candidates("x", CompareOp::Eq, &MetaValue::Int(1))
+            .is_empty());
+        s.remove_all(ds(1));
+        assert!(s.for_subject(ds(1)).is_empty());
+        assert_eq!(s.count(), 0);
+    }
+
+    #[test]
+    fn copy_skips_system_rows() {
+        let (s, ids) = store();
+        s.add(&ids, ds(1), Triplet::new("u", 1, ""), MetaKind::UserDefined);
+        s.add(
+            &ids,
+            ds(1),
+            Triplet::new("Title", "X", ""),
+            MetaKind::TypeOriented("DublinCore".into()),
+        );
+        s.add(&ids, ds(1), Triplet::new("size", 10, ""), MetaKind::System);
+        let n = s.copy(&ids, ds(1), ds(2));
+        assert_eq!(n, 2);
+        let rows = s.for_subject(ds(2));
+        assert_eq!(rows.len(), 2);
+        assert!(rows.iter().all(|r| r.kind != MetaKind::System));
+    }
+
+    #[test]
+    fn attr_names_for_dropdown() {
+        let (s, ids) = store();
+        s.add(&ids, ds(1), Triplet::new("b", 1, ""), MetaKind::UserDefined);
+        s.add(&ids, ds(2), Triplet::new("a", 1, ""), MetaKind::UserDefined);
+        s.add(&ids, ds(2), Triplet::new("a", 2, ""), MetaKind::UserDefined);
+        assert_eq!(s.attr_names(None), vec!["a", "b"]);
+        assert_eq!(s.attr_names(Some(&[ds(2)])), vec!["a"]);
+    }
+
+    #[test]
+    fn meta_file_associations() {
+        let (s, _) = store();
+        s.attach_meta_file(ds(1), DatasetId(9));
+        s.attach_meta_file(ds(1), DatasetId(9)); // idempotent
+        s.attach_meta_file(ds(2), DatasetId(9)); // one file, many subjects
+        assert_eq!(s.meta_files_of(ds(1)), vec![DatasetId(9)]);
+        assert_eq!(s.meta_files_of(ds(2)), vec![DatasetId(9)]);
+        s.remove_all(ds(1));
+        assert!(s.meta_files_of(ds(1)).is_empty());
+    }
+
+    #[test]
+    fn selectivity_prefers_point_queries() {
+        let (s, ids) = store();
+        for i in 0..100 {
+            s.add(
+                &ids,
+                ds(i),
+                Triplet::new("common", i as i64 % 2, ""),
+                MetaKind::UserDefined,
+            );
+            if i < 3 {
+                s.add(
+                    &ids,
+                    ds(i),
+                    Triplet::new("rare", i as i64, ""),
+                    MetaKind::UserDefined,
+                );
+            }
+        }
+        let sel_rare = s.selectivity("rare", CompareOp::Eq, &MetaValue::Int(1));
+        let sel_common = s.selectivity("common", CompareOp::Eq, &MetaValue::Int(1));
+        assert!(sel_rare < sel_common);
+        assert_eq!(
+            s.selectivity("absent", CompareOp::Eq, &MetaValue::Int(1)),
+            0
+        );
+    }
+
+    #[test]
+    fn dublin_core_has_fifteen_elements() {
+        assert_eq!(DUBLIN_CORE.len(), 15);
+        assert!(DUBLIN_CORE.contains(&"Title"));
+        assert!(DUBLIN_CORE.contains(&"Rights"));
+    }
+}

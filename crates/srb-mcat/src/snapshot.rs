@@ -1,0 +1,260 @@
+//! Catalog snapshots — serialize the entire MCAT to JSON and restore it.
+//!
+//! The paper's persistent-archive capability migrates *data* onto new
+//! media (experiment E9); preserving the *catalog* itself — name space,
+//! ACLs, metadata, annotations, audit trail — is the complementary half a
+//! production deployment needs across restarts and technology generations.
+//! A snapshot captures every table; restoring rebuilds all derived indexes
+//! (path maps, child lists, attribute value indexes) from the rows.
+
+use crate::annotation::{Annotation, AnnotationTable};
+use crate::audit::{AuditLog, AuditRow};
+use crate::catalog::Mcat;
+use crate::collection::{Collection, CollectionTable};
+use crate::container::{ContainerRecord, ContainerTable};
+use crate::dataset::{Dataset, DatasetTable};
+use crate::metadata::{MetaRow, MetaStore, Subject};
+use crate::resource::{LogicalResource, Resource, ResourceTable};
+use crate::user::{Group, User, UserTable};
+use serde::{Deserialize, Serialize};
+use srb_types::{DatasetId, IdGen, SimClock, SrbError, SrbResult, UserId};
+
+/// A complete, self-contained image of a catalog.
+#[derive(Debug, Serialize, Deserialize)]
+pub struct CatalogSnapshot {
+    /// Snapshot format version.
+    pub version: u32,
+    /// Highest id allocated when the snapshot was taken.
+    pub next_id_floor: u64,
+    /// The bootstrap administrator.
+    pub admin: UserId,
+    /// Users.
+    pub users: Vec<User>,
+    /// Groups.
+    pub groups: Vec<Group>,
+    /// Physical resources.
+    pub resources: Vec<Resource>,
+    /// Logical resources.
+    pub logical_resources: Vec<LogicalResource>,
+    /// Collections (including the root).
+    pub collections: Vec<Collection>,
+    /// Datasets with their replicas.
+    pub datasets: Vec<Dataset>,
+    /// Containers.
+    pub containers: Vec<ContainerRecord>,
+    /// Metadata triplets.
+    pub metadata: Vec<MetaRow>,
+    /// File-based metadata associations.
+    pub meta_files: Vec<(Subject, Vec<DatasetId>)>,
+    /// Annotations.
+    pub annotations: Vec<Annotation>,
+    /// The audit trail.
+    pub audit: Vec<AuditRow>,
+}
+
+/// Current snapshot format version.
+pub const SNAPSHOT_VERSION: u32 = 1;
+
+impl Mcat {
+    /// Capture the whole catalog.
+    pub fn snapshot(&self) -> CatalogSnapshot {
+        let (metadata, meta_files) = self.metadata.dump();
+        CatalogSnapshot {
+            version: SNAPSHOT_VERSION,
+            next_id_floor: self.ids.allocated(),
+            admin: self.admin(),
+            users: self.users.list_users(),
+            groups: self.users.list_groups(),
+            resources: self.resources.list(),
+            logical_resources: self.resources.list_logical(),
+            collections: self.collections.dump(),
+            datasets: self.datasets.dump(),
+            containers: self.containers.list(),
+            metadata,
+            meta_files,
+            annotations: self.annotations.dump(),
+            audit: self.audit.dump(),
+        }
+    }
+
+    /// Capture the whole catalog as a JSON string.
+    pub fn snapshot_json(&self) -> String {
+        serde_json::to_string(&self.snapshot()).expect("snapshot serializes")
+    }
+
+    /// Rebuild a catalog from a snapshot, sharing `clock`.
+    pub fn restore(clock: SimClock, snap: CatalogSnapshot) -> SrbResult<Mcat> {
+        if snap.version != SNAPSHOT_VERSION {
+            return Err(SrbError::Invalid(format!(
+                "unsupported snapshot version {} (expected {SNAPSHOT_VERSION})",
+                snap.version
+            )));
+        }
+        if !snap.collections.iter().any(|c| c.path.is_root()) {
+            return Err(SrbError::Invalid("snapshot has no root collection".into()));
+        }
+        if !snap.users.iter().any(|u| u.id == snap.admin) {
+            return Err(SrbError::Invalid(
+                "snapshot admin is not among its users".into(),
+            ));
+        }
+        let ids = IdGen::new();
+        ids.ensure_floor(snap.next_id_floor);
+        Ok(Mcat::from_parts(
+            ids,
+            clock,
+            snap.admin,
+            UserTable::restore(snap.users, snap.groups),
+            ResourceTable::restore(snap.resources, snap.logical_resources),
+            CollectionTable::restore(snap.collections),
+            DatasetTable::restore(snap.datasets),
+            ContainerTable::restore(snap.containers),
+            MetaStore::restore(snap.metadata, snap.meta_files),
+            AnnotationTable::restore(snap.annotations),
+            AuditLog::restore(snap.audit),
+        ))
+    }
+
+    /// Rebuild from a JSON snapshot string.
+    pub fn restore_json(clock: SimClock, json: &str) -> SrbResult<Mcat> {
+        let snap: CatalogSnapshot = serde_json::from_str(json)
+            .map_err(|e| SrbError::Parse(format!("snapshot JSON: {e}")))?;
+        Mcat::restore(clock, snap)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::AccessSpec;
+    use crate::metadata::MetaKind;
+    use crate::query::Query;
+    use srb_types::{CompareOp, LogicalPath, ResourceId, Triplet};
+
+    fn seeded() -> Mcat {
+        let m = Mcat::new(SimClock::new(), "pw");
+        let root = m.collections.root();
+        let admin = m.admin();
+        let now = m.clock.now();
+        let zoo = m
+            .collections
+            .create(&m.ids, root, "zoo", admin, now)
+            .unwrap();
+        let ds = m
+            .datasets
+            .create(
+                &m.ids,
+                zoo,
+                "condor.jpg",
+                "jpeg image",
+                admin,
+                vec![(
+                    AccessSpec::Stored {
+                        resource: ResourceId(1),
+                        phys_path: "/p/1".into(),
+                    },
+                    1000,
+                    Some("abc".into()),
+                )],
+                now,
+            )
+            .unwrap();
+        m.metadata.add(
+            &m.ids,
+            Subject::Dataset(ds),
+            Triplet::new("wingspan", 290, "cm"),
+            MetaKind::UserDefined,
+        );
+        m.annotations.add(
+            &m.ids,
+            Subject::Dataset(ds),
+            admin,
+            now,
+            crate::annotation::AnnotationKind::Comment,
+            "",
+            "nice bird",
+        );
+        m.users
+            .register(&m.ids, "sekar", "sdsc", "pw2", false)
+            .unwrap();
+        let g = m.users.create_group(&m.ids, "curators").unwrap();
+        m.users
+            .add_to_group(m.users.find("sekar", "sdsc").unwrap().id, g)
+            .unwrap();
+        m
+    }
+
+    #[test]
+    fn snapshot_round_trip_preserves_everything() {
+        let m = seeded();
+        let json = m.snapshot_json();
+        let clock = SimClock::new();
+        let r = Mcat::restore_json(clock, &json).unwrap();
+        // Counts match.
+        assert_eq!(r.summary(), m.summary());
+        // Path resolution and indexes were rebuilt.
+        let path = LogicalPath::parse("/zoo/condor.jpg").unwrap();
+        let ds = r.resolve_dataset(&path).unwrap();
+        assert_eq!(r.dataset_path(ds).unwrap(), path);
+        let q = Query::everywhere().and("wingspan", CompareOp::Gt, 100i64);
+        assert_eq!(r.query(&q).unwrap().len(), 1);
+        assert_eq!(r.query(&q).unwrap(), r.query_scan(&q).unwrap());
+        // Users, groups and verifiers survived (sekar can authenticate).
+        let sekar = r.users.find("sekar", "sdsc").unwrap();
+        assert_eq!(
+            sekar.verifier,
+            crate::user::derive_verifier("pw2"),
+            "password verifier preserved"
+        );
+        assert_eq!(r.users.groups_of(sekar.id).len(), 1);
+        // Annotations and audit survived.
+        assert_eq!(r.annotations.for_subject(Subject::Dataset(ds)).len(), 1);
+        assert_eq!(r.audit.count(), m.audit.count());
+    }
+
+    #[test]
+    fn restored_catalog_keeps_allocating_fresh_ids() {
+        let m = seeded();
+        let floor = m.ids.allocated();
+        let r = Mcat::restore_json(SimClock::new(), &m.snapshot_json()).unwrap();
+        let root = r.collections.root();
+        let new_coll = r
+            .collections
+            .create(&r.ids, root, "fresh", r.admin(), r.clock.now())
+            .unwrap();
+        assert!(new_coll.raw() > floor, "ids must not collide after restore");
+    }
+
+    #[test]
+    fn bad_snapshots_rejected() {
+        assert!(Mcat::restore_json(SimClock::new(), "not json").is_err());
+        let m = seeded();
+        let mut snap = m.snapshot();
+        snap.version = 99;
+        assert!(Mcat::restore(SimClock::new(), snap).is_err());
+        let mut snap = m.snapshot();
+        snap.collections.clear();
+        assert!(Mcat::restore(SimClock::new(), snap).is_err());
+        let mut snap = m.snapshot();
+        snap.users.clear();
+        assert!(Mcat::restore(SimClock::new(), snap).is_err());
+    }
+
+    #[test]
+    fn mutations_after_restore_do_not_corrupt_indexes() {
+        let m = seeded();
+        let r = Mcat::restore_json(SimClock::new(), &m.snapshot_json()).unwrap();
+        let path = LogicalPath::parse("/zoo/condor.jpg").unwrap();
+        let ds = r.resolve_dataset(&path).unwrap();
+        // Move the dataset and delete its metadata — the rebuilt indexes
+        // must behave exactly like the originals.
+        let root = r.collections.root();
+        r.datasets.move_dataset(ds, root, "renamed.jpg").unwrap();
+        assert!(r.resolve_dataset(&path).is_err());
+        let new_path = LogicalPath::parse("/renamed.jpg").unwrap();
+        assert_eq!(r.resolve_dataset(&new_path).unwrap(), ds);
+        r.metadata.remove_all(Subject::Dataset(ds));
+        let q = Query::everywhere().and("wingspan", CompareOp::Gt, 100i64);
+        assert!(r.query(&q).unwrap().is_empty());
+    }
+}

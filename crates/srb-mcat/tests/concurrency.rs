@@ -1,0 +1,173 @@
+//! Concurrency stress tests over the catalog: parallel writers and
+//! readers must never corrupt indexes or lose updates.
+
+use srb_mcat::{Mcat, MetaKind, Query, Subject};
+use srb_types::{CompareOp, LogicalPath, SimClock, Timestamp, Triplet};
+
+fn mcat() -> Mcat {
+    Mcat::new(SimClock::new(), "pw")
+}
+
+#[test]
+fn parallel_metadata_ingest_and_query() {
+    let m = mcat();
+    let root = m.collections.root();
+    let admin = m.admin();
+    let coll = m
+        .collections
+        .create(&m.ids, root, "stress", admin, Timestamp(0))
+        .unwrap();
+    // Pre-create datasets so threads only race on metadata.
+    let ids: Vec<_> = (0..400)
+        .map(|i| {
+            m.datasets
+                .create(
+                    &m.ids,
+                    coll,
+                    &format!("d{i}"),
+                    "generic",
+                    admin,
+                    vec![],
+                    Timestamp(0),
+                )
+                .unwrap()
+        })
+        .collect();
+    std::thread::scope(|s| {
+        // Four writer threads attach metadata to disjoint quarters.
+        for q in 0..4 {
+            let m = &m;
+            let ids = &ids;
+            s.spawn(move || {
+                for (i, d) in ids.iter().enumerate().skip(q * 100).take(100) {
+                    m.metadata.add(
+                        &m.ids,
+                        Subject::Dataset(*d),
+                        Triplet::new("n", i as i64, ""),
+                        MetaKind::UserDefined,
+                    );
+                }
+            });
+        }
+        // Two query threads run concurrently with the writers.
+        for _ in 0..2 {
+            let m = &m;
+            s.spawn(move || {
+                for _ in 0..50 {
+                    let q = Query::everywhere().and("n", CompareOp::Ge, 0i64);
+                    let hits = m.query(&q).unwrap();
+                    // Monotonically growing result set; never an error.
+                    assert!(hits.len() <= 400);
+                }
+            });
+        }
+    });
+    assert_eq!(m.metadata.count(), 400);
+    let hits = m
+        .query(&Query::everywhere().and("n", CompareOp::Ge, 0i64))
+        .unwrap();
+    assert_eq!(hits.len(), 400);
+    // Index agrees with scan after the dust settles.
+    let scan = m
+        .query_scan(&Query::everywhere().and("n", CompareOp::Ge, 0i64))
+        .unwrap();
+    assert_eq!(hits, scan);
+}
+
+#[test]
+fn parallel_collection_creation_is_name_safe() {
+    let m = mcat();
+    let root = m.collections.root();
+    let admin = m.admin();
+    // Many threads race to create the same names: exactly one winner each.
+    let created = std::sync::atomic::AtomicUsize::new(0);
+    std::thread::scope(|s| {
+        for _ in 0..8 {
+            let m = &m;
+            let created = &created;
+            s.spawn(move || {
+                for i in 0..50 {
+                    if m.collections
+                        .create(&m.ids, root, &format!("c{i}"), admin, Timestamp(0))
+                        .is_ok()
+                    {
+                        created.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    }
+                }
+            });
+        }
+    });
+    assert_eq!(created.load(std::sync::atomic::Ordering::Relaxed), 50);
+    assert_eq!(m.collections.count(), 51); // root + 50
+    for i in 0..50 {
+        assert!(m
+            .collections
+            .resolve(&LogicalPath::parse(&format!("/c{i}")).unwrap())
+            .is_ok());
+    }
+}
+
+#[test]
+fn parallel_dataset_creation_unique_names() {
+    let m = mcat();
+    let root = m.collections.root();
+    let admin = m.admin();
+    let coll = m
+        .collections
+        .create(&m.ids, root, "c", admin, Timestamp(0))
+        .unwrap();
+    let wins = std::sync::atomic::AtomicUsize::new(0);
+    std::thread::scope(|s| {
+        for _ in 0..8 {
+            let m = &m;
+            let wins = &wins;
+            s.spawn(move || {
+                for i in 0..100 {
+                    if m.datasets
+                        .create(
+                            &m.ids,
+                            coll,
+                            &format!("d{i}"),
+                            "generic",
+                            admin,
+                            vec![],
+                            Timestamp(0),
+                        )
+                        .is_ok()
+                    {
+                        wins.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    }
+                }
+            });
+        }
+    });
+    assert_eq!(wins.load(std::sync::atomic::Ordering::Relaxed), 100);
+    assert_eq!(m.datasets.count(), 100);
+    assert_eq!(m.datasets.list(coll).len(), 100);
+}
+
+#[test]
+fn audit_log_is_lossless_under_contention() {
+    let m = mcat();
+    std::thread::scope(|s| {
+        for t in 0..8u64 {
+            let m = &m;
+            s.spawn(move || {
+                for i in 0..500 {
+                    m.audit.record(
+                        &m.ids,
+                        Timestamp(i),
+                        srb_types::UserId(t),
+                        srb_mcat::AuditAction::Read,
+                        &format!("/f{t}-{i}"),
+                        "ok",
+                    );
+                }
+            });
+        }
+    });
+    assert_eq!(m.audit.count(), 4000);
+    for t in 0..8u64 {
+        assert_eq!(m.audit.for_user(srb_types::UserId(t)).len(), 500);
+    }
+}

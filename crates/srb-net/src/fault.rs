@@ -1,0 +1,126 @@
+//! Failure injection.
+//!
+//! The paper's fault-tolerance story — "the system automatically redirecting
+//! access to a replica on a separate storage system when the first storage
+//! system is unavailable" — needs unavailable storage systems to test
+//! against. `FaultPlan` is a shared switchboard: experiments flip resources
+//! and whole sites down and the storage/federation layers consult it before
+//! every access.
+
+use parking_lot::RwLock;
+use srb_types::{ResourceId, SiteId, SrbError, SrbResult};
+use std::collections::HashSet;
+
+/// Shared record of which resources and sites are currently down.
+#[derive(Debug, Default)]
+pub struct FaultPlan {
+    inner: RwLock<Inner>,
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    down_resources: HashSet<ResourceId>,
+    down_sites: HashSet<SiteId>,
+}
+
+impl FaultPlan {
+    /// Everything healthy.
+    pub fn new() -> Self {
+        FaultPlan::default()
+    }
+
+    /// Mark one storage resource down.
+    pub fn fail_resource(&self, r: ResourceId) {
+        self.inner.write().down_resources.insert(r);
+    }
+
+    /// Bring a storage resource back.
+    pub fn restore_resource(&self, r: ResourceId) {
+        self.inner.write().down_resources.remove(&r);
+    }
+
+    /// Mark an entire site down (all its resources become unreachable).
+    pub fn fail_site(&self, s: SiteId) {
+        self.inner.write().down_sites.insert(s);
+    }
+
+    /// Bring a site back.
+    pub fn restore_site(&self, s: SiteId) {
+        self.inner.write().down_sites.remove(&s);
+    }
+
+    /// Is this resource (at this site) reachable?
+    pub fn is_up(&self, r: ResourceId, site: SiteId) -> bool {
+        let g = self.inner.read();
+        !g.down_resources.contains(&r) && !g.down_sites.contains(&site)
+    }
+
+    /// Error unless the resource is reachable.
+    pub fn check(&self, r: ResourceId, site: SiteId) -> SrbResult<()> {
+        if self.is_up(r, site) {
+            Ok(())
+        } else {
+            Err(SrbError::ResourceUnavailable(format!(
+                "resource {r} at site {site} is down"
+            )))
+        }
+    }
+
+    /// Restore everything.
+    pub fn heal_all(&self) {
+        let mut g = self.inner.write();
+        g.down_resources.clear();
+        g.down_sites.clear();
+    }
+
+    /// Number of currently failed resources (not counting site failures).
+    pub fn failed_resource_count(&self) -> usize {
+        self.inner.read().down_resources.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn resources_start_up() {
+        let f = FaultPlan::new();
+        assert!(f.is_up(ResourceId(1), SiteId(0)));
+        assert!(f.check(ResourceId(1), SiteId(0)).is_ok());
+    }
+
+    #[test]
+    fn fail_and_restore_resource() {
+        let f = FaultPlan::new();
+        f.fail_resource(ResourceId(1));
+        assert!(!f.is_up(ResourceId(1), SiteId(0)));
+        assert!(f.is_up(ResourceId(2), SiteId(0)));
+        let err = f.check(ResourceId(1), SiteId(0)).unwrap_err();
+        assert!(err.is_retryable());
+        f.restore_resource(ResourceId(1));
+        assert!(f.is_up(ResourceId(1), SiteId(0)));
+    }
+
+    #[test]
+    fn site_failure_takes_down_all_its_resources() {
+        let f = FaultPlan::new();
+        f.fail_site(SiteId(3));
+        assert!(!f.is_up(ResourceId(1), SiteId(3)));
+        assert!(!f.is_up(ResourceId(2), SiteId(3)));
+        assert!(f.is_up(ResourceId(1), SiteId(0)));
+        f.restore_site(SiteId(3));
+        assert!(f.is_up(ResourceId(1), SiteId(3)));
+    }
+
+    #[test]
+    fn heal_all_clears_everything() {
+        let f = FaultPlan::new();
+        f.fail_resource(ResourceId(1));
+        f.fail_site(SiteId(1));
+        assert_eq!(f.failed_resource_count(), 1);
+        f.heal_all();
+        assert!(f.is_up(ResourceId(1), SiteId(1)));
+        assert_eq!(f.failed_resource_count(), 0);
+    }
+}

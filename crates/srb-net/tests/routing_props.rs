@@ -1,0 +1,97 @@
+//! Property tests for the WAN model: Dijkstra routes are validated against
+//! a Floyd–Warshall reference on random topologies.
+
+use proptest::prelude::*;
+use srb_net::{LinkSpec, NetworkBuilder};
+use srb_types::SiteId;
+
+fn random_topology(n: usize, edges: &[(u8, u8, u8)]) -> (srb_net::Network, Vec<Vec<Option<u64>>>) {
+    let mut b = NetworkBuilder::new();
+    for i in 0..n {
+        b.site(&format!("s{i}"));
+    }
+    // Reference all-pairs cost matrix on the 1 KiB metric.
+    let mut dist: Vec<Vec<Option<u64>>> = vec![vec![None; n]; n];
+    for (i, row) in dist.iter_mut().enumerate() {
+        row[i] = Some(0);
+    }
+    for (a, bb, lat) in edges {
+        let (a, bb) = ((*a as usize) % n, (*bb as usize) % n);
+        if a == bb {
+            continue;
+        }
+        let spec = LinkSpec {
+            latency_us: 100 + *lat as u64 * 997,
+            bandwidth_mbps: 10.0,
+        };
+        b.link(SiteId(a as u64), SiteId(bb as u64), spec);
+        let w = spec.transfer_ns(1024);
+        // Keep the *minimum* weight if proptest generated a duplicate edge
+        // (NetworkBuilder last-write-wins, so mirror that instead).
+        dist[a][bb] = Some(w);
+        dist[bb][a] = Some(w);
+    }
+    // Floyd–Warshall.
+    for k in 0..n {
+        for i in 0..n {
+            for j in 0..n {
+                if let (Some(ik), Some(kj)) = (dist[i][k], dist[k][j]) {
+                    let via = ik + kj;
+                    if dist[i][j].map(|d| via < d).unwrap_or(true) {
+                        dist[i][j] = Some(via);
+                    }
+                }
+            }
+        }
+    }
+    (b.build(), dist)
+}
+
+#[allow(clippy::needless_range_loop)] // i/j index two matrices at once
+mod props {
+    use super::*;
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(48))]
+
+        #[test]
+        fn dijkstra_matches_floyd_warshall(
+            n in 2usize..8,
+            edges in prop::collection::vec((any::<u8>(), any::<u8>(), any::<u8>()), 1..20),
+        ) {
+            let (net, reference) = random_topology(n, &edges);
+            for i in 0..n {
+                for j in 0..n {
+                    let route = net.route(SiteId(i as u64), SiteId(j as u64));
+                    match reference[i][j] {
+                        Some(expected) => {
+                            let r = route.unwrap();
+                            prop_assert_eq!(
+                                r.transfer_ns(1024), expected,
+                                "route {}->{}", i, j
+                            );
+                            // Route endpoints are correct and hops are
+                            // consistent with the link count.
+                            prop_assert_eq!(r.hops.first(), Some(&SiteId(i as u64)));
+                            prop_assert_eq!(r.hops.last(), Some(&SiteId(j as u64)));
+                            prop_assert_eq!(r.hops.len(), r.links.len() + 1);
+                        }
+                        None => prop_assert!(route.is_err(), "route {}->{} should not exist", i, j),
+                    }
+                }
+            }
+        }
+
+        #[test]
+        fn transfer_cost_is_monotone_in_size(
+            latency in 1u64..100_000,
+            mbps in 1u32..1000,
+            a in 0u64..1_000_000,
+            b in 0u64..1_000_000,
+        ) {
+            let l = LinkSpec { latency_us: latency, bandwidth_mbps: mbps as f64 };
+            let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+            prop_assert!(l.transfer_ns(lo) <= l.transfer_ns(hi));
+            prop_assert!(l.transfer_ns(0) == latency * 1000);
+        }
+    }
+}

@@ -1,0 +1,123 @@
+//! The workspace-wide error type.
+//!
+//! SRB is a distributed system: almost every operation can fail because an
+//! entity is missing, a permission is lacking, a resource is down, or a
+//! protocol step was violated. One enum keeps error handling uniform across
+//! the catalog, the storage drivers, the federation and the web front-end.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Result alias used across the workspace.
+pub type SrbResult<T> = Result<T, SrbError>;
+
+/// All failure modes surfaced by the data grid.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SrbError {
+    /// The named entity does not exist in the catalog or on storage.
+    NotFound(String),
+    /// An entity with this name already exists where uniqueness is required.
+    AlreadyExists(String),
+    /// The authenticated user lacks the permission the operation requires.
+    PermissionDenied(String),
+    /// Authentication failed (bad credentials, expired session, bad ticket).
+    AuthFailed(String),
+    /// A storage resource is unavailable (down, unreachable, out of space).
+    ResourceUnavailable(String),
+    /// The object is locked, pinned or checked out in a conflicting way.
+    Locked(String),
+    /// Input was syntactically or semantically invalid.
+    Invalid(String),
+    /// A required structural-metadata attribute was not supplied.
+    MissingMetadata(String),
+    /// The operation is not supported for this object type (e.g. replicating
+    /// a file inside a registered directory).
+    Unsupported(String),
+    /// Low-level I/O failure inside a storage driver.
+    Io(String),
+    /// Query or T-language parse error.
+    Parse(String),
+    /// Internal invariant violation — always a bug.
+    Internal(String),
+}
+
+impl SrbError {
+    /// Short machine-readable code, used in audit rows and HTTP replies.
+    pub fn code(&self) -> &'static str {
+        match self {
+            SrbError::NotFound(_) => "NOT_FOUND",
+            SrbError::AlreadyExists(_) => "ALREADY_EXISTS",
+            SrbError::PermissionDenied(_) => "PERMISSION_DENIED",
+            SrbError::AuthFailed(_) => "AUTH_FAILED",
+            SrbError::ResourceUnavailable(_) => "RESOURCE_UNAVAILABLE",
+            SrbError::Locked(_) => "LOCKED",
+            SrbError::Invalid(_) => "INVALID",
+            SrbError::MissingMetadata(_) => "MISSING_METADATA",
+            SrbError::Unsupported(_) => "UNSUPPORTED",
+            SrbError::Io(_) => "IO",
+            SrbError::Parse(_) => "PARSE",
+            SrbError::Internal(_) => "INTERNAL",
+        }
+    }
+
+    /// True when retrying against a different replica could succeed.
+    ///
+    /// The federation's failover logic uses this to decide whether to try
+    /// the next replica rather than give up.
+    pub fn is_retryable(&self) -> bool {
+        matches!(self, SrbError::ResourceUnavailable(_) | SrbError::Io(_))
+    }
+
+    /// The human-readable detail attached at construction.
+    pub fn detail(&self) -> &str {
+        match self {
+            SrbError::NotFound(s)
+            | SrbError::AlreadyExists(s)
+            | SrbError::PermissionDenied(s)
+            | SrbError::AuthFailed(s)
+            | SrbError::ResourceUnavailable(s)
+            | SrbError::Locked(s)
+            | SrbError::Invalid(s)
+            | SrbError::MissingMetadata(s)
+            | SrbError::Unsupported(s)
+            | SrbError::Io(s)
+            | SrbError::Parse(s)
+            | SrbError::Internal(s) => s,
+        }
+    }
+}
+
+impl fmt::Display for SrbError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: {}", self.code(), self.detail())
+    }
+}
+
+impl std::error::Error for SrbError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn codes_are_stable() {
+        assert_eq!(SrbError::NotFound("x".into()).code(), "NOT_FOUND");
+        assert_eq!(SrbError::AuthFailed("x".into()).code(), "AUTH_FAILED");
+        assert_eq!(SrbError::Parse("x".into()).code(), "PARSE");
+    }
+
+    #[test]
+    fn retryable_only_for_transient_failures() {
+        assert!(SrbError::ResourceUnavailable("down".into()).is_retryable());
+        assert!(SrbError::Io("disk".into()).is_retryable());
+        assert!(!SrbError::PermissionDenied("no".into()).is_retryable());
+        assert!(!SrbError::NotFound("no".into()).is_retryable());
+    }
+
+    #[test]
+    fn display_includes_code_and_detail() {
+        let e = SrbError::Locked("dataset d3 exclusively locked".into());
+        assert_eq!(e.to_string(), "LOCKED: dataset d3 exclusively locked");
+        assert_eq!(e.detail(), "dataset d3 exclusively locked");
+    }
+}

@@ -1,0 +1,25 @@
+#![warn(missing_docs)]
+//! Common foundation types for the `srb-grid` workspace.
+//!
+//! This crate holds everything that more than one subsystem needs but that
+//! carries no policy of its own: strongly typed identifiers, the error type,
+//! the logical name space path representation, the deterministic virtual
+//! clock used by the simulated WAN, metadata value types with the comparison
+//! operators the MCAT query language exposes, the access-control model, and
+//! a from-scratch SHA-256/HMAC used by the single-sign-on handshake.
+
+pub mod acl;
+pub mod clock;
+pub mod error;
+pub mod hash;
+pub mod id;
+pub mod path;
+pub mod value;
+
+pub use acl::{AccessMatrix, Permission, Role};
+pub use clock::{SimClock, Timestamp};
+pub use error::{SrbError, SrbResult};
+pub use hash::{ct_eq, from_hex, hmac_sha256, sha256, sha256_hex, to_hex, Sha256};
+pub use id::*;
+pub use path::LogicalPath;
+pub use value::{CompareOp, MetaValue, Triplet};

@@ -1,0 +1,195 @@
+//! The paper's §4 exemplar scenario, end to end: a curator builds the
+//! "Avian Culture" collection under "Cultures", gathering distributed
+//! files, images, registered URLs, live SQL queries and linked objects,
+//! with structural metadata ("MetaCore for Cultures"), contributor roles,
+//! annotations, and finally public browsing + querying.
+//!
+//! ```text
+//! cargo run --example avian_culture
+//! ```
+
+use srb_grid::prelude::*;
+
+fn main() -> SrbResult<()> {
+    // A three-site grid: the curator's home site plus two remote archives.
+    let mut gb = GridBuilder::new();
+    let sdsc = gb.site("sdsc");
+    let caltech = gb.site("caltech");
+    let ncsa = gb.site("ncsa");
+    gb.default_link(LinkSpec::wan());
+    gb.link(sdsc, caltech, LinkSpec::metro());
+    let srv = gb.server("srb-sdsc", sdsc);
+    let srv_ct = gb.server("srb-caltech", caltech);
+    let srv_nc = gb.server("srb-ncsa", ncsa);
+    gb.fs_resource("unix-sdsc", srv)
+        .archive_resource("hpss-caltech", srv_ct)
+        .fs_resource("unix-ncsa", srv_nc)
+        .db_resource("oracle-dlib", srv_ct);
+    let grid = gb.build();
+    grid.register_user("curator", "sdsc", "pw")?;
+    grid.register_user("colleague", "ncsa", "pw2")?;
+
+    let curator = SrbConnection::connect(&grid, srv, "curator", "sdsc", "pw")?;
+
+    // --- Build the collection hierarchy with structural metadata. -------
+    curator.make_collection("/home/curator/Cultures/Avian Culture")?;
+    let cultures = grid
+        .mcat
+        .collections
+        .resolve(&LogicalPath::parse("/home/curator/Cultures")?)?;
+    grid.mcat.collections.set_requirements(
+        cultures,
+        vec![AttrRequirement::mandatory(
+            "culture",
+            "MetaCore for Cultures: which culture does this item document?",
+        )],
+    )?;
+    let avian = grid
+        .mcat
+        .collections
+        .resolve(&LogicalPath::parse("/home/curator/Cultures/Avian Culture")?)?;
+    grid.mcat.collections.set_requirements(
+        avian,
+        vec![AttrRequirement::vocabulary(
+            "medium",
+            &["image", "movie", "text", "sound"],
+            "what kind of media this item is",
+        )],
+    )?;
+    println!("collection built with structural metadata requirements");
+
+    // --- The curator ingests her own materials. --------------------------
+    curator.ingest(
+        "/home/curator/Cultures/Avian Culture/condor-notes.txt",
+        b"Field notes on the Andean condor, 2001.\nWingspan: 290\n",
+        IngestOptions::to_resource("unix-sdsc")
+            .with_type("ascii text")
+            .with_metadata(Triplet::new("culture", "avian", ""))
+            .with_metadata(Triplet::new("medium", "text", ""))
+            .with_metadata(Triplet::new("species", "Vultur gryphus", "")),
+    )?;
+    // Metadata extraction with a T-language rule over the notes file.
+    let extracted = curator.extract_metadata(
+        "/home/curator/Cultures/Avian Culture/condor-notes.txt",
+        "extract Wingspan after \"Wingspan:\"\nunits Wingspan \"cm\"\n",
+    )?;
+    println!(
+        "extracted {} triplet(s) from the notes file",
+        extracted.len()
+    );
+
+    // --- Outside materials: registered, not copied. ----------------------
+    grid.web.host_static(
+        "http://museum.example/avian/flight.mov",
+        &b"QuickTime movie bytes"[..],
+    );
+    curator.register(
+        "/home/curator/Cultures/Avian Culture/flight-movie",
+        RegisterSpec::Url {
+            url: "http://museum.example/avian/flight.mov".into(),
+        },
+        IngestOptions::default()
+            .with_metadata(Triplet::new("culture", "avian", ""))
+            .with_metadata(Triplet::new("medium", "movie", "")),
+    )?;
+    // A live database of specimen records, exposed as a registered SQL
+    // object rendered as an HTML table.
+    let db = grid.driver(grid.resource_id("oracle-dlib")?)?;
+    let db = db.as_db().expect("oracle-dlib is a database");
+    db.engine()
+        .execute("CREATE TABLE specimens (species, museum, year)")?;
+    db.engine().execute(
+        "INSERT INTO specimens VALUES \
+         ('Vultur gryphus','SDNHM',1998), ('Gymnogyps californianus','LACM',1987)",
+    )?;
+    curator.register(
+        "/home/curator/Cultures/Avian Culture/specimen-table",
+        RegisterSpec::Sql {
+            resource: "oracle-dlib".into(),
+            sql: "SELECT species, museum, year FROM specimens".into(),
+            partial: false,
+            template: Template::HtmlRel,
+        },
+        IngestOptions::default()
+            .with_metadata(Triplet::new("culture", "avian", ""))
+            .with_metadata(Triplet::new("medium", "text", "")),
+    )?;
+    println!("registered a URL object and a live SQL object");
+
+    // --- A colleague contributes (with the required metadata). -----------
+    curator.grant(
+        "/home/curator/Cultures/Avian Culture",
+        grid.mcat.users.find("colleague", "ncsa").unwrap().id,
+        Permission::Write,
+    )?;
+    let colleague = SrbConnection::connect(&grid, srv_nc, "colleague", "ncsa", "pw2")?;
+    // Forgetting the mandatory attribute is rejected — the structural
+    // metadata is enforced, exactly as the scenario demands.
+    let missing = colleague.ingest(
+        "/home/curator/Cultures/Avian Culture/heron.jpg",
+        b"JPEG bytes",
+        IngestOptions::to_resource("unix-ncsa").with_type("jpeg image"),
+    );
+    println!("ingest without 'culture' attribute -> {missing:?}");
+    assert!(missing.is_err());
+    colleague.ingest(
+        "/home/curator/Cultures/Avian Culture/heron.jpg",
+        b"JPEG bytes",
+        IngestOptions::to_resource("unix-ncsa")
+            .with_type("jpeg image")
+            .with_metadata(Triplet::new("culture", "avian", ""))
+            .with_metadata(Triplet::new("medium", "image", ""))
+            .with_metadata(Triplet::new("species", "Ardea herodias", "")),
+    )?;
+
+    // --- Multi-modal relationships: links across collections. ------------
+    curator.make_collection("/home/curator/ByMedium/movies")?;
+    curator.link(
+        "/home/curator/Cultures/Avian Culture/flight-movie",
+        "/home/curator/ByMedium/movies/condor-flight",
+    )?;
+
+    // --- Dialogue, ratings, errata from readers. --------------------------
+    colleague.annotate(
+        "/home/curator/Cultures/Avian Culture/condor-notes.txt",
+        AnnotationKind::Dialogue,
+        "",
+        "Is the 290cm wingspan from a male specimen?",
+    )?;
+    colleague.annotate(
+        "/home/curator/Cultures/Avian Culture/condor-notes.txt",
+        AnnotationKind::Rating,
+        "overall",
+        "5",
+    )?;
+
+    // --- Publish and browse/query as the public. --------------------------
+    curator.grant_public("/home/curator/Cultures", Permission::Read)?;
+    let q = Query::everywhere()
+        .under(LogicalPath::parse("/home/curator/Cultures")?)
+        .and("medium", CompareOp::Eq, "image")
+        .show("species")
+        .show("culture");
+    let (hits, _) = curator.query(&q)?;
+    println!("\npublic query: images in the Cultures hierarchy");
+    for h in &hits {
+        println!("  {} -> {:?}", h.path, h.selected);
+    }
+    assert_eq!(hits.len(), 1);
+
+    // Open the SQL object the way a browser would.
+    let (content, _) = curator.open("/home/curator/Cultures/Avian Culture/specimen-table", &[])?;
+    println!(
+        "\nspecimen table rendered for the browser:\n{}",
+        content.display()
+    );
+
+    // The annotation-aware query finds the dialogue.
+    let q2 = Query::everywhere()
+        .and("annotation", CompareOp::Like, "%wingspan%")
+        .with_annotations();
+    let (hits2, _) = curator.query(&q2)?;
+    assert_eq!(hits2.len(), 1);
+    println!("annotation query found: {}", hits2[0].path);
+    Ok(())
+}

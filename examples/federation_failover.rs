@@ -1,0 +1,106 @@
+//! Fault tolerance and load balancing in a federated grid: replicate a
+//! hot dataset across three sites, drive it from a parallel client pool,
+//! kill a site mid-stream, and watch the federation redirect access —
+//! "the system automatically redirecting access to a replica on a
+//! separate storage system when the first storage system is unavailable".
+//!
+//! ```text
+//! cargo run --release --example federation_failover
+//! ```
+
+use srb_grid::prelude::*;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+fn main() -> SrbResult<()> {
+    let mut gb = GridBuilder::new();
+    let sdsc = gb.site("sdsc");
+    let caltech = gb.site("caltech");
+    let ncsa = gb.site("ncsa");
+    gb.default_link(LinkSpec::wan());
+    let srv_sdsc = gb.server("srb-sdsc", sdsc);
+    let srv_caltech = gb.server("srb-caltech", caltech);
+    let srv_ncsa = gb.server("srb-ncsa", ncsa);
+    gb.fs_resource("fs-sdsc", srv_sdsc)
+        .fs_resource("fs-caltech", srv_caltech)
+        .fs_resource("fs-ncsa", srv_ncsa);
+    let grid = gb.build();
+    grid.register_user("ops", "sdsc", "pw")?;
+
+    let conn = SrbConnection::connect(&grid, srv_sdsc, "ops", "sdsc", "pw")?;
+    conn.ingest(
+        "/home/ops/hot.dat",
+        &vec![0xABu8; 64 * 1024],
+        IngestOptions::to_resource("fs-sdsc"),
+    )?;
+    conn.replicate("/home/ops/hot.dat", "fs-caltech")?;
+    conn.replicate("/home/ops/hot.dat", "fs-ncsa")?;
+    println!("dataset replicated to 3 sites");
+
+    let reads_ok = AtomicU64::new(0);
+    let failovers = AtomicU64::new(0);
+    std::thread::scope(|s| {
+        // Client pool spread across contact servers.
+        for (i, srv) in [srv_sdsc, srv_caltech, srv_ncsa, srv_sdsc]
+            .iter()
+            .enumerate()
+        {
+            let grid = &grid;
+            let reads_ok = &reads_ok;
+            let failovers = &failovers;
+            let srv = *srv;
+            s.spawn(move || {
+                let conn = SrbConnection::connect(grid, srv, "ops", "sdsc", "pw").expect("connect");
+                for _ in 0..200 {
+                    match conn.read("/home/ops/hot.dat") {
+                        Ok((data, r)) => {
+                            assert_eq!(data.len(), 64 * 1024);
+                            reads_ok.fetch_add(1, Ordering::Relaxed);
+                            if r.replicas_tried > 1 {
+                                failovers.fetch_add(1, Ordering::Relaxed);
+                            }
+                        }
+                        Err(e) => panic!("client {i}: read failed: {e}"),
+                    }
+                }
+            });
+        }
+        // Chaos: take CalTech's storage down and up repeatedly.
+        let grid = &grid;
+        s.spawn(move || {
+            for _ in 0..30 {
+                grid.fail_resource("fs-caltech").unwrap();
+                std::thread::yield_now();
+                grid.restore_resource("fs-caltech").unwrap();
+                std::thread::yield_now();
+            }
+        });
+    });
+
+    let ok = reads_ok.load(Ordering::Relaxed);
+    println!(
+        "{ok}/800 reads succeeded; {} transparently failed over",
+        failovers.load(Ordering::Relaxed)
+    );
+    assert_eq!(ok, 800);
+
+    // Load-balance report: how the three replicas shared the traffic.
+    for name in ["fs-sdsc", "fs-caltech", "fs-ncsa"] {
+        let rid = grid.resource_id(name)?;
+        println!(
+            "  {name}: {} ops, {:.1} ms simulated busy time",
+            grid.load.completed(rid),
+            grid.load.busy_ns(rid) as f64 / 1e6
+        );
+    }
+
+    // Finally: lose the *primary* site entirely and keep serving.
+    grid.fail_resource("fs-sdsc")?;
+    grid.fail_resource("fs-caltech")?;
+    let (data, r) = conn.read("/home/ops/hot.dat")?;
+    println!(
+        "with two of three resources down: read {} bytes after trying {} replica(s)",
+        data.len(),
+        r.replicas_tried
+    );
+    Ok(())
+}

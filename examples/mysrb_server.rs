@@ -1,0 +1,90 @@
+//! Run the MySRB web interface over a demo grid and browse it for real.
+//!
+//! ```text
+//! cargo run --example mysrb_server
+//! # then open http://127.0.0.1:8474/ and sign on as sekar / sdsc / demo
+//! ```
+//!
+//! The demo grid is pre-seeded with the Avian Culture collection, a
+//! registered SQL object, and annotations, so Figure 1 (collection page)
+//! and Figure 2 (ingest form) of the paper can be reproduced in a browser.
+
+use srb_grid::prelude::*;
+use std::net::TcpListener;
+use std::sync::atomic::AtomicBool;
+
+fn main() -> SrbResult<()> {
+    let mut gb = GridBuilder::new();
+    let sdsc = gb.site("sdsc");
+    let caltech = gb.site("caltech");
+    gb.link(sdsc, caltech, LinkSpec::wan());
+    let srv = gb.server("srb-sdsc", sdsc);
+    let srv_ct = gb.server("srb-caltech", caltech);
+    gb.fs_resource("unix-sdsc", srv)
+        .archive_resource("hpss-caltech", srv_ct)
+        .db_resource("oracle-dlib", srv_ct)
+        .logical_resource("logrsrc1", &["unix-sdsc", "hpss-caltech"]);
+    let grid = gb.build();
+    grid.register_user("sekar", "sdsc", "demo")?;
+
+    // Seed content so the first browse shows something.
+    let conn = SrbConnection::connect(&grid, srv, "sekar", "sdsc", "demo")?;
+    conn.make_collection("/home/sekar/Cultures/Avian Culture")?;
+    let avian = grid
+        .mcat
+        .collections
+        .resolve(&LogicalPath::parse("/home/sekar/Cultures/Avian Culture")?)?;
+    grid.mcat.collections.set_requirements(
+        avian,
+        vec![
+            AttrRequirement::mandatory("culture", "culture name"),
+            AttrRequirement::vocabulary("medium", &["image", "movie", "text"], "media type"),
+        ],
+    )?;
+    conn.ingest(
+        "/home/sekar/Cultures/Avian Culture/condor-notes.txt",
+        b"Field notes on the Andean condor.\n",
+        IngestOptions::to_resource("logrsrc1")
+            .with_type("ascii text")
+            .with_metadata(Triplet::new("culture", "avian", ""))
+            .with_metadata(Triplet::new("medium", "text", ""))
+            .with_metadata(Triplet::new("species", "Vultur gryphus", "")),
+    )?;
+    conn.annotate(
+        "/home/sekar/Cultures/Avian Culture/condor-notes.txt",
+        AnnotationKind::Comment,
+        "",
+        "First entry of the collection.",
+    )?;
+    {
+        let db = grid.driver(grid.resource_id("oracle-dlib")?)?;
+        let db = db.as_db().expect("database resource");
+        db.engine()
+            .execute("CREATE TABLE specimens (species, museum)")?;
+        db.engine()
+            .execute("INSERT INTO specimens VALUES ('Vultur gryphus','SDNHM')")?;
+    }
+    conn.register(
+        "/home/sekar/Cultures/Avian Culture/specimens",
+        RegisterSpec::Sql {
+            resource: "oracle-dlib".into(),
+            sql: "SELECT species, museum FROM specimens".into(),
+            partial: false,
+            template: Template::HtmlRel,
+        },
+        IngestOptions::default()
+            .with_metadata(Triplet::new("culture", "avian", ""))
+            .with_metadata(Triplet::new("medium", "text", "")),
+    )?;
+
+    let app = MySrb::new(&grid, srv, 0xDEC0DE);
+    let addr = std::env::var("MYSRB_ADDR").unwrap_or_else(|_| "127.0.0.1:8474".to_string());
+    let listener = TcpListener::bind(&addr).expect("bind MySRB address");
+    println!("MySRB listening on http://{addr}/");
+    println!("sign on as: user 'sekar', domain 'sdsc', password 'demo'");
+    println!("then browse /home/sekar/Cultures/Avian Culture (Figure 1),");
+    println!("use [ingest file] for the Figure 2 form, and [query] to search.");
+    let shutdown = AtomicBool::new(false);
+    mysrb::http::serve(&app, listener, &shutdown);
+    Ok(())
+}

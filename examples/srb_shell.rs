@@ -1,0 +1,268 @@
+//! An Scommands-style shell over a demo grid — SRB shipped command-line
+//! utilities (Sls, Sput, Sget, Smkdir, …) alongside MySRB; the paper notes
+//! "the SRB allows ingestion through command line and API".
+//!
+//! ```text
+//! cargo run --example srb_shell            # interactive
+//! echo "Sls /home/sekar" | cargo run --example srb_shell   # scripted
+//! ```
+//!
+//! Commands:
+//! ```text
+//! Sls [path]                 list a collection
+//! Scd <path>                 change the working collection
+//! Smkdir <path>              create a collection
+//! Sput <path> <text…>        ingest text as a file
+//! Sget <path>                print a file
+//! Smeta <path> [n v [u]]     show / add metadata
+//! Sannotate <path> <text…>   attach a comment
+//! Squery <attr> <op> <value> conjunctive query from the working collection
+//! Sreplicate <path> <rsrc>   add a replica
+//! Ssync <path>               repair stale replicas
+//! Schksum <path>             verify replica checksums
+//! Sstat <path>               type/size/replicas/version
+//! Saudit                     recent audit rows
+//! Shelp / Squit
+//! ```
+
+use srb_grid::prelude::*;
+use std::io::{BufRead, Write};
+
+fn resolve(cwd: &str, arg: &str) -> String {
+    if arg.starts_with('/') {
+        arg.to_string()
+    } else {
+        format!("{}/{}", cwd.trim_end_matches('/'), arg)
+    }
+}
+
+fn main() -> SrbResult<()> {
+    let mut gb = GridBuilder::new();
+    let sdsc = gb.site("sdsc");
+    let caltech = gb.site("caltech");
+    gb.link(sdsc, caltech, LinkSpec::wan());
+    let srv = gb.server("srb-sdsc", sdsc);
+    let srv2 = gb.server("srb-caltech", caltech);
+    gb.fs_resource("unix-sdsc", srv)
+        .fs_resource("unix-caltech", srv2)
+        .archive_resource("hpss-caltech", srv2)
+        .logical_resource("logrsrc1", &["unix-sdsc", "hpss-caltech"]);
+    let mut grid = gb.build();
+    // Persistence: SRB_SHELL_STATE names a grid-state file; if it exists we
+    // restore the previous session's catalog and data, and `Ssave` writes
+    // back to it.
+    let state_file = std::env::var("SRB_SHELL_STATE").ok();
+    let restored = match &state_file {
+        Some(f) if std::path::Path::new(f).exists() => {
+            let json = std::fs::read_to_string(f).expect("read state file");
+            grid.restore_state(&json)?;
+            true
+        }
+        _ => false,
+    };
+    let grid = grid; // freeze
+    if !restored {
+        grid.register_user("sekar", "sdsc", "demo")?;
+    }
+    let conn = SrbConnection::connect(&grid, srv, "sekar", "sdsc", "demo")?;
+    if !restored {
+        conn.ingest(
+            "/home/sekar/welcome.txt",
+            b"Welcome to the SRB shell. Try: Sls, Sput notes.txt hello, Squery.\n",
+            IngestOptions::to_resource("unix-sdsc").with_type("ascii text"),
+        )?;
+    }
+
+    let mut cwd = "/home/sekar".to_string();
+    let stdin = std::io::stdin();
+    let interactive = atty_guess();
+    if interactive {
+        println!("SRB shell — connected to srb-sdsc as sekar@sdsc. Shelp for help.");
+    }
+    loop {
+        if interactive {
+            print!("srb:{cwd}> ");
+            std::io::stdout().flush().ok();
+        }
+        let mut line = String::new();
+        if stdin.lock().read_line(&mut line).unwrap_or(0) == 0 {
+            break;
+        }
+        let parts: Vec<&str> = line.split_whitespace().collect();
+        let Some((&cmd, args)) = parts.split_first() else {
+            continue;
+        };
+        let result = run_command(&conn, &mut cwd, cmd, args, state_file.as_deref());
+        match result {
+            Ok(Some(out)) => println!("{out}"),
+            Ok(None) => break,
+            Err(e) => println!("error: {e}"),
+        }
+    }
+    Ok(())
+}
+
+fn run_command(
+    conn: &SrbConnection<'_>,
+    cwd: &mut String,
+    cmd: &str,
+    args: &[&str],
+    state_file: Option<&str>,
+) -> SrbResult<Option<String>> {
+    let out = match cmd {
+        "Sls" => {
+            let path = args.first().map(|a| resolve(cwd, a)).unwrap_or(cwd.clone());
+            let (subs, files, _) = conn.list_collection(&path)?;
+            let mut s = String::new();
+            for c in subs {
+                s.push_str(&format!("  C- {c}/\n"));
+            }
+            for (name, ty, size) in files {
+                s.push_str(&format!("  {size:>8}  {ty:<14} {name}\n"));
+            }
+            s
+        }
+        "Scd" => {
+            let target = resolve(cwd, args.first().unwrap_or(&"/"));
+            conn.list_collection(&target)?; // errors if missing
+            *cwd = target;
+            String::new()
+        }
+        "Smkdir" => {
+            let p = resolve(cwd, args.first().ok_or_else(usage)?);
+            conn.make_collection(&p)?;
+            format!("created {p}")
+        }
+        "Sput" => {
+            let p = resolve(cwd, args.first().ok_or_else(usage)?);
+            let text = args[1..].join(" ");
+            conn.ingest(
+                &p,
+                text.as_bytes(),
+                IngestOptions::to_resource("unix-sdsc").with_type("ascii text"),
+            )?;
+            format!("ingested {} bytes to {p}", text.len())
+        }
+        "Sget" => {
+            let p = resolve(cwd, args.first().ok_or_else(usage)?);
+            let (data, r) = conn.read(&p)?;
+            format!(
+                "{}\n[{} bytes, replica {:?}, {:.2} simulated ms]",
+                String::from_utf8_lossy(&data),
+                data.len(),
+                r.served_by,
+                r.sim_ms()
+            )
+        }
+        "Smeta" => {
+            let p = resolve(cwd, args.first().ok_or_else(usage)?);
+            if args.len() >= 3 {
+                conn.add_metadata(
+                    &p,
+                    Triplet::new(args[1], args[2], *args.get(3).unwrap_or(&"")),
+                )?;
+                "metadata added".to_string()
+            } else {
+                conn.metadata(&p)?
+                    .iter()
+                    .map(|r| {
+                        format!(
+                            "  {} = {} {}\n",
+                            r.triplet.name,
+                            r.triplet.value.lexical(),
+                            r.triplet.units
+                        )
+                    })
+                    .collect()
+            }
+        }
+        "Sannotate" => {
+            let p = resolve(cwd, args.first().ok_or_else(usage)?);
+            conn.annotate(&p, AnnotationKind::Comment, "", &args[1..].join(" "))?;
+            "annotated".to_string()
+        }
+        "Squery" => {
+            if args.len() < 3 {
+                return Err(usage());
+            }
+            let q = Query::everywhere()
+                .under(LogicalPath::parse(cwd)?)
+                .and(
+                    args[0],
+                    CompareOp::parse(args[1])?,
+                    args[2..].join(" ").as_str(),
+                )
+                .show(args[0]);
+            let (hits, _) = conn.query(&q)?;
+            hits.iter()
+                .map(|h| format!("  {} ({:?})\n", h.path, h.selected))
+                .collect::<String>()
+                + &format!("{} hit(s)", hits.len())
+        }
+        "Sreplicate" => {
+            let p = resolve(cwd, args.first().ok_or_else(usage)?);
+            conn.replicate(&p, args.get(1).ok_or_else(usage)?)?;
+            "replicated".to_string()
+        }
+        "Ssync" => {
+            let p = resolve(cwd, args.first().ok_or_else(usage)?);
+            let (n, _) = conn.sync_replicas(&p)?;
+            format!("{n} replica(s) repaired")
+        }
+        "Schksum" => {
+            let p = resolve(cwd, args.first().ok_or_else(usage)?);
+            conn.verify_checksums(&p)?
+                .iter()
+                .map(|(num, st)| format!("  replica {num}: {st:?}\n"))
+                .collect()
+        }
+        "Sstat" => {
+            let p = resolve(cwd, args.first().ok_or_else(usage)?);
+            let (ty, size, nrep, ver) = conn.stat(&p)?;
+            format!("type={ty} size={size} replicas={nrep} version={ver}")
+        }
+        "Saudit" => conn
+            .grid()
+            .mcat
+            .audit
+            .recent(10)
+            .iter()
+            .map(|r| {
+                format!(
+                    "  {} {} {} {}\n",
+                    r.at,
+                    r.action.name(),
+                    r.subject,
+                    r.outcome
+                )
+            })
+            .collect(),
+        "Ssave" => {
+            let target = args
+                .first()
+                .map(|s| s.to_string())
+                .or_else(|| state_file.map(|s| s.to_string()))
+                .ok_or_else(usage)?;
+            let json = conn.grid().save_state()?;
+            std::fs::write(&target, &json)
+                .map_err(|e| SrbError::Io(format!("write {target}: {e}")))?;
+            format!("saved {} bytes of grid state to {target}", json.len())
+        }
+        "Shelp" => "commands: Sls Scd Smkdir Sput Sget Smeta Sannotate Squery \
+                    Sreplicate Ssync Schksum Sstat Saudit Ssave Squit"
+            .to_string(),
+        "Squit" | "Sexit" => return Ok(None),
+        other => format!("unknown command '{other}' — try Shelp"),
+    };
+    Ok(Some(out))
+}
+
+fn usage() -> SrbError {
+    SrbError::Invalid("missing argument — see Shelp".into())
+}
+
+/// Crude interactivity guess without an extra dependency: honour an env
+/// override, default to interactive.
+fn atty_guess() -> bool {
+    std::env::var("SRB_SHELL_BATCH").is_err()
+}

@@ -1,0 +1,186 @@
+//! Whole-stack integration: web app + SRB core + MCAT + storage + network
+//! in one scenario, exercised through the facade crate's prelude.
+
+use srb_grid::prelude::*;
+use srb_grid::web::{MySrb, Request};
+
+fn build_grid() -> (Grid, srb_grid::types::ServerId, srb_grid::types::ServerId) {
+    let mut gb = GridBuilder::new();
+    let sdsc = gb.site("sdsc");
+    let caltech = gb.site("caltech");
+    gb.link(sdsc, caltech, LinkSpec::wan());
+    let s1 = gb.server("srb-sdsc", sdsc);
+    let s2 = gb.server("srb-caltech", caltech);
+    gb.fs_resource("unix-sdsc", s1)
+        .cache_resource("cache-sdsc", s1, 1 << 20)
+        .archive_resource("hpss-caltech", s2)
+        .db_resource("oracle-dlib", s2)
+        .logical_resource("logrsrc1", &["unix-sdsc", "hpss-caltech"])
+        .logical_resource("ct-store", &["cache-sdsc", "hpss-caltech"]);
+    let grid = gb.build();
+    grid.register_user("alice", "sdsc", "pw-a").unwrap();
+    grid.register_user("bob", "caltech", "pw-b").unwrap();
+    (grid, s1, s2)
+}
+
+#[test]
+fn library_and_web_views_agree() {
+    let (grid, s1, _) = build_grid();
+    let conn = SrbConnection::connect(&grid, s1, "alice", "sdsc", "pw-a").unwrap();
+    conn.ingest(
+        "/home/alice/report.txt",
+        b"annual report",
+        IngestOptions::to_resource("logrsrc1")
+            .with_type("ascii text")
+            .with_metadata(Triplet::new("year", 2002i64, "")),
+    )
+    .unwrap();
+
+    let app = MySrb::new(&grid, s1, 3);
+    let resp = app.handle(&Request::post(
+        "/login",
+        "user=alice&domain=sdsc&password=pw-a",
+        None,
+    ));
+    let key = resp
+        .headers
+        .iter()
+        .find(|(k, _)| k == "Set-Cookie")
+        .and_then(|(_, v)| v.strip_prefix("mysrb_session="))
+        .map(|v| v.split(';').next().unwrap().to_string())
+        .unwrap();
+    // The web view shows exactly what the library API ingested.
+    let resp = app.handle(&Request::get(
+        "/view?path=%2Fhome%2Falice%2Freport.txt",
+        Some(&key),
+    ));
+    assert_eq!(resp.status, 200);
+    assert!(resp.text().contains("annual report"));
+    assert!(resp.text().contains("year"));
+    // Both sessions (library ticket + web session key) coexist.
+    let (data, _) = conn.read("/home/alice/report.txt").unwrap();
+    assert_eq!(&data[..], b"annual report");
+}
+
+#[test]
+fn cross_domain_users_share_through_grants() {
+    let (grid, s1, s2) = build_grid();
+    let alice = SrbConnection::connect(&grid, s1, "alice", "sdsc", "pw-a").unwrap();
+    let bob = SrbConnection::connect(&grid, s2, "bob", "caltech", "pw-b").unwrap();
+    alice
+        .ingest(
+            "/home/alice/shared.dat",
+            b"hello bob",
+            IngestOptions::to_resource("unix-sdsc"),
+        )
+        .unwrap();
+    assert!(bob.read("/home/alice/shared.dat").is_err());
+    alice
+        .grant("/home/alice/shared.dat", bob.user(), Permission::Write)
+        .unwrap();
+    // Bob, connected at CalTech, reads data stored at SDSC: a federated
+    // read — one hop to the (remote) MCAT, one to the data server.
+    let (data, receipt) = bob.read("/home/alice/shared.dat").unwrap();
+    assert_eq!(&data[..], b"hello bob");
+    assert_eq!(receipt.hops, 2);
+    // And writes back.
+    bob.write("/home/alice/shared.dat", b"hello alice").unwrap();
+    assert_eq!(
+        &alice.read("/home/alice/shared.dat").unwrap().0[..],
+        b"hello alice"
+    );
+}
+
+#[test]
+fn archive_container_web_roundtrip() {
+    let (grid, s1, _) = build_grid();
+    let conn = SrbConnection::connect(&grid, s1, "alice", "sdsc", "pw-a").unwrap();
+    conn.create_container("webct", "ct-store", 1 << 16).unwrap();
+    conn.ingest(
+        "/home/alice/tiny.txt",
+        b"inside a container",
+        IngestOptions::into_container("webct"),
+    )
+    .unwrap();
+    conn.sync_container("webct").unwrap();
+    conn.purge_container_cache("webct").unwrap();
+    // Viewing through the web triggers the archive recall transparently.
+    let app = MySrb::new(&grid, s1, 3);
+    let resp = app.handle(&Request::post(
+        "/login",
+        "user=alice&domain=sdsc&password=pw-a",
+        None,
+    ));
+    let key = resp
+        .headers
+        .iter()
+        .find(|(k, _)| k == "Set-Cookie")
+        .and_then(|(_, v)| v.strip_prefix("mysrb_session="))
+        .map(|v| v.split(';').next().unwrap().to_string())
+        .unwrap();
+    let resp = app.handle(&Request::get(
+        "/view?path=%2Fhome%2Falice%2Ftiny.txt",
+        Some(&key),
+    ));
+    assert_eq!(resp.status, 200);
+    assert!(resp.text().contains("inside a container"));
+}
+
+#[test]
+fn simulated_time_and_traffic_flow_through_the_stack() {
+    let (grid, s1, _) = build_grid();
+    let conn = SrbConnection::connect(&grid, s1, "alice", "sdsc", "pw-a").unwrap();
+    let big = vec![9u8; 1 << 20];
+    let r = conn
+        .ingest(
+            "/home/alice/big.bin",
+            &big,
+            IngestOptions::to_resource("hpss-caltech"),
+        )
+        .unwrap();
+    // 1 MiB over a 10 MB/s WAN is ≥ ~100 ms of simulated time.
+    assert!(r.sim_ns > 100_000_000, "got {} ns", r.sim_ns);
+    assert!(grid.network.bytes_moved() >= 1 << 20);
+    let (_, r2) = conn.read("/home/alice/big.bin").unwrap();
+    assert!(r2.sim_ns > 100_000_000);
+    assert_eq!(r2.hops, 1);
+}
+
+#[test]
+fn roles_ladder_maps_to_capabilities() {
+    let (grid, s1, _) = build_grid();
+    let alice = SrbConnection::connect(&grid, s1, "alice", "sdsc", "pw-a").unwrap();
+    alice
+        .ingest(
+            "/home/alice/doc",
+            b"x",
+            IngestOptions::to_resource("unix-sdsc"),
+        )
+        .unwrap();
+    let bob_id = grid.mcat.users.find("bob", "caltech").unwrap().id;
+    // Reader role: can read and annotate, cannot write.
+    alice
+        .grant("/home/alice/doc", bob_id, Role::Reader.permission())
+        .unwrap();
+    let bob = SrbConnection::connect(&grid, s1, "bob", "caltech", "pw-b").unwrap();
+    assert!(bob.read("/home/alice/doc").is_ok());
+    assert!(bob
+        .annotate("/home/alice/doc", AnnotationKind::Comment, "", "hi")
+        .is_ok());
+    assert!(bob.write("/home/alice/doc", b"no").is_err());
+    // Contributor role: can write, cannot change ACLs.
+    alice
+        .grant("/home/alice/doc", bob_id, Role::Contributor.permission())
+        .unwrap();
+    assert!(bob.write("/home/alice/doc", b"yes").is_ok());
+    assert!(bob
+        .grant("/home/alice/doc", bob_id, Permission::Own)
+        .is_err());
+    // Curator role: full control.
+    alice
+        .grant("/home/alice/doc", bob_id, Role::Curator.permission())
+        .unwrap();
+    assert!(bob
+        .grant_public("/home/alice/doc", Permission::Read)
+        .is_ok());
+}
