@@ -10,9 +10,9 @@
 //! virtual minutes; validation checks format, tag, table membership, and
 //! expiry.
 
-use parking_lot::{Mutex, RwLock};
 use rand::{RngCore, SeedableRng};
 use srb_core::SrbConnection;
+use srb_types::sync::{LockRank, Mutex, RwLock};
 use srb_types::{ct_eq, hmac_sha256, to_hex, SimClock, SrbError, SrbResult, Timestamp};
 use std::collections::HashMap;
 
@@ -46,8 +46,8 @@ impl<'g> SessionStore<'g> {
         SessionStore {
             clock,
             secret,
-            rng: Mutex::new(rng),
-            sessions: RwLock::new(HashMap::new()),
+            rng: Mutex::new(LockRank::Session, "web.session.rng", rng),
+            sessions: RwLock::new(LockRank::Session, "web.session.table", HashMap::new()),
         }
     }
 

@@ -7,8 +7,8 @@
 //! `HMAC(verifier, nonce)`, and receives a *ticket* every server in the
 //! federation honours. Tickets expire; expired tickets fail validation.
 
-use parking_lot::RwLock;
 use rand::{RngCore, SeedableRng};
+use srb_types::sync::{LockRank, Mutex, RwLock};
 use srb_types::{ct_eq, hmac_sha256, SimClock, SrbError, SrbResult, Timestamp, UserId};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -36,7 +36,7 @@ pub struct AuthService {
     sessions: RwLock<HashMap<[u8; 32], Session>>,
     pending: RwLock<HashMap<u64, [u8; 32]>>,
     challenge_seq: AtomicU64,
-    rng: parking_lot::Mutex<rand::rngs::StdRng>,
+    rng: Mutex<rand::rngs::StdRng>,
     auth_failures: AtomicU64,
 }
 
@@ -45,10 +45,14 @@ impl AuthService {
     pub fn new(clock: SimClock, seed: u64) -> Self {
         AuthService {
             clock,
-            sessions: RwLock::new(HashMap::new()),
-            pending: RwLock::new(HashMap::new()),
+            sessions: RwLock::new(LockRank::CoreState, "core.auth.sessions", HashMap::new()),
+            pending: RwLock::new(LockRank::CoreState, "core.auth.pending", HashMap::new()),
             challenge_seq: AtomicU64::new(1),
-            rng: parking_lot::Mutex::new(rand::rngs::StdRng::seed_from_u64(seed)),
+            rng: Mutex::new(
+                LockRank::CoreState,
+                "core.auth.rng",
+                rand::rngs::StdRng::seed_from_u64(seed),
+            ),
             auth_failures: AtomicU64::new(0),
         }
     }

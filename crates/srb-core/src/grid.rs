@@ -7,12 +7,12 @@
 
 use crate::auth::AuthService;
 use crate::proxy::ProxyRegistry;
-use parking_lot::RwLock;
 use srb_mcat::Mcat;
 use srb_net::{FaultPlan, LinkSpec, LoadTracker, Network, NetworkBuilder};
 use srb_storage::{
     ArchiveDriver, CacheDriver, DbDriver, DriverKind, FsDriver, StorageDriver, UrlDriver,
 };
+use srb_types::sync::{LockRank, RwLock};
 use srb_types::{
     LogicalResourceId, ResourceId, ServerId, SimClock, SiteId, SrbError, SrbResult, UserId,
 };
@@ -266,7 +266,11 @@ impl GridBuilder {
                     name: name.clone(),
                     site: *site,
                     proxies: ProxyRegistry::new(name),
-                    resources: RwLock::new(HashMap::new()),
+                    resources: RwLock::new(
+                        LockRank::CoreState,
+                        "core.server.resources",
+                        HashMap::new(),
+                    ),
                 },
             );
         }
@@ -330,7 +334,7 @@ impl GridBuilder {
             auth,
             web: UrlDriver::new(),
             servers,
-            resource_home: RwLock::new(resource_home),
+            resource_home: RwLock::new(LockRank::CoreState, "core.resource_home", resource_home),
             mcat_server: ServerId(self.mcat_server as u64),
         }
     }

@@ -190,7 +190,9 @@ impl SrbConnection<'_> {
         let name = lp
             .name()
             .ok_or_else(|| SrbError::Invalid("cannot ingest at the root".into()))?;
-        let parent = lp.parent().expect("non-root path");
+        let parent = lp
+            .parent()
+            .ok_or_else(|| SrbError::Invalid("cannot ingest at the root".into()))?;
         let mut receipt = self.mcat_rpc()?;
         let coll = self.grid.mcat.collections.resolve(&parent)?;
         self.grid
@@ -333,7 +335,9 @@ impl SrbConnection<'_> {
         let name = lp
             .name()
             .ok_or_else(|| SrbError::Invalid("cannot register at the root".into()))?;
-        let parent = lp.parent().expect("non-root path");
+        let parent = lp
+            .parent()
+            .ok_or_else(|| SrbError::Invalid("cannot register at the root".into()))?;
         let receipt = self.mcat_rpc()?;
         let coll = self.grid.mcat.collections.resolve(&parent)?;
         self.grid
@@ -586,7 +590,9 @@ impl SrbConnection<'_> {
         let dst_name = dst_lp
             .name()
             .ok_or_else(|| SrbError::Invalid("destination is the root".into()))?;
-        let dst_parent = dst_lp.parent().expect("non-root");
+        let dst_parent = dst_lp
+            .parent()
+            .ok_or_else(|| SrbError::Invalid("destination is the root".into()))?;
         let dst_coll = self.grid.mcat.collections.resolve(&dst_parent)?;
         self.grid
             .mcat
@@ -632,7 +638,9 @@ impl SrbConnection<'_> {
         let dst_name = dst_lp
             .name()
             .ok_or_else(|| SrbError::Invalid("destination is the root".into()))?;
-        let dst_parent = dst_lp.parent().expect("non-root");
+        let dst_parent = dst_lp
+            .parent()
+            .ok_or_else(|| SrbError::Invalid("destination is the root".into()))?;
         let dst_coll = self.grid.mcat.collections.resolve(&dst_parent)?;
         self.grid
             .mcat
@@ -697,7 +705,9 @@ impl SrbConnection<'_> {
             ));
         };
         let targets = self.grid.mcat.resources.resolve_targets(resource_name)?;
-        let new_rid = *targets.first().expect("resolve_targets is non-empty");
+        let new_rid = *targets.first().ok_or_else(|| {
+            SrbError::NotFound(format!("no physical resource behind '{resource_name}'"))
+        })?;
         let mut tmp = Receipt::free();
         let data = self.read_replica_bytes(replica, &mut tmp)?;
         receipt.absorb(&tmp);
@@ -713,7 +723,9 @@ impl SrbConnection<'_> {
                 .replicas
                 .iter_mut()
                 .find(|r| r.repl_num == repl_num)
-                .expect("replica existed above");
+                .ok_or_else(|| {
+                    SrbError::NotFound(format!("replica {repl_num} vanished during move"))
+                })?;
             rep.spec = AccessSpec::Stored {
                 resource: new_rid,
                 phys_path: new_path.clone(),
@@ -736,7 +748,9 @@ impl SrbConnection<'_> {
         let link_name = link_lp
             .name()
             .ok_or_else(|| SrbError::Invalid("link path is the root".into()))?;
-        let link_parent = link_lp.parent().expect("non-root");
+        let link_parent = link_lp
+            .parent()
+            .ok_or_else(|| SrbError::Invalid("link path is the root".into()))?;
         let link_coll = self.grid.mcat.collections.resolve(&link_parent)?;
         self.grid
             .mcat

@@ -10,7 +10,7 @@
 //! Commands are closures registered per server (the "bin directory"); only
 //! administrators may register them — the paper's security precaution.
 
-use parking_lot::RwLock;
+use srb_types::sync::{LockRank, RwLock};
 use srb_types::{SrbError, SrbResult};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -18,11 +18,20 @@ use std::sync::atomic::{AtomicU64, Ordering};
 type CommandFn = Box<dyn Fn(&[String]) -> Vec<u8> + Send + Sync>;
 
 /// The per-server registry of executable proxy commands and functions.
-#[derive(Default)]
 pub struct ProxyRegistry {
     commands: RwLock<HashMap<String, CommandFn>>,
     functions: RwLock<HashMap<String, CommandFn>>,
     invocations: AtomicU64,
+}
+
+impl Default for ProxyRegistry {
+    fn default() -> Self {
+        ProxyRegistry {
+            commands: RwLock::new(LockRank::CoreState, "core.proxy.commands", HashMap::new()),
+            functions: RwLock::new(LockRank::CoreState, "core.proxy.functions", HashMap::new()),
+            invocations: AtomicU64::new(0),
+        }
+    }
 }
 
 impl ProxyRegistry {

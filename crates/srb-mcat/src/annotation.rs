@@ -8,8 +8,8 @@
 //! permission on the object."
 
 use crate::metadata::Subject;
-use parking_lot::RwLock;
 use serde::{Deserialize, Serialize};
+use srb_types::sync::{LockRank, RwLock};
 use srb_types::{AnnotationId, IdGen, SrbError, SrbResult, Timestamp, UserId};
 use std::collections::HashMap;
 
@@ -90,9 +90,17 @@ pub struct Annotation {
 }
 
 /// Annotation table.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct AnnotationTable {
     inner: RwLock<Inner>,
+}
+
+impl Default for AnnotationTable {
+    fn default() -> Self {
+        AnnotationTable {
+            inner: RwLock::new(LockRank::McatTable, "mcat.annotations", Inner::default()),
+        }
+    }
 }
 
 #[derive(Debug, Default)]

@@ -5,8 +5,8 @@
 //! of the framework." Every brokered operation can record an audit row;
 //! auditing can be toggled per catalog.
 
-use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
+use srb_types::sync::{LockRank, Mutex};
 use srb_types::{AuditId, IdGen, Timestamp, UserId};
 use std::sync::atomic::{AtomicBool, Ordering};
 
@@ -89,10 +89,19 @@ pub struct AuditRow {
 }
 
 /// Append-only audit log.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct AuditLog {
     enabled: AtomicBool,
     rows: Mutex<Vec<AuditRow>>,
+}
+
+impl Default for AuditLog {
+    fn default() -> Self {
+        AuditLog {
+            enabled: AtomicBool::default(),
+            rows: Mutex::new(LockRank::McatTable, "mcat.audit", Vec::new()),
+        }
+    }
 }
 
 impl AuditLog {

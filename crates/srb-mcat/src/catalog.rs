@@ -115,7 +115,9 @@ impl Mcat {
         let name = path
             .name()
             .ok_or_else(|| SrbError::Invalid("root is not a dataset".into()))?;
-        let parent = path.parent().expect("non-root has a parent");
+        let parent = path
+            .parent()
+            .ok_or_else(|| SrbError::Invalid("root is not a dataset".into()))?;
         let coll = self.collections.resolve(&parent)?;
         self.datasets
             .find(coll, name)

@@ -6,8 +6,8 @@
 //! everything ingested into the collection (paper §5: defaults, restricted
 //! vocabularies shown as drop-down lists, and mandatory attributes).
 
-use parking_lot::RwLock;
 use serde::{Deserialize, Serialize};
+use srb_types::sync::{LockRank, RwLock};
 use srb_types::{
     AccessMatrix, CollectionId, IdGen, LogicalPath, SrbError, SrbResult, Timestamp, UserId,
 };
@@ -78,9 +78,17 @@ pub struct Collection {
 }
 
 /// The collection tree.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct CollectionTable {
     inner: RwLock<Inner>,
+}
+
+impl Default for CollectionTable {
+    fn default() -> Self {
+        CollectionTable {
+            inner: RwLock::new(LockRank::McatTable, "mcat.collections", Inner::default()),
+        }
+    }
 }
 
 #[derive(Debug, Default)]

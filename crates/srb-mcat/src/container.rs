@@ -10,8 +10,8 @@
 //! placement, its member slices, and whether the cached copy has been
 //! synchronized to the archive. Byte movement is `srb-core`'s job.
 
-use parking_lot::RwLock;
 use serde::{Deserialize, Serialize};
+use srb_types::sync::{LockRank, RwLock};
 use srb_types::{ContainerId, DatasetId, IdGen, LogicalResourceId, SrbError, SrbResult, Timestamp};
 use std::collections::HashMap;
 
@@ -50,9 +50,17 @@ pub struct ContainerRecord {
 }
 
 /// Container table.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct ContainerTable {
     inner: RwLock<Inner>,
+}
+
+impl Default for ContainerTable {
+    fn default() -> Self {
+        ContainerTable {
+            inner: RwLock::new(LockRank::McatTable, "mcat.containers", Inner::default()),
+        }
+    }
 }
 
 #[derive(Debug, Default)]

@@ -8,8 +8,8 @@
 //! SRB "does not check whether a registered replica is really an equal of
 //! the other copy".
 
-use parking_lot::RwLock;
 use serde::{Deserialize, Serialize};
+use srb_types::sync::{LockRank, RwLock};
 use srb_types::{
     AccessMatrix, CollectionId, ContainerId, DatasetId, IdGen, ReplicaId, ResourceId, SrbError,
     SrbResult, Timestamp, UserId,
@@ -318,9 +318,17 @@ impl Dataset {
 }
 
 /// The dataset table.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct DatasetTable {
     inner: RwLock<Inner>,
+}
+
+impl Default for DatasetTable {
+    fn default() -> Self {
+        DatasetTable {
+            inner: RwLock::new(LockRank::McatTable, "mcat.datasets", Inner::default()),
+        }
+    }
 }
 
 #[derive(Debug, Default)]

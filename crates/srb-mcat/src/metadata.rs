@@ -7,8 +7,8 @@
 //! the query engine can answer `=` and range conditions without scanning —
 //! the design choice ablated in experiment E5/A1.
 
-use parking_lot::RwLock;
 use serde::{Deserialize, Serialize};
+use srb_types::sync::{LockRank, RwLock};
 use srb_types::{
     CollectionId, CompareOp, DatasetId, IdGen, MetaId, MetaValue, SrbError, SrbResult, Triplet,
 };
@@ -107,9 +107,17 @@ struct Inner {
 }
 
 /// The triplet store.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct MetaStore {
     inner: RwLock<Inner>,
+}
+
+impl Default for MetaStore {
+    fn default() -> Self {
+        MetaStore {
+            inner: RwLock::new(LockRank::McatTable, "mcat.metadata", Inner::default()),
+        }
+    }
 }
 
 impl MetaStore {

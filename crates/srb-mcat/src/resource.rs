@@ -5,9 +5,9 @@
 //! A *logical resource* "ties together two or more physical resources":
 //! storing into it writes synchronous replicas to every member (paper §5).
 
-use parking_lot::RwLock;
 use serde::{Deserialize, Serialize};
 use srb_storage::DriverKind;
+use srb_types::sync::{LockRank, RwLock};
 use srb_types::{IdGen, LogicalResourceId, ResourceId, SiteId, SrbError, SrbResult};
 use std::collections::HashMap;
 
@@ -37,9 +37,17 @@ pub struct LogicalResource {
 }
 
 /// Resource tables.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct ResourceTable {
     inner: RwLock<Inner>,
+}
+
+impl Default for ResourceTable {
+    fn default() -> Self {
+        ResourceTable {
+            inner: RwLock::new(LockRank::McatTable, "mcat.resources", Inner::default()),
+        }
+    }
 }
 
 #[derive(Debug, Default)]

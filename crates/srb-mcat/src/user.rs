@@ -5,8 +5,8 @@
 //! stores the verifier for challenge–response auth — never the password
 //! itself.
 
-use parking_lot::RwLock;
 use serde::{Deserialize, Serialize};
+use srb_types::sync::{LockRank, RwLock};
 use srb_types::{hmac_sha256, GroupId, IdGen, SrbError, SrbResult, UserId};
 use std::collections::HashMap;
 
@@ -51,9 +51,17 @@ pub fn derive_verifier(password: &str) -> [u8; 32] {
 }
 
 /// The user/group tables.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct UserTable {
     users: RwLock<Inner>,
+}
+
+impl Default for UserTable {
+    fn default() -> Self {
+        UserTable {
+            users: RwLock::new(LockRank::McatTable, "mcat.users", Inner::default()),
+        }
+    }
 }
 
 #[derive(Debug, Default)]

@@ -7,14 +7,22 @@
 //! and whole sites down and the storage/federation layers consult it before
 //! every access.
 
-use parking_lot::RwLock;
+use srb_types::sync::{LockRank, RwLock};
 use srb_types::{ResourceId, SiteId, SrbError, SrbResult};
 use std::collections::HashSet;
 
 /// Shared record of which resources and sites are currently down.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct FaultPlan {
     inner: RwLock<Inner>,
+}
+
+impl Default for FaultPlan {
+    fn default() -> Self {
+        FaultPlan {
+            inner: RwLock::new(LockRank::Topology, "net.fault.inner", Inner::default()),
+        }
+    }
 }
 
 #[derive(Debug, Default)]

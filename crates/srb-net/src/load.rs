@@ -7,16 +7,24 @@
 //! atomics behind an RwLock used only for insertion) so a 32-thread client
 //! pool doesn't serialize on bookkeeping.
 
-use parking_lot::RwLock;
+use srb_types::sync::{LockRank, RwLock};
 use srb_types::ResourceId;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// Tracks cumulative busy nanoseconds and in-flight operations per resource.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct LoadTracker {
     entries: RwLock<HashMap<ResourceId, Arc<Entry>>>,
+}
+
+impl Default for LoadTracker {
+    fn default() -> Self {
+        LoadTracker {
+            entries: RwLock::new(LockRank::Topology, "net.load.entries", HashMap::new()),
+        }
+    }
 }
 
 #[derive(Debug, Default)]

@@ -1,7 +1,7 @@
 //! Site/link topology and the analytic transfer-cost model.
 
-use parking_lot::RwLock;
 use serde::{Deserialize, Serialize};
+use srb_types::sync::{LockRank, RwLock};
 use srb_types::{SiteId, SrbError, SrbResult};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -134,7 +134,7 @@ impl NetworkBuilder {
             names: self.names,
             links: self.links,
             default_link: self.default_link,
-            route_cache: RwLock::new(HashMap::new()),
+            route_cache: RwLock::new(LockRank::Topology, "net.route_cache", HashMap::new()),
             messages: AtomicU64::new(0),
             bytes_moved: AtomicU64::new(0),
         }

@@ -12,7 +12,7 @@
 use crate::driver::{CostModel, DriverKind, ObjStat, StorageDriver};
 use crate::memfs::MemStore;
 use bytes::Bytes;
-use parking_lot::RwLock;
+use srb_types::sync::{LockRank, RwLock};
 use srb_types::{SimClock, SrbResult};
 use std::collections::BTreeSet;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -52,7 +52,7 @@ impl ArchiveDriver {
     ) -> Self {
         ArchiveDriver {
             store: MemStore::new(clock),
-            staged: RwLock::new(BTreeSet::new()),
+            staged: RwLock::new(LockRank::Storage, "storage.archive.staged", BTreeSet::new()),
             disk,
             tape,
             stage_latency_ns,

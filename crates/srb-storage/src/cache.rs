@@ -11,7 +11,7 @@
 
 use crate::driver::{CostModel, DriverKind, ObjStat, StorageDriver};
 use bytes::Bytes;
-use parking_lot::Mutex;
+use srb_types::sync::{LockRank, Mutex};
 use srb_types::{SimClock, SrbError, SrbResult, Timestamp};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -41,7 +41,7 @@ impl CacheDriver {
     /// New cache with `capacity` bytes and the standard disk cost model.
     pub fn new(clock: SimClock, capacity: u64) -> Self {
         CacheDriver {
-            entries: Mutex::new(HashMap::new()),
+            entries: Mutex::new(LockRank::Storage, "storage.cache.entries", HashMap::new()),
             capacity,
             used: AtomicU64::new(0),
             cost: CostModel::disk(),

@@ -7,7 +7,7 @@
 use crate::driver::{CostModel, DriverKind, ObjStat, StorageDriver};
 use crate::memfs::MemStore;
 use bytes::Bytes;
-use parking_lot::RwLock;
+use srb_types::sync::{LockRank, RwLock};
 use srb_types::{SimClock, SrbError, SrbResult, Timestamp};
 use std::collections::BTreeSet;
 
@@ -29,7 +29,7 @@ impl FsDriver {
     pub fn with_cost(clock: SimClock, cost: CostModel) -> Self {
         FsDriver {
             store: MemStore::new(clock.clone()),
-            dirs: RwLock::new(BTreeSet::new()),
+            dirs: RwLock::new(LockRank::Storage, "storage.fs.dirs", BTreeSet::new()),
             cost,
             clock,
         }

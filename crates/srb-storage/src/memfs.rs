@@ -7,7 +7,7 @@
 //! 32-thread ingest pools from serializing.
 
 use bytes::Bytes;
-use parking_lot::RwLock;
+use srb_types::sync::{LockRank, RwLock};
 use srb_types::{SimClock, SrbError, SrbResult, Timestamp};
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -43,7 +43,9 @@ impl MemStore {
     /// Empty store sharing the grid's virtual clock.
     pub fn new(clock: SimClock) -> Self {
         MemStore {
-            shards: (0..SHARDS).map(|_| RwLock::new(BTreeMap::new())).collect(),
+            shards: (0..SHARDS)
+                .map(|_| RwLock::new(LockRank::Storage, "storage.memfs.shard", BTreeMap::new()))
+                .collect(),
             used: AtomicU64::new(0),
             clock,
         }

@@ -9,8 +9,8 @@
 //! `UNION`. Queries run at *retrieval* time, so results change as tables
 //! change — exactly the property the paper highlights.
 
-use parking_lot::RwLock;
 use serde::{Deserialize, Serialize};
+use srb_types::sync::{LockRank, RwLock};
 use srb_types::{CompareOp, MetaValue, SrbError, SrbResult};
 use std::collections::HashMap;
 use std::fmt;
@@ -79,9 +79,17 @@ struct Table {
 }
 
 /// A set of named tables guarded by one RwLock (queries are read-mostly).
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct SqlEngine {
     tables: RwLock<HashMap<String, Table>>,
+}
+
+impl Default for SqlEngine {
+    fn default() -> Self {
+        SqlEngine {
+            tables: RwLock::new(LockRank::Storage, "storage.sql.tables", HashMap::new()),
+        }
+    }
 }
 
 // ---------------------------------------------------------------- lexer --

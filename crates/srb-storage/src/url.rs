@@ -10,7 +10,7 @@
 //! accesses). Fetches pay a WAN-like cost.
 
 use bytes::Bytes;
-use parking_lot::RwLock;
+use srb_types::sync::{LockRank, RwLock};
 use srb_types::{SrbError, SrbResult};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -25,7 +25,6 @@ pub enum UrlProvider {
 }
 
 /// Registry of reachable URLs, playing the role of "the web".
-#[derive(Default)]
 pub struct UrlDriver {
     providers: RwLock<HashMap<String, UrlProvider>>,
     fetches: AtomicU64,
@@ -35,11 +34,17 @@ pub struct UrlDriver {
     mbps: f64,
 }
 
+impl Default for UrlDriver {
+    fn default() -> Self {
+        UrlDriver::new()
+    }
+}
+
 impl UrlDriver {
     /// Default web model: 60 ms RTT, 5 MB/s.
     pub fn new() -> Self {
         UrlDriver {
-            providers: RwLock::new(HashMap::new()),
+            providers: RwLock::new(LockRank::Storage, "storage.url.providers", HashMap::new()),
             fetches: AtomicU64::new(0),
             fetch_latency_ns: 60_000_000,
             mbps: 5.0,

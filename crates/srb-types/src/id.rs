@@ -35,6 +35,25 @@ macro_rules! define_id {
                 $name(v)
             }
         }
+
+        // Ids appear as JSON map keys (e.g. ACL matrices keyed by UserId);
+        // the vendored serde requires explicit key conversions.
+        impl serde::KeyToString for $name {
+            fn key_string(&self) -> String {
+                self.0.to_string()
+            }
+        }
+
+        impl serde::KeyFromString for $name {
+            fn key_parse(key: &str) -> Result<Self, serde::DeError> {
+                key.parse::<u64>().map($name).map_err(|_| {
+                    serde::DeError::new(format!(
+                        concat!("bad ", stringify!($name), " key: {:?}"),
+                        key
+                    ))
+                })
+            }
+        }
     };
 }
 

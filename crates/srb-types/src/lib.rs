@@ -14,6 +14,7 @@ pub mod error;
 pub mod hash;
 pub mod id;
 pub mod path;
+pub mod sync;
 pub mod value;
 
 pub use acl::{AccessMatrix, Permission, Role};
@@ -22,4 +23,5 @@ pub use error::{SrbError, SrbResult};
 pub use hash::{ct_eq, from_hex, hmac_sha256, sha256, sha256_hex, to_hex, Sha256};
 pub use id::*;
 pub use path::LogicalPath;
+pub use sync::LockRank;
 pub use value::{CompareOp, MetaValue, Triplet};

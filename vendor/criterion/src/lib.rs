@@ -1,0 +1,171 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Implements the API surface `benches/microbench.rs` uses — benchmark
+//! groups, `bench_function`, `iter`, `iter_batched`, throughput annotation —
+//! with a deliberately small measurement loop: a short warm-up, then
+//! `sample_size` samples whose median per-iteration time is reported on
+//! stdout. Statistical analysis, plots and saved baselines are out of scope;
+//! the `exp_*` binaries (virtual-clock driven) are the source of truth for
+//! experiment numbers, and this harness only gives a quick wall-clock signal
+//! for the in-memory fast path.
+
+use std::time::{Duration, Instant};
+
+/// How `iter_batched` amortizes setup cost; only a hint here.
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One batch per iteration.
+    PerIteration,
+}
+
+/// Units for reported throughput.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Elements processed per iteration.
+    Elements(u64),
+}
+
+/// Top-level benchmark driver.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Start a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        println!("group {name}");
+        BenchmarkGroup {
+            _parent: self,
+            sample_size: 10,
+            throughput: None,
+        }
+    }
+}
+
+/// A named group of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Number of timing samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Annotate benchmarks with work-per-iteration for rate reporting.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Measure one benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut samples = Vec::with_capacity(self.sample_size);
+        for _ in 0..2 {
+            // Warm-up, also sizes the iteration count.
+            let mut b = Bencher::default();
+            f(&mut b);
+        }
+        for _ in 0..self.sample_size {
+            let mut b = Bencher::default();
+            f(&mut b);
+            if b.iters > 0 {
+                samples.push(b.elapsed.as_nanos() as u64 / b.iters);
+            }
+        }
+        samples.sort_unstable();
+        let median = samples.get(samples.len() / 2).copied().unwrap_or(0);
+        let rate = match self.throughput {
+            Some(Throughput::Bytes(n)) if median > 0 => {
+                let gib = n as f64 / median as f64; // bytes per ns == GiB-ish per s
+                format!("  ({gib:.3} GB/s)")
+            }
+            Some(Throughput::Elements(n)) if median > 0 => {
+                format!("  ({:.0} elem/s)", n as f64 * 1e9 / median as f64)
+            }
+            _ => String::new(),
+        };
+        println!("  {name}: {median} ns/iter{rate}");
+        self
+    }
+
+    /// End the group (no-op; provided for API parity).
+    pub fn finish(&mut self) {}
+}
+
+/// Passed to each benchmark closure to run the measured routine.
+#[derive(Default)]
+pub struct Bencher {
+    elapsed: Duration,
+    iters: u64,
+}
+
+impl Bencher {
+    const ITERS: u64 = 16;
+
+    /// Measure `routine` back-to-back.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let t0 = Instant::now();
+        for _ in 0..Self::ITERS {
+            std::hint::black_box(routine());
+        }
+        self.elapsed += t0.elapsed();
+        self.iters += Self::ITERS;
+    }
+
+    /// Measure `routine` over inputs built (untimed) by `setup`.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        for _ in 0..Self::ITERS {
+            let input = setup();
+            let t0 = Instant::now();
+            std::hint::black_box(routine(input));
+            self.elapsed += t0.elapsed();
+            self.iters += 1;
+        }
+    }
+}
+
+/// Collect benchmark functions into a single runner, mirroring criterion.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Emit `main` running the given groups; extra CLI args are ignored.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // `cargo test` may execute bench targets with harness flags, and
+            // CI passes `--quick`; both are irrelevant to this stand-in.
+            let args: Vec<String> = std::env::args().collect();
+            if args.iter().any(|a| a == "--test") {
+                return;
+            }
+            $($group();)+
+        }
+    };
+}

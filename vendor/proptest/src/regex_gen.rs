@@ -1,0 +1,180 @@
+//! Random string generation from a small regex subset.
+//!
+//! Supports exactly the shape the workspace's property tests use: a sequence
+//! of atoms, where an atom is a literal character or a character class
+//! `[...]` (ranges and literals, no negation), optionally followed by a
+//! `{n}`, `{m,n}`, `?`, `*` or `+` quantifier (unbounded quantifiers cap at
+//! 8 repetitions).
+
+use crate::rng::TestRng;
+
+pub(crate) struct RegexGen {
+    atoms: Vec<(Vec<char>, u32, u32)>, // (alphabet, min, max)
+}
+
+impl RegexGen {
+    pub(crate) fn parse(pattern: &str) -> Result<RegexGen, String> {
+        let chars: Vec<char> = pattern.chars().collect();
+        let mut atoms = Vec::new();
+        let mut i = 0;
+        while i < chars.len() {
+            let alphabet = match chars[i] {
+                '[' => {
+                    let close = chars[i..]
+                        .iter()
+                        .position(|&c| c == ']')
+                        .ok_or("unterminated character class")?
+                        + i;
+                    let class = parse_class(&chars[i + 1..close])?;
+                    i = close + 1;
+                    class
+                }
+                '\\' => {
+                    let c = *chars.get(i + 1).ok_or("dangling backslash")?;
+                    i += 2;
+                    vec![c]
+                }
+                '(' | ')' | '|' | '.' | '^' | '$' => {
+                    return Err(format!("unsupported regex construct `{}`", chars[i]));
+                }
+                c => {
+                    i += 1;
+                    vec![c]
+                }
+            };
+            let (min, max) = if i < chars.len() {
+                match chars[i] {
+                    '{' => {
+                        let close = chars[i..]
+                            .iter()
+                            .position(|&c| c == '}')
+                            .ok_or("unterminated quantifier")?
+                            + i;
+                        let body: String = chars[i + 1..close].iter().collect();
+                        i = close + 1;
+                        match body.split_once(',') {
+                            Some((lo, hi)) => (
+                                lo.parse().map_err(|_| "bad quantifier")?,
+                                hi.parse().map_err(|_| "bad quantifier")?,
+                            ),
+                            None => {
+                                let n: u32 = body.parse().map_err(|_| "bad quantifier")?;
+                                (n, n)
+                            }
+                        }
+                    }
+                    '?' => {
+                        i += 1;
+                        (0, 1)
+                    }
+                    '*' => {
+                        i += 1;
+                        (0, 8)
+                    }
+                    '+' => {
+                        i += 1;
+                        (1, 8)
+                    }
+                    _ => (1, 1),
+                }
+            } else {
+                (1, 1)
+            };
+            if max < min {
+                return Err("quantifier max below min".into());
+            }
+            if alphabet.is_empty() {
+                return Err("empty character class".into());
+            }
+            atoms.push((alphabet, min, max));
+        }
+        Ok(RegexGen { atoms })
+    }
+
+    pub(crate) fn sample(&self, rng: &mut TestRng) -> String {
+        let mut out = String::new();
+        for (alphabet, min, max) in &self.atoms {
+            let n = *min + rng.below((*max - *min + 1) as u64) as u32;
+            for _ in 0..n {
+                out.push(alphabet[rng.below(alphabet.len() as u64) as usize]);
+            }
+        }
+        out
+    }
+}
+
+fn parse_class(body: &[char]) -> Result<Vec<char>, String> {
+    if body.first() == Some(&'^') {
+        return Err("negated classes unsupported".into());
+    }
+    let mut alphabet = Vec::new();
+    let mut i = 0;
+    while i < body.len() {
+        // `a-z` range (a `-` at the ends is a literal).
+        if i + 2 < body.len() && body[i + 1] == '-' {
+            let (lo, hi) = (body[i], body[i + 2]);
+            if lo > hi {
+                return Err(format!("inverted range {lo}-{hi}"));
+            }
+            for c in lo..=hi {
+                alphabet.push(c);
+            }
+            i += 3;
+        } else {
+            let c = if body[i] == '\\' {
+                i += 1;
+                *body.get(i).ok_or("dangling backslash in class")?
+            } else {
+                body[i]
+            };
+            alphabet.push(c);
+            i += 1;
+        }
+    }
+    Ok(alphabet)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn class_with_ranges_and_literals() {
+        let g = RegexGen::parse("[a-cX._-]").unwrap();
+        let mut r = TestRng::for_case(0);
+        for _ in 0..100 {
+            let s = g.sample(&mut r);
+            assert_eq!(s.len(), 1);
+            assert!("abcX._-".contains(&s));
+        }
+    }
+
+    #[test]
+    fn bounded_quantifiers() {
+        let g = RegexGen::parse("[a-z0-9]{1,6}").unwrap();
+        let mut r = TestRng::for_case(1);
+        for _ in 0..200 {
+            let s = g.sample(&mut r);
+            assert!((1..=6).contains(&s.len()), "{s:?}");
+        }
+    }
+
+    #[test]
+    fn the_test_suites_patterns_parse() {
+        for p in [
+            "[a-zA-Z0-9][a-zA-Z0-9 _.-]{0,14}[a-zA-Z0-9]",
+            "[a-c]{0,8}",
+            "[a-c%_]{0,6}",
+            "[a-z0-9.]{1,6}",
+            "[a-z0-9]{1,5}",
+        ] {
+            RegexGen::parse(p).unwrap();
+        }
+    }
+
+    #[test]
+    fn rejects_unsupported() {
+        assert!(RegexGen::parse("(ab)+").is_err());
+        assert!(RegexGen::parse("[^a]").is_err());
+    }
+}

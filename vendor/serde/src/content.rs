@@ -1,0 +1,515 @@
+//! The JSON-shaped data model: [`Content`], its accessors, text rendering
+//! and parsing. The `serde_json` facade re-exports `Content` as `Value`.
+
+use std::fmt;
+use std::ops::Index;
+
+/// A JSON value.
+///
+/// Maps preserve insertion order (serialization order of struct fields),
+/// which keeps rendered snapshots stable across runs.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Content {
+    /// JSON `null`.
+    Null,
+    /// JSON boolean.
+    Bool(bool),
+    /// Non-negative integer.
+    U64(u64),
+    /// Negative integer (always < 0 after parsing; any i64 when built).
+    I64(i64),
+    /// Floating point number.
+    F64(f64),
+    /// JSON string.
+    Str(String),
+    /// JSON array.
+    Seq(Vec<Content>),
+    /// JSON object, in insertion order.
+    Map(Vec<(String, Content)>),
+}
+
+impl Content {
+    /// True for `null`.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Content::Null)
+    }
+
+    /// Integer view if the number fits in `u64`.
+    pub fn as_u64(&self) -> Option<u64> {
+        match *self {
+            Content::U64(n) => Some(n),
+            Content::I64(n) if n >= 0 => Some(n as u64),
+            _ => None,
+        }
+    }
+
+    /// Integer view if the number fits in `i64`.
+    pub fn as_i64(&self) -> Option<i64> {
+        match *self {
+            Content::I64(n) => Some(n),
+            Content::U64(n) if n <= i64::MAX as u64 => Some(n as i64),
+            _ => None,
+        }
+    }
+
+    /// Lossy floating-point view of any number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match *self {
+            Content::F64(n) => Some(n),
+            Content::U64(n) => Some(n as f64),
+            Content::I64(n) => Some(n as f64),
+            _ => None,
+        }
+    }
+
+    /// Boolean view.
+    pub fn as_bool(&self) -> Option<bool> {
+        match *self {
+            Content::Bool(b) => Some(b),
+            _ => None,
+        }
+    }
+
+    /// String view.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Content::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Array view.
+    pub fn as_array(&self) -> Option<&Vec<Content>> {
+        match self {
+            Content::Seq(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Object entries view.
+    pub fn as_map_slice(&self) -> Option<&[(String, Content)]> {
+        match self {
+            Content::Map(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    /// Object member lookup (None for non-objects or missing keys).
+    pub fn get(&self, key: &str) -> Option<&Content> {
+        self.as_map_slice().and_then(|m| crate::__find(m, key))
+    }
+
+    /// Short name of the JSON type, for error messages.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Content::Null => "null",
+            Content::Bool(_) => "bool",
+            Content::U64(_) | Content::I64(_) => "integer",
+            Content::F64(_) => "number",
+            Content::Str(_) => "string",
+            Content::Seq(_) => "array",
+            Content::Map(_) => "object",
+        }
+    }
+
+    /// Render as JSON text.
+    pub fn render(&self, pretty: bool) -> String {
+        let mut out = String::new();
+        self.render_into(&mut out, pretty, 0);
+        out
+    }
+
+    fn render_into(&self, out: &mut String, pretty: bool, indent: usize) {
+        match self {
+            Content::Null => out.push_str("null"),
+            Content::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Content::U64(n) => out.push_str(&n.to_string()),
+            Content::I64(n) => out.push_str(&n.to_string()),
+            Content::F64(n) => {
+                if n.is_finite() {
+                    // {:?} gives the shortest representation that round-trips.
+                    out.push_str(&format!("{n:?}"));
+                } else {
+                    out.push_str("null");
+                }
+            }
+            Content::Str(s) => render_string(s, out),
+            Content::Seq(items) => {
+                if items.is_empty() {
+                    out.push_str("[]");
+                    return;
+                }
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    if pretty {
+                        newline_indent(out, indent + 1);
+                    }
+                    item.render_into(out, pretty, indent + 1);
+                }
+                if pretty {
+                    newline_indent(out, indent);
+                }
+                out.push(']');
+            }
+            Content::Map(entries) => {
+                if entries.is_empty() {
+                    out.push_str("{}");
+                    return;
+                }
+                out.push('{');
+                for (i, (k, v)) in entries.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    if pretty {
+                        newline_indent(out, indent + 1);
+                    }
+                    render_string(k, out);
+                    out.push(':');
+                    if pretty {
+                        out.push(' ');
+                    }
+                    v.render_into(out, pretty, indent + 1);
+                }
+                if pretty {
+                    newline_indent(out, indent);
+                }
+                out.push('}');
+            }
+        }
+    }
+}
+
+fn newline_indent(out: &mut String, depth: usize) {
+    out.push('\n');
+    for _ in 0..depth {
+        out.push_str("  ");
+    }
+}
+
+fn render_string(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Compact JSON rendering.
+impl fmt::Display for Content {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.render(false))
+    }
+}
+
+/// `value["key"]` — panics on missing key like `serde_json::Value` does not;
+/// returns `Null` instead, matching serde_json's behaviour.
+impl Index<&str> for Content {
+    type Output = Content;
+    fn index(&self, key: &str) -> &Content {
+        static NULL: Content = Content::Null;
+        self.get(key).unwrap_or(&NULL)
+    }
+}
+
+impl Index<usize> for Content {
+    type Output = Content;
+    fn index(&self, idx: usize) -> &Content {
+        static NULL: Content = Content::Null;
+        self.as_array().and_then(|a| a.get(idx)).unwrap_or(&NULL)
+    }
+}
+
+macro_rules! eq_int {
+    ($($t:ty),*) => {$(
+        impl PartialEq<$t> for Content {
+            fn eq(&self, other: &$t) -> bool {
+                match *self {
+                    Content::U64(n) => (*other as i128) == n as i128,
+                    Content::I64(n) => (*other as i128) == n as i128,
+                    _ => false,
+                }
+            }
+        }
+        impl PartialEq<Content> for $t {
+            fn eq(&self, other: &Content) -> bool {
+                other == self
+            }
+        }
+    )*};
+}
+eq_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl PartialEq<&str> for Content {
+    fn eq(&self, other: &&str) -> bool {
+        self.as_str() == Some(*other)
+    }
+}
+
+impl PartialEq<str> for Content {
+    fn eq(&self, other: &str) -> bool {
+        self.as_str() == Some(other)
+    }
+}
+
+impl PartialEq<bool> for Content {
+    fn eq(&self, other: &bool) -> bool {
+        self.as_bool() == Some(*other)
+    }
+}
+
+// ---------------------------------------------------------------- parsing --
+
+/// Parse JSON text into a [`Content`] tree.
+pub fn parse_json(input: &str) -> Result<Content, crate::DeError> {
+    let mut p = Parser {
+        bytes: input.as_bytes(),
+        pos: 0,
+    };
+    p.skip_ws();
+    let v = p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(p.err("trailing characters after JSON value"));
+    }
+    Ok(v)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn err(&self, msg: &str) -> crate::DeError {
+        crate::DeError::new(format!("{msg} at byte {}", self.pos))
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn eat(&mut self, lit: &str) -> Result<(), crate::DeError> {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected `{lit}`")))
+        }
+    }
+
+    fn value(&mut self) -> Result<Content, crate::DeError> {
+        match self.peek() {
+            Some(b'n') => self.eat("null").map(|_| Content::Null),
+            Some(b't') => self.eat("true").map(|_| Content::Bool(true)),
+            Some(b'f') => self.eat("false").map(|_| Content::Bool(false)),
+            Some(b'"') => self.string().map(Content::Str),
+            Some(b'[') => self.array(),
+            Some(b'{') => self.object(),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
+            _ => Err(self.err("expected a JSON value")),
+        }
+    }
+
+    fn array(&mut self) -> Result<Content, crate::DeError> {
+        self.pos += 1; // [
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Content::Seq(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Content::Seq(items));
+                }
+                _ => return Err(self.err("expected `,` or `]`")),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Content, crate::DeError> {
+        self.pos += 1; // {
+        let mut entries = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Content::Map(entries));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.eat(":")?;
+            self.skip_ws();
+            let value = self.value()?;
+            entries.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Content::Map(entries));
+                }
+                _ => return Err(self.err("expected `,` or `}`")),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, crate::DeError> {
+        if self.peek() != Some(b'"') {
+            return Err(self.err("expected string"));
+        }
+        self.pos += 1;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(self.err("unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'u') => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos + 1..self.pos + 5)
+                                .ok_or_else(|| self.err("truncated \\u escape"))?;
+                            let hex =
+                                std::str::from_utf8(hex).map_err(|_| self.err("bad \\u escape"))?;
+                            let cp = u32::from_str_radix(hex, 16)
+                                .map_err(|_| self.err("bad \\u escape"))?;
+                            // Surrogate pairs: only BMP escapes are emitted by
+                            // our renderer, so reject lone surrogates simply.
+                            let c = char::from_u32(cp)
+                                .ok_or_else(|| self.err("invalid \\u code point"))?;
+                            out.push(c);
+                            self.pos += 4;
+                        }
+                        _ => return Err(self.err("bad escape")),
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Consume one UTF-8 char.
+                    let rest = std::str::from_utf8(&self.bytes[self.pos..])
+                        .map_err(|_| self.err("invalid UTF-8"))?;
+                    let c = rest.chars().next().ok_or_else(|| self.err("empty"))?;
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Content, crate::DeError> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+            self.pos += 1;
+        }
+        let mut is_float = false;
+        if self.peek() == Some(b'.') {
+            is_float = true;
+            self.pos += 1;
+            while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+                self.pos += 1;
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            is_float = true;
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+                self.pos += 1;
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| self.err("invalid number"))?;
+        if !is_float {
+            if let Ok(n) = text.parse::<u64>() {
+                return Ok(Content::U64(n));
+            }
+            if let Ok(n) = text.parse::<i64>() {
+                return Ok(Content::I64(n));
+            }
+        }
+        text.parse::<f64>()
+            .map(Content::F64)
+            .map_err(|_| self.err("invalid number"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_compact() {
+        let src = r#"{"a":[1,-2,3.5,null,true],"b":{"c":"x\"y\n"},"d":[]}"#;
+        let v = parse_json(src).unwrap();
+        assert_eq!(v.render(false), src.replace("3.5", "3.5"));
+        assert_eq!(parse_json(&v.render(true)).unwrap(), v);
+    }
+
+    #[test]
+    fn accessors() {
+        let v = parse_json(r#"{"n":7,"s":"hi","neg":-4}"#).unwrap();
+        assert_eq!(v["n"].as_u64(), Some(7));
+        assert_eq!(v["n"], 7);
+        assert_eq!(v["neg"].as_i64(), Some(-4));
+        assert_eq!(v["s"], "hi");
+        assert!(v["missing"].is_null());
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(parse_json("{").is_err());
+        assert!(parse_json("[1,]").is_err());
+        assert!(parse_json("12 34").is_err());
+        assert!(parse_json("nulll").is_err());
+    }
+
+    #[test]
+    fn big_u64_survives() {
+        let v = parse_json(&u64::MAX.to_string()).unwrap();
+        assert_eq!(v.as_u64(), Some(u64::MAX));
+    }
+}

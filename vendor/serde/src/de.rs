@@ -1,0 +1,335 @@
+//! [`Deserialize`]: rebuild values from the [`Content`] data model.
+
+use crate::Content;
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet, VecDeque};
+use std::fmt;
+use std::hash::Hash;
+use std::str::FromStr;
+use std::sync::Arc;
+
+/// Deserialization error: a message plus a trail of field locations.
+#[derive(Debug, Clone)]
+pub struct DeError {
+    msg: String,
+}
+
+impl DeError {
+    /// New error with the given message.
+    pub fn new(msg: impl Into<String>) -> Self {
+        DeError { msg: msg.into() }
+    }
+
+    /// Type-mismatch error.
+    pub fn expected(what: &str, while_parsing: &str, got: &Content) -> Self {
+        DeError::new(format!(
+            "expected {what} for {while_parsing}, got {}",
+            got.kind()
+        ))
+    }
+
+    /// Attach a field/variant location to the message.
+    pub fn at(self, location: &str) -> Self {
+        DeError::new(format!("{location}: {}", self.msg))
+    }
+}
+
+impl fmt::Display for DeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.msg)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+/// Types reconstructible from the JSON data model.
+pub trait Deserialize: Sized {
+    /// Rebuild the value from `content`.
+    fn from_content(content: &Content) -> Result<Self, DeError>;
+
+    /// Value to use when a struct field is absent from the map.
+    ///
+    /// Errors by default; `Option<T>` overrides this to `None` so optional
+    /// fields tolerate elision (matching real serde's treatment of `null`
+    /// and serde_json's of missing `Option` fields).
+    #[doc(hidden)]
+    fn absent() -> Result<Self, DeError> {
+        Err(DeError::new("missing field"))
+    }
+}
+
+impl Deserialize for Content {
+    fn from_content(content: &Content) -> Result<Self, DeError> {
+        Ok(content.clone())
+    }
+}
+
+macro_rules! de_int {
+    ($($t:ty),*) => {$(
+        impl Deserialize for $t {
+            fn from_content(content: &Content) -> Result<Self, DeError> {
+                let wide: i128 = match *content {
+                    Content::U64(n) => n as i128,
+                    Content::I64(n) => n as i128,
+                    _ => return Err(DeError::expected("integer", stringify!($t), content)),
+                };
+                <$t>::try_from(wide)
+                    .map_err(|_| DeError::new(format!(
+                        "integer {wide} out of range for {}", stringify!($t)
+                    )))
+            }
+        }
+    )*};
+}
+de_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Deserialize for f64 {
+    fn from_content(content: &Content) -> Result<Self, DeError> {
+        content
+            .as_f64()
+            .ok_or_else(|| DeError::expected("number", "f64", content))
+    }
+}
+
+impl Deserialize for f32 {
+    fn from_content(content: &Content) -> Result<Self, DeError> {
+        f64::from_content(content).map(|v| v as f32)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_content(content: &Content) -> Result<Self, DeError> {
+        content
+            .as_bool()
+            .ok_or_else(|| DeError::expected("bool", "bool", content))
+    }
+}
+
+impl Deserialize for char {
+    fn from_content(content: &Content) -> Result<Self, DeError> {
+        let s = String::from_content(content)?;
+        let mut chars = s.chars();
+        match (chars.next(), chars.next()) {
+            (Some(c), None) => Ok(c),
+            _ => Err(DeError::new("expected single-character string")),
+        }
+    }
+}
+
+impl Deserialize for String {
+    fn from_content(content: &Content) -> Result<Self, DeError> {
+        content
+            .as_str()
+            .map(str::to_string)
+            .ok_or_else(|| DeError::expected("string", "String", content))
+    }
+}
+
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn from_content(content: &Content) -> Result<Self, DeError> {
+        T::from_content(content).map(Box::new)
+    }
+}
+
+impl<T: Deserialize> Deserialize for Arc<T> {
+    fn from_content(content: &Content) -> Result<Self, DeError> {
+        T::from_content(content).map(Arc::new)
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_content(content: &Content) -> Result<Self, DeError> {
+        match content {
+            Content::Null => Ok(None),
+            other => T::from_content(other).map(Some),
+        }
+    }
+
+    fn absent() -> Result<Self, DeError> {
+        Ok(None)
+    }
+}
+
+fn de_seq<T: Deserialize>(content: &Content, what: &str) -> Result<Vec<T>, DeError> {
+    let items = content
+        .as_array()
+        .ok_or_else(|| DeError::expected("array", what, content))?;
+    items
+        .iter()
+        .enumerate()
+        .map(|(i, item)| T::from_content(item).map_err(|e| e.at(&format!("[{i}]"))))
+        .collect()
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_content(content: &Content) -> Result<Self, DeError> {
+        de_seq(content, "Vec")
+    }
+}
+
+impl<T: Deserialize, const N: usize> Deserialize for [T; N] {
+    fn from_content(content: &Content) -> Result<Self, DeError> {
+        let v: Vec<T> = de_seq(content, "array")?;
+        let n = v.len();
+        <[T; N]>::try_from(v)
+            .map_err(|_| DeError::new(format!("expected array of {N} elements, got {n}")))
+    }
+}
+
+impl<T: Deserialize> Deserialize for VecDeque<T> {
+    fn from_content(content: &Content) -> Result<Self, DeError> {
+        de_seq(content, "VecDeque")
+            .map(Vec::into_iter)
+            .map(VecDeque::from_iter)
+    }
+}
+
+impl<T: Deserialize + Ord> Deserialize for BTreeSet<T> {
+    fn from_content(content: &Content) -> Result<Self, DeError> {
+        de_seq(content, "BTreeSet")
+            .map(Vec::into_iter)
+            .map(BTreeSet::from_iter)
+    }
+}
+
+impl<T: Deserialize + Eq + Hash> Deserialize for HashSet<T> {
+    fn from_content(content: &Content) -> Result<Self, DeError> {
+        de_seq(content, "HashSet")
+            .map(Vec::into_iter)
+            .map(HashSet::from_iter)
+    }
+}
+
+/// Map keys parsed back from their string form.
+///
+/// The deserialization counterpart of `KeyToString`.
+pub trait KeyFromString: Sized {
+    fn key_parse(key: &str) -> Result<Self, DeError>;
+}
+
+impl KeyFromString for String {
+    fn key_parse(key: &str) -> Result<Self, DeError> {
+        Ok(key.to_string())
+    }
+}
+
+macro_rules! key_int_de {
+    ($($t:ty),*) => {$(
+        impl KeyFromString for $t {
+            fn key_parse(key: &str) -> Result<Self, DeError> {
+                <$t>::from_str(key).map_err(|_| {
+                    DeError::new(format!("bad {} map key: {key:?}", stringify!($t)))
+                })
+            }
+        }
+    )*};
+}
+key_int_de!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+fn de_map<K: KeyFromString, V: Deserialize>(
+    content: &Content,
+    what: &str,
+) -> Result<Vec<(K, V)>, DeError> {
+    let entries = content
+        .as_map_slice()
+        .ok_or_else(|| DeError::expected("object", what, content))?;
+    entries
+        .iter()
+        .map(|(k, v)| Ok((K::key_parse(k)?, V::from_content(v).map_err(|e| e.at(k))?)))
+        .collect()
+}
+
+impl<K: KeyFromString + Ord, V: Deserialize> Deserialize for BTreeMap<K, V> {
+    fn from_content(content: &Content) -> Result<Self, DeError> {
+        de_map(content, "BTreeMap")
+            .map(Vec::into_iter)
+            .map(BTreeMap::from_iter)
+    }
+}
+
+impl<K: KeyFromString + Eq + Hash, V: Deserialize> Deserialize for HashMap<K, V> {
+    fn from_content(content: &Content) -> Result<Self, DeError> {
+        de_map(content, "HashMap")
+            .map(Vec::into_iter)
+            .map(HashMap::from_iter)
+    }
+}
+
+impl Deserialize for () {
+    fn from_content(content: &Content) -> Result<Self, DeError> {
+        match content {
+            Content::Null => Ok(()),
+            other => Err(DeError::expected("null", "()", other)),
+        }
+    }
+}
+
+macro_rules! de_tuple {
+    ($(($len:literal, $($n:tt $t:ident),+))*) => {$(
+        impl<$($t: Deserialize),+> Deserialize for ($($t,)+) {
+            fn from_content(content: &Content) -> Result<Self, DeError> {
+                let items = content
+                    .as_array()
+                    .ok_or_else(|| DeError::expected("array", "tuple", content))?;
+                if items.len() != $len {
+                    return Err(DeError::new(format!(
+                        "expected {}-tuple, got array of {}", $len, items.len()
+                    )));
+                }
+                Ok(($($t::from_content(&items[$n]).map_err(|e| e.at(&format!("[{}]", $n)))?,)+))
+            }
+        }
+    )*};
+}
+de_tuple! {
+    (1, 0 A)
+    (2, 0 A, 1 B)
+    (3, 0 A, 1 B, 2 C)
+    (4, 0 A, 1 B, 2 C, 3 D)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Serialize;
+
+    fn round_trip<T: Serialize + Deserialize + PartialEq + fmt::Debug>(v: T) {
+        let c = v.to_content();
+        assert_eq!(T::from_content(&c).unwrap(), v);
+    }
+
+    #[test]
+    fn primitives_round_trip() {
+        round_trip(42u64);
+        round_trip(-17i64);
+        round_trip(3.25f64);
+        round_trip(true);
+        round_trip(String::from("hüllo\n"));
+        round_trip(Some(5u32));
+        round_trip(Option::<u32>::None);
+        round_trip(vec![1u8, 2, 3]);
+        round_trip((String::from("k"), vec![9i64]));
+    }
+
+    #[test]
+    fn maps_round_trip() {
+        let mut m = HashMap::new();
+        m.insert(7u64, vec![String::from("a")]);
+        m.insert(9u64, vec![]);
+        round_trip(m);
+        let mut b = BTreeMap::new();
+        b.insert(String::from("x"), 1i64);
+        round_trip(b);
+    }
+
+    #[test]
+    fn out_of_range_integer_fails() {
+        assert!(u8::from_content(&Content::U64(300)).is_err());
+        assert!(u64::from_content(&Content::I64(-1)).is_err());
+    }
+
+    #[test]
+    fn absent_option_defaults_to_none() {
+        assert_eq!(Option::<u8>::absent().unwrap(), None);
+        assert!(u8::absent().is_err());
+    }
+}

@@ -1,0 +1,26 @@
+//! Offline stand-in for `serde` (+ the data model behind the `serde_json`
+//! stand-in).
+//!
+//! The real serde decouples data formats from data structures through a
+//! visitor-based data model. This workspace only ever serializes to and from
+//! JSON, so the stand-in collapses that machinery: [`Serialize`] converts a
+//! value into a JSON-shaped [`Content`] tree, [`Deserialize`] reads one back,
+//! and the `serde_json` facade crate renders/parses `Content` as text. The
+//! derive macros (`serde_derive`, re-exported here) generate externally
+//! tagged representations compatible with what real serde would emit for
+//! attribute-free types.
+
+mod content;
+mod de;
+mod ser;
+
+pub use content::{parse_json, Content};
+pub use de::{DeError, Deserialize, KeyFromString};
+pub use ser::{KeyToString, Serialize};
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Find a key in an externally tagged map (derive-internal helper).
+#[doc(hidden)]
+pub fn __find<'a>(map: &'a [(String, Content)], key: &str) -> Option<&'a Content> {
+    map.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+}

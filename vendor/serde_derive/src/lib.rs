@@ -1,0 +1,507 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Derives the stand-in `serde::Serialize`/`serde::Deserialize` traits
+//! (single-method conversions to/from the JSON-shaped `Content` model) for
+//! plain structs and enums. The representation matches what real serde emits
+//! for attribute-free types:
+//!
+//! * named struct        → object of fields
+//! * newtype struct      → the inner value, transparently
+//! * tuple struct        → array
+//! * unit struct         → null
+//! * unit enum variant   → `"Variant"`
+//! * newtype variant     → `{"Variant": inner}`
+//! * tuple variant       → `{"Variant": [..]}`
+//! * struct variant      → `{"Variant": {..}}`
+//!
+//! Generics and `#[serde(...)]` attributes are unsupported (the workspace
+//! uses neither); hitting one is a compile error rather than silent
+//! misbehaviour. Parsing is done directly over `proc_macro::TokenStream`
+//! because `syn`/`quote` are unavailable offline.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    expand(input, Mode::Serialize)
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    expand(input, Mode::Deserialize)
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum Mode {
+    Serialize,
+    Deserialize,
+}
+
+enum Shape {
+    Unit,
+    Tuple(usize),
+    Named(Vec<String>),
+}
+
+struct Variant {
+    name: String,
+    shape: Shape,
+}
+
+enum Item {
+    Struct {
+        name: String,
+        shape: Shape,
+    },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
+}
+
+fn expand(input: TokenStream, mode: Mode) -> TokenStream {
+    let item = match parse_item(input) {
+        Ok(item) => item,
+        Err(msg) => {
+            return format!("compile_error!({msg:?});").parse().unwrap();
+        }
+    };
+    let code = match (mode, &item) {
+        (Mode::Serialize, Item::Struct { name, shape }) => gen_struct_ser(name, shape),
+        (Mode::Deserialize, Item::Struct { name, shape }) => gen_struct_de(name, shape),
+        (Mode::Serialize, Item::Enum { name, variants }) => gen_enum_ser(name, variants),
+        (Mode::Deserialize, Item::Enum { name, variants }) => gen_enum_de(name, variants),
+    };
+    code.parse().unwrap()
+}
+
+// ------------------------------------------------------------------ parse --
+
+struct Cursor {
+    tokens: Vec<TokenTree>,
+    pos: usize,
+}
+
+impl Cursor {
+    fn new(ts: TokenStream) -> Self {
+        Cursor {
+            tokens: ts.into_iter().collect(),
+            pos: 0,
+        }
+    }
+
+    fn peek(&self) -> Option<&TokenTree> {
+        self.tokens.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<TokenTree> {
+        let t = self.tokens.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn is_punct(&self, c: char) -> bool {
+        matches!(self.peek(), Some(TokenTree::Punct(p)) if p.as_char() == c)
+    }
+
+    fn is_ident(&self, word: &str) -> bool {
+        matches!(self.peek(), Some(TokenTree::Ident(i)) if i.to_string() == word)
+    }
+
+    /// Skip any number of `#[...]` outer attributes.
+    fn skip_attrs(&mut self) {
+        while self.is_punct('#') {
+            self.next();
+            self.next(); // the [...] group
+        }
+    }
+
+    /// Skip `pub`, `pub(crate)`, `pub(in ...)`.
+    fn skip_visibility(&mut self) {
+        if self.is_ident("pub") {
+            self.next();
+            if matches!(self.peek(), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+            {
+                self.next();
+            }
+        }
+    }
+
+    fn expect_ident(&mut self) -> Result<String, String> {
+        match self.next() {
+            Some(TokenTree::Ident(i)) => Ok(i.to_string()),
+            other => Err(format!(
+                "serde stand-in derive: expected identifier, got {other:?}"
+            )),
+        }
+    }
+}
+
+fn parse_item(input: TokenStream) -> Result<Item, String> {
+    let mut c = Cursor::new(input);
+    c.skip_attrs();
+    c.skip_visibility();
+    let kw = c.expect_ident()?;
+    let name = c.expect_ident()?;
+    if c.is_punct('<') {
+        return Err(format!(
+            "serde stand-in derive: generic type `{name}` is unsupported"
+        ));
+    }
+    match kw.as_str() {
+        "struct" => {
+            let shape = parse_struct_body(&mut c)?;
+            Ok(Item::Struct { name, shape })
+        }
+        "enum" => {
+            let body = match c.next() {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+                other => return Err(format!("expected enum body, got {other:?}")),
+            };
+            Ok(Item::Enum {
+                name,
+                variants: parse_variants(body)?,
+            })
+        }
+        other => Err(format!("cannot derive for `{other}` items")),
+    }
+}
+
+fn parse_struct_body(c: &mut Cursor) -> Result<Shape, String> {
+    match c.next() {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+            Ok(Shape::Named(parse_named_fields(g.stream())?))
+        }
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+            Ok(Shape::Tuple(count_tuple_fields(g.stream())))
+        }
+        Some(TokenTree::Punct(p)) if p.as_char() == ';' => Ok(Shape::Unit),
+        other => Err(format!("expected struct body, got {other:?}")),
+    }
+}
+
+/// Field names of `{ a: T, pub b: U, ... }`.
+fn parse_named_fields(body: TokenStream) -> Result<Vec<String>, String> {
+    let mut c = Cursor::new(body);
+    let mut fields = Vec::new();
+    while c.peek().is_some() {
+        c.skip_attrs();
+        c.skip_visibility();
+        if c.peek().is_none() {
+            break;
+        }
+        fields.push(c.expect_ident()?);
+        match c.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => return Err(format!("expected `:` after field name, got {other:?}")),
+        }
+        skip_type_until_comma(&mut c);
+    }
+    Ok(fields)
+}
+
+/// Consume type tokens up to (and including) the next comma that is not
+/// nested inside `<...>` generic arguments.
+fn skip_type_until_comma(c: &mut Cursor) {
+    let mut angle_depth = 0i32;
+    while let Some(t) = c.next() {
+        if let TokenTree::Punct(p) = &t {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth -= 1,
+                ',' if angle_depth == 0 => return,
+                _ => {}
+            }
+        }
+    }
+}
+
+/// Arity of `(T, U, ...)`.
+fn count_tuple_fields(body: TokenStream) -> usize {
+    let mut c = Cursor::new(body);
+    if c.peek().is_none() {
+        return 0;
+    }
+    let mut count = 1;
+    let mut angle_depth = 0i32;
+    let mut saw_token_since_comma = false;
+    while let Some(t) = c.next() {
+        if let TokenTree::Punct(p) = &t {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth -= 1,
+                ',' if angle_depth == 0 => {
+                    saw_token_since_comma = false;
+                    count += 1;
+                    continue;
+                }
+                _ => {}
+            }
+        }
+        saw_token_since_comma = true;
+    }
+    if !saw_token_since_comma {
+        count -= 1; // trailing comma
+    }
+    count
+}
+
+fn parse_variants(body: TokenStream) -> Result<Vec<Variant>, String> {
+    let mut c = Cursor::new(body);
+    let mut variants = Vec::new();
+    while c.peek().is_some() {
+        c.skip_attrs();
+        if c.peek().is_none() {
+            break;
+        }
+        let name = c.expect_ident()?;
+        let shape = match c.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let n = count_tuple_fields(g.stream());
+                c.next();
+                Shape::Tuple(n)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = parse_named_fields(g.stream())?;
+                c.next();
+                Shape::Named(fields)
+            }
+            _ => Shape::Unit,
+        };
+        // Skip an explicit discriminant `= expr`, then the trailing comma.
+        let mut angle_depth = 0i32;
+        while let Some(t) = c.peek() {
+            if let TokenTree::Punct(p) = t {
+                match p.as_char() {
+                    '<' => angle_depth += 1,
+                    '>' => angle_depth -= 1,
+                    ',' if angle_depth == 0 => {
+                        c.next();
+                        break;
+                    }
+                    _ => {}
+                }
+            }
+            c.next();
+        }
+        variants.push(Variant { name, shape });
+    }
+    Ok(variants)
+}
+
+// ---------------------------------------------------------------- codegen --
+
+fn gen_struct_ser(name: &str, shape: &Shape) -> String {
+    let body = match shape {
+        Shape::Unit => "serde::Content::Null".to_string(),
+        Shape::Tuple(1) => "serde::Serialize::to_content(&self.0)".to_string(),
+        Shape::Tuple(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("serde::Serialize::to_content(&self.{i})"))
+                .collect();
+            format!("serde::Content::Seq(vec![{}])", items.join(", "))
+        }
+        Shape::Named(fields) => {
+            let entries: Vec<String> = fields
+                .iter()
+                .map(|f| format!("(String::from({f:?}), serde::Serialize::to_content(&self.{f}))"))
+                .collect();
+            format!("serde::Content::Map(vec![{}])", entries.join(", "))
+        }
+    };
+    format!(
+        "impl serde::Serialize for {name} {{\n\
+             fn to_content(&self) -> serde::Content {{ {body} }}\n\
+         }}"
+    )
+}
+
+fn gen_struct_de(name: &str, shape: &Shape) -> String {
+    let body = match shape {
+        Shape::Unit => format!("{{ let _ = __c; Ok({name}) }}"),
+        Shape::Tuple(1) => {
+            format!("serde::Deserialize::from_content(__c).map({name}).map_err(|e| e.at({name:?}))")
+        }
+        Shape::Tuple(n) => format!(
+            "{{ {} }}",
+            tuple_de_expr(&format!("{name}"), *n, "__c", name)
+        ),
+        Shape::Named(fields) => format!(
+            "{{ {} }}",
+            named_de_expr(&format!("{name}"), fields, "__c", name)
+        ),
+    };
+    format!(
+        "impl serde::Deserialize for {name} {{\n\
+             fn from_content(__c: &serde::Content) -> Result<Self, serde::DeError> {{ {body} }}\n\
+         }}"
+    )
+}
+
+/// Expression deserializing tuple fields of `ctor(..)` from content expr `src`.
+fn tuple_de_expr(ctor: &str, n: usize, src: &str, context: &str) -> String {
+    let mut out = format!(
+        "let __items = {src}.as_array().ok_or_else(|| \
+             serde::DeError::expected(\"array\", {context:?}, {src}))?;\n\
+         if __items.len() != {n} {{\n\
+             return Err(serde::DeError::new(format!(\
+                 \"{context}: expected {n} elements, got {{}}\", __items.len())));\n\
+         }}\n"
+    );
+    let args: Vec<String> = (0..n)
+        .map(|i| {
+            format!(
+                "serde::Deserialize::from_content(&__items[{i}])\
+                     .map_err(|e| e.at(\"{context}.{i}\"))?"
+            )
+        })
+        .collect();
+    out.push_str(&format!("Ok({ctor}({}))", args.join(", ")));
+    out
+}
+
+/// Expression deserializing named fields of `ctor { .. }` from content expr `src`.
+fn named_de_expr(ctor: &str, fields: &[String], src: &str, context: &str) -> String {
+    let mut out = format!(
+        "let __map = {src}.as_map_slice().ok_or_else(|| \
+             serde::DeError::expected(\"object\", {context:?}, {src}))?;\n"
+    );
+    let inits: Vec<String> = fields
+        .iter()
+        .map(|f| {
+            format!(
+                "{f}: match serde::__find(__map, {f:?}) {{\n\
+                     Some(__v) => serde::Deserialize::from_content(__v)\
+                         .map_err(|e| e.at(\"{context}.{f}\"))?,\n\
+                     None => serde::Deserialize::absent()\
+                         .map_err(|e| e.at(\"{context}.{f}\"))?,\n\
+                 }}"
+            )
+        })
+        .collect();
+    out.push_str(&format!("Ok({ctor} {{ {} }})", inits.join(", ")));
+    out
+}
+
+fn gen_enum_ser(name: &str, variants: &[Variant]) -> String {
+    let arms: Vec<String> = variants
+        .iter()
+        .map(|v| {
+            let vname = &v.name;
+            match &v.shape {
+                Shape::Unit => {
+                    format!("{name}::{vname} => serde::Content::Str(String::from({vname:?}))")
+                }
+                Shape::Tuple(1) => format!(
+                    "{name}::{vname}(__a0) => serde::Content::Map(vec![\
+                         (String::from({vname:?}), serde::Serialize::to_content(__a0))])"
+                ),
+                Shape::Tuple(n) => {
+                    let binds: Vec<String> = (0..*n).map(|i| format!("__a{i}")).collect();
+                    let items: Vec<String> = binds
+                        .iter()
+                        .map(|b| format!("serde::Serialize::to_content({b})"))
+                        .collect();
+                    format!(
+                        "{name}::{vname}({}) => serde::Content::Map(vec![\
+                             (String::from({vname:?}), serde::Content::Seq(vec![{}]))])",
+                        binds.join(", "),
+                        items.join(", ")
+                    )
+                }
+                Shape::Named(fields) => {
+                    let binds = fields.join(", ");
+                    let entries: Vec<String> = fields
+                        .iter()
+                        .map(|f| {
+                            format!("(String::from({f:?}), serde::Serialize::to_content({f}))")
+                        })
+                        .collect();
+                    format!(
+                        "{name}::{vname} {{ {binds} }} => serde::Content::Map(vec![\
+                             (String::from({vname:?}), serde::Content::Map(vec![{}]))])",
+                        entries.join(", ")
+                    )
+                }
+            }
+        })
+        .collect();
+    format!(
+        "impl serde::Serialize for {name} {{\n\
+             fn to_content(&self) -> serde::Content {{\n\
+                 match self {{ {} }}\n\
+             }}\n\
+         }}",
+        arms.join(",\n")
+    )
+}
+
+fn gen_enum_de(name: &str, variants: &[Variant]) -> String {
+    // Unit variants arrive as plain strings.
+    let unit_arms: Vec<String> = variants
+        .iter()
+        .filter(|v| matches!(v.shape, Shape::Unit))
+        .map(|v| format!("{:?} => Ok({name}::{}),", v.name, v.name))
+        .collect();
+    // Data variants arrive as single-entry maps keyed by the variant name.
+    let data_arms: Vec<String> = variants
+        .iter()
+        .filter_map(|v| {
+            let vname = &v.name;
+            let body = match &v.shape {
+                Shape::Unit => return None,
+                Shape::Tuple(1) => format!(
+                    "serde::Deserialize::from_content(__inner)\
+                         .map({name}::{vname})\
+                         .map_err(|e| e.at(\"{name}::{vname}\"))"
+                ),
+                Shape::Tuple(n) => format!(
+                    "{{ {} }}",
+                    tuple_de_expr(
+                        &format!("{name}::{vname}"),
+                        *n,
+                        "__inner",
+                        &format!("{name}::{vname}")
+                    )
+                ),
+                Shape::Named(fields) => format!(
+                    "{{ {} }}",
+                    named_de_expr(
+                        &format!("{name}::{vname}"),
+                        fields,
+                        "__inner",
+                        &format!("{name}::{vname}")
+                    )
+                ),
+            };
+            Some(format!("{vname:?} => {body},"))
+        })
+        .collect();
+    format!(
+        "impl serde::Deserialize for {name} {{\n\
+             fn from_content(__c: &serde::Content) -> Result<Self, serde::DeError> {{\n\
+                 match __c {{\n\
+                     serde::Content::Str(__s) => match __s.as_str() {{\n\
+                         {unit}\n\
+                         __other => Err(serde::DeError::new(format!(\
+                             \"unknown {name} variant {{__other:?}}\"))),\n\
+                     }},\n\
+                     serde::Content::Map(__m) if __m.len() == 1 => {{\n\
+                         let (__tag, __inner) = &__m[0];\n\
+                         match __tag.as_str() {{\n\
+                             {data}\n\
+                             __other => Err(serde::DeError::new(format!(\
+                                 \"unknown {name} variant {{__other:?}}\"))),\n\
+                         }}\n\
+                     }}\n\
+                     __other => Err(serde::DeError::expected(\
+                         \"string or single-entry object\", {name:?}, __other)),\n\
+                 }}\n\
+             }}\n\
+         }}",
+        unit = unit_arms.join("\n"),
+        data = data_arms.join("\n"),
+    )
+}

@@ -1,0 +1,91 @@
+//! Offline stand-in for `serde_json`.
+//!
+//! A thin facade over the data model in the vendored `serde` crate:
+//! [`Value`] is serde's `Content` re-exported, so any `Serialize` type
+//! converts losslessly and `from_str` round-trips everything the workspace
+//! persists (grid state, catalog snapshots, MySRB's JSON summary endpoint).
+
+use std::fmt;
+
+pub use serde::Content as Value;
+
+/// Error raised by [`to_string`]/[`from_str`].
+#[derive(Debug, Clone)]
+pub struct Error(serde::DeError);
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.0.fmt(f)
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<serde::DeError> for Error {
+    fn from(e: serde::DeError) -> Self {
+        Error(e)
+    }
+}
+
+/// Convert any serializable value into a [`Value`] tree.
+pub fn to_value<T: serde::Serialize + ?Sized>(value: &T) -> Value {
+    value.to_content()
+}
+
+/// Serialize to compact JSON text.
+pub fn to_string<T: serde::Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    Ok(value.to_content().render(false))
+}
+
+/// Serialize to human-readable, two-space-indented JSON text.
+pub fn to_string_pretty<T: serde::Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    Ok(value.to_content().render(true))
+}
+
+/// Deserialize a value from JSON text.
+pub fn from_str<T: serde::Deserialize>(input: &str) -> Result<T, Error> {
+    let content = serde::parse_json(input)?;
+    T::from_content(&content).map_err(Error)
+}
+
+/// Build a [`Value`] in place. Supports the object/array/scalar literal
+/// forms the workspace uses (keys must be string literals).
+#[macro_export]
+macro_rules! json {
+    (null) => { $crate::Value::Null };
+    ([ $($item:expr),* $(,)? ]) => {
+        $crate::Value::Seq(vec![ $( $crate::to_value(&$item) ),* ])
+    };
+    ({ $($key:literal : $val:expr),* $(,)? }) => {
+        $crate::Value::Map(vec![
+            $( (String::from($key), $crate::to_value(&$val)) ),*
+        ])
+    };
+    ($other:expr) => { $crate::to_value(&$other) };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_macro_builds_objects() {
+        let v = json!({ "a": 1u64, "b": "two", "c": vec![3u64, 4] });
+        assert_eq!(v["a"], 1);
+        assert_eq!(v["b"], "two");
+        assert_eq!(v["c"][1], 4);
+        assert_eq!(to_string(&v).unwrap(), r#"{"a":1,"b":"two","c":[3,4]}"#);
+    }
+
+    #[test]
+    fn from_str_round_trips_value() {
+        let v: Value = from_str(r#"{"x": [1, 2, {"y": null}]}"#).unwrap();
+        assert_eq!(from_str::<Value>(&to_string(&v).unwrap()).unwrap(), v);
+    }
+
+    #[test]
+    fn pretty_output_is_indented() {
+        let s = to_string_pretty(&json!({ "k": 1u64 })).unwrap();
+        assert_eq!(s, "{\n  \"k\": 1\n}");
+    }
+}

@@ -1,0 +1,218 @@
+//! Workspace invariant checker, run as `cargo xtask lint`.
+//!
+//! Checks source-level invariants that rustc and clippy cannot express,
+//! because they are policies of *this* workspace:
+//!
+//! - `raw-lock` — every lock goes through `srb_types::sync` (ranked,
+//!   deadlock-detected); raw `parking_lot` is confined to the wrapper.
+//! - `wall-clock` — `SystemTime`/`Instant`/`thread_rng` are confined to
+//!   `srb-types/src/clock.rs` and the bench crate; the grid itself runs on
+//!   the deterministic `SimClock`.
+//! - `unwrap-budget` — `.unwrap()`/`.expect(` in non-test library code is
+//!   ratcheted: existing occurrences are grandfathered in
+//!   `xtask/unwrap_baseline.txt`, new ones fail the build. Shrink the
+//!   baseline with `cargo xtask lint --update-baseline` after a burndown.
+//! - `no-panic-ops` — `panic!`/`todo!`/`unimplemented!` are banned in
+//!   `srb-core` op handlers, which execute untrusted client requests.
+//!
+//! `vendor/` (offline dependency stand-ins) and `xtask/` itself are out of
+//! scope; everything under `crates/`, `src/`, and `tests/` is linted.
+
+mod mask;
+mod rules;
+
+use rules::Violation;
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+const BASELINE_FILE: &str = "xtask/unwrap_baseline.txt";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("lint") => {
+            let update = args.iter().any(|a| a == "--update-baseline");
+            lint(update)
+        }
+        _ => {
+            eprintln!("usage: cargo xtask lint [--update-baseline]");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn workspace_root() -> PathBuf {
+    // xtask lives at <root>/xtask, so the manifest dir's parent is the root.
+    match std::env::var("CARGO_MANIFEST_DIR") {
+        Ok(dir) => PathBuf::from(dir)
+            .parent()
+            .map(Path::to_path_buf)
+            .unwrap_or_else(|| PathBuf::from(".")),
+        Err(_) => PathBuf::from("."),
+    }
+}
+
+/// All workspace-relative `.rs` paths in scope for linting, sorted.
+fn lintable_files(root: &Path) -> Vec<String> {
+    let mut out = Vec::new();
+    for top in ["crates", "src", "tests"] {
+        collect_rs(&root.join(top), root, &mut out);
+    }
+    out.sort();
+    out
+}
+
+fn collect_rs(dir: &Path, root: &Path, out: &mut Vec<String>) {
+    let entries = match std::fs::read_dir(dir) {
+        Ok(e) => e,
+        Err(_) => return,
+    };
+    for entry in entries.flatten() {
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if name == "target" || name == "vendor" {
+                continue;
+            }
+            collect_rs(&path, root, out);
+        } else if name.ends_with(".rs") {
+            if let Ok(rel) = path.strip_prefix(root) {
+                // Normalize to forward slashes so rules and the baseline
+                // are platform-independent.
+                out.push(rel.to_string_lossy().replace('\\', "/"));
+            }
+        }
+    }
+}
+
+/// Is this file part of the non-test library code covered by the unwrap
+/// ratchet? Integration tests and benches may unwrap freely.
+fn in_unwrap_scope(path: &str) -> bool {
+    (path.starts_with("src/") || path.contains("/src/"))
+        && !path.contains("/tests/")
+        && !path.contains("/benches/")
+}
+
+fn read_baseline(root: &Path) -> BTreeMap<String, usize> {
+    let mut map = BTreeMap::new();
+    let Ok(text) = std::fs::read_to_string(root.join(BASELINE_FILE)) else {
+        return map;
+    };
+    for line in text.lines() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        if let Some((path, count)) = line.rsplit_once(' ') {
+            if let Ok(n) = count.parse::<usize>() {
+                map.insert(path.to_string(), n);
+            }
+        }
+    }
+    map
+}
+
+fn write_baseline(root: &Path, counts: &BTreeMap<String, usize>) -> std::io::Result<()> {
+    let mut text = String::from(
+        "# Grandfathered .unwrap()/.expect( counts per non-test library file.\n\
+         # Regenerate with `cargo xtask lint --update-baseline` after a burndown;\n\
+         # the lint fails when a file exceeds its budget here (absent = 0).\n",
+    );
+    for (path, n) in counts {
+        if *n > 0 {
+            text.push_str(&format!("{path} {n}\n"));
+        }
+    }
+    std::fs::write(root.join(BASELINE_FILE), text)
+}
+
+fn lint(update_baseline: bool) -> ExitCode {
+    let root = workspace_root();
+    let files = lintable_files(&root);
+    if files.is_empty() {
+        eprintln!("xtask lint: no source files found under {}", root.display());
+        return ExitCode::from(2);
+    }
+
+    let mut violations: Vec<Violation> = Vec::new();
+    let mut unwrap_counts: BTreeMap<String, usize> = BTreeMap::new();
+
+    for rel in &files {
+        let Ok(src) = std::fs::read_to_string(root.join(rel)) else {
+            eprintln!("xtask lint: unreadable file {rel}");
+            return ExitCode::from(2);
+        };
+        let masked = mask::mask_source(&src);
+        violations.extend(rules::raw_lock(rel, &masked));
+        violations.extend(rules::wall_clock(rel, &masked));
+        violations.extend(rules::panic_ops(rel, &masked));
+        if in_unwrap_scope(rel) {
+            unwrap_counts.insert(rel.clone(), rules::count_unwraps(&masked));
+        }
+    }
+
+    if update_baseline {
+        if let Err(e) = write_baseline(&root, &unwrap_counts) {
+            eprintln!("xtask lint: cannot write {BASELINE_FILE}: {e}");
+            return ExitCode::from(2);
+        }
+        let total: usize = unwrap_counts.values().sum();
+        println!(
+            "xtask lint: baseline updated ({} unwrap/expect across {} files)",
+            total,
+            unwrap_counts.values().filter(|&&n| n > 0).count()
+        );
+        return ExitCode::SUCCESS;
+    }
+
+    let baseline = read_baseline(&root);
+    let mut stale = 0usize;
+    for (path, &count) in &unwrap_counts {
+        let budget = baseline.get(path).copied().unwrap_or(0);
+        if count > budget {
+            violations.push(Violation {
+                path: path.clone(),
+                line: 1,
+                rule: "unwrap-budget",
+                msg: format!(
+                    "{count} unwrap/expect in non-test code exceeds the baseline budget \
+                     of {budget}; return an SrbError instead (or, if truly unreachable, \
+                     justify and run `cargo xtask lint --update-baseline`)"
+                ),
+            });
+        } else if count < budget {
+            stale += 1;
+        }
+    }
+    // A removed file whose budget lingers is also stale.
+    stale += baseline
+        .keys()
+        .filter(|p| !unwrap_counts.contains_key(*p))
+        .count();
+
+    violations.sort_by(|a, b| (&a.path, a.line).cmp(&(&b.path, b.line)));
+    for v in &violations {
+        println!("{v}");
+    }
+    if stale > 0 {
+        println!(
+            "xtask lint: note: {stale} baseline entr{} now above actual counts — \
+             run `cargo xtask lint --update-baseline` to ratchet down",
+            if stale == 1 { "y is" } else { "ies are" }
+        );
+    }
+    if violations.is_empty() {
+        println!("xtask lint: {} files clean", files.len());
+        ExitCode::SUCCESS
+    } else {
+        println!(
+            "xtask lint: {} violation{} in {} files",
+            violations.len(),
+            if violations.len() == 1 { "" } else { "s" },
+            files.len()
+        );
+        ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,326 @@
+//! Source masking: blank out comments and string/char literals so the rule
+//! scanners only ever see real code tokens.
+//!
+//! A full Rust parse is overkill for the invariants we check, but plain
+//! substring search is not enough: `// parking_lot is banned` in a comment
+//! or `"thread_rng"` in a test fixture must not trip a rule. Masking
+//! replaces every comment and literal character with a space while
+//! preserving byte offsets and line numbers, so scanners report accurate
+//! locations on the masked text.
+
+/// Replace the contents of comments, string literals, and char literals
+/// with spaces (newlines are kept so line numbers survive).
+pub fn mask_source(src: &str) -> String {
+    let bytes = src.as_bytes();
+    let mut out: Vec<u8> = Vec::with_capacity(bytes.len());
+    let mut i = 0;
+
+    // Push `b` or, if masking, a space — newlines always survive.
+    fn put(out: &mut Vec<u8>, b: u8, masked: bool) {
+        if b == b'\n' || !masked {
+            out.push(b);
+        } else {
+            out.push(b' ');
+        }
+    }
+
+    while i < bytes.len() {
+        let b = bytes[i];
+        let next = bytes.get(i + 1).copied();
+        if b == b'/' && next == Some(b'/') {
+            // Line comment (incl. doc comments).
+            while i < bytes.len() && bytes[i] != b'\n' {
+                put(&mut out, bytes[i], true);
+                i += 1;
+            }
+        } else if b == b'/' && next == Some(b'*') {
+            // Block comment, nesting allowed.
+            let mut depth = 0usize;
+            while i < bytes.len() {
+                if bytes[i] == b'/' && bytes.get(i + 1) == Some(&b'*') {
+                    depth += 1;
+                    put(&mut out, b'/', true);
+                    put(&mut out, b'*', true);
+                    i += 2;
+                } else if bytes[i] == b'*' && bytes.get(i + 1) == Some(&b'/') {
+                    depth -= 1;
+                    put(&mut out, b'*', true);
+                    put(&mut out, b'/', true);
+                    i += 2;
+                    if depth == 0 {
+                        break;
+                    }
+                } else {
+                    put(&mut out, bytes[i], true);
+                    i += 1;
+                }
+            }
+        } else if b == b'"' {
+            i = mask_string(bytes, i, &mut out);
+        } else if (b == b'r' || b == b'b') && is_raw_or_byte_string(bytes, i) {
+            // r"...", r#"..."#, b"...", br#"..."# — skip the prefix, then
+            // mask the (possibly raw) string body.
+            let mut j = i;
+            while bytes[j] == b'r' || bytes[j] == b'b' {
+                put(&mut out, bytes[j], false);
+                j += 1;
+            }
+            if bytes[j] == b'#' || bytes[j] == b'"' {
+                i = mask_raw_string(bytes, j, &mut out);
+            } else {
+                i = j;
+            }
+        } else if b == b'\'' {
+            // Char literal or lifetime. A lifetime is `'` + ident not
+            // followed by a closing `'`; a char literal always closes.
+            if let Some(end) = char_literal_end(bytes, i) {
+                for &c in &bytes[i..end] {
+                    put(&mut out, c, true);
+                }
+                i = end;
+            } else {
+                put(&mut out, b, false);
+                i += 1;
+            }
+        } else {
+            put(&mut out, b, false);
+            i += 1;
+        }
+    }
+    String::from_utf8(out).expect("masking preserves UTF-8: multibyte chars only inside masked regions are replaced byte-for-byte only when ASCII")
+}
+
+/// Does `bytes[i..]` start a raw/byte string prefix (`r"`, `r#`, `br"`,
+/// `b"`, ...) rather than an identifier like `result`?
+fn is_raw_or_byte_string(bytes: &[u8], i: usize) -> bool {
+    // Must not be the tail of a longer identifier.
+    if i > 0 && (bytes[i - 1].is_ascii_alphanumeric() || bytes[i - 1] == b'_') {
+        return false;
+    }
+    let mut j = i;
+    while j < bytes.len() && (bytes[j] == b'r' || bytes[j] == b'b') && j - i < 2 {
+        j += 1;
+    }
+    while j < bytes.len() && bytes[j] == b'#' {
+        j += 1;
+    }
+    j < bytes.len() && bytes[j] == b'"'
+}
+
+/// Mask a normal string starting at the opening quote; returns the index
+/// one past the closing quote.
+fn mask_string(bytes: &[u8], start: usize, out: &mut Vec<u8>) -> usize {
+    out.push(b'"');
+    let mut i = start + 1;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'\\' if i + 1 < bytes.len() => {
+                out.push(b' ');
+                if bytes[i + 1] == b'\n' {
+                    out.push(b'\n');
+                } else {
+                    out.push(b' ');
+                }
+                i += 2;
+            }
+            b'"' => {
+                out.push(b'"');
+                return i + 1;
+            }
+            b'\n' => {
+                out.push(b'\n');
+                i += 1;
+            }
+            _ => {
+                out.push(b' ');
+                i += 1;
+            }
+        }
+    }
+    i
+}
+
+/// Mask a raw string starting at its `#`s or opening quote; returns the
+/// index one past the closing delimiter.
+fn mask_raw_string(bytes: &[u8], start: usize, out: &mut Vec<u8>) -> usize {
+    let mut i = start;
+    let mut hashes = 0usize;
+    while i < bytes.len() && bytes[i] == b'#' {
+        out.push(b'#');
+        hashes += 1;
+        i += 1;
+    }
+    if i >= bytes.len() || bytes[i] != b'"' {
+        return i;
+    }
+    out.push(b'"');
+    i += 1;
+    while i < bytes.len() {
+        if bytes[i] == b'"'
+            && bytes[i + 1..]
+                .iter()
+                .take(hashes)
+                .filter(|&&c| c == b'#')
+                .count()
+                == hashes
+        {
+            out.push(b'"');
+            i += 1;
+            for _ in 0..hashes {
+                out.push(b'#');
+                i += 1;
+            }
+            return i;
+        }
+        out.push(if bytes[i] == b'\n' { b'\n' } else { b' ' });
+        i += 1;
+    }
+    i
+}
+
+/// If a char literal starts at `i`, return the index one past its closing
+/// quote; `None` for lifetimes.
+fn char_literal_end(bytes: &[u8], i: usize) -> Option<usize> {
+    let mut j = i + 1;
+    if j >= bytes.len() {
+        return None;
+    }
+    if bytes[j] == b'\\' {
+        // Escape: consume until the closing quote (handles \', \u{..}).
+        j += 2;
+        while j < bytes.len() && bytes[j] != b'\'' {
+            j += 1;
+        }
+        return (j < bytes.len()).then_some(j + 1);
+    }
+    // Unescaped: a char literal is exactly one character (any byte length)
+    // then `'`. A lifetime never has a closing quote right after one char.
+    let s = std::str::from_utf8(&bytes[j..]).ok()?;
+    let c = s.chars().next()?;
+    let after = j + c.len_utf8();
+    (bytes.get(after) == Some(&b'\'')).then(|| after + 1)
+}
+
+/// Line numbers (1-based) inside `#[cfg(test)]`-gated blocks.
+///
+/// Handles the dominant workspace idiom — `#[cfg(test)]` followed by an
+/// item with a brace-delimited body (`mod tests { ... }`) — which is what
+/// the unwrap and panic rules need to skip.
+pub fn test_region_lines(masked: &str) -> Vec<bool> {
+    let line_count = masked.lines().count();
+    let mut in_test = vec![false; line_count + 2];
+    let bytes = masked.as_bytes();
+    let mut search = 0;
+    while let Some(pos) = masked[search..].find("#[cfg(test)]") {
+        let attr_at = search + pos;
+        // Find the block body: first `{` after the attribute, then its
+        // matching `}`.
+        let open = match masked[attr_at..].find('{') {
+            Some(o) => attr_at + o,
+            None => break,
+        };
+        let mut depth = 0usize;
+        let mut end = open;
+        for (k, &b) in bytes[open..].iter().enumerate() {
+            match b {
+                b'{' => depth += 1,
+                b'}' => {
+                    depth -= 1;
+                    if depth == 0 {
+                        end = open + k;
+                        break;
+                    }
+                }
+                _ => {}
+            }
+        }
+        let start_line = masked[..attr_at].bytes().filter(|&b| b == b'\n').count() + 1;
+        let end_line = masked[..=end.min(masked.len() - 1)]
+            .bytes()
+            .filter(|&b| b == b'\n')
+            .count()
+            + 1;
+        for flag in &mut in_test[start_line..=end_line.min(line_count)] {
+            *flag = true;
+        }
+        search = end.max(attr_at + 1);
+    }
+    in_test
+}
+
+/// Occurrences of `word` as a standalone identifier in `masked`, returned
+/// as 1-based line numbers.
+pub fn find_ident_lines(masked: &str, word: &str) -> Vec<usize> {
+    let mut lines = Vec::new();
+    let bytes = masked.as_bytes();
+    let mut search = 0;
+    while let Some(pos) = masked[search..].find(word) {
+        let at = search + pos;
+        let before_ok = at == 0 || {
+            let c = bytes[at - 1];
+            !(c.is_ascii_alphanumeric() || c == b'_')
+        };
+        let after = at + word.len();
+        let after_ok = after >= bytes.len() || {
+            let c = bytes[after];
+            !(c.is_ascii_alphanumeric() || c == b'_')
+        };
+        if before_ok && after_ok {
+            lines.push(masked[..at].bytes().filter(|&b| b == b'\n').count() + 1);
+        }
+        search = at + word.len();
+    }
+    lines
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn masks_comments_and_strings() {
+        let src = r#"let x = 1; // parking_lot here
+let s = "thread_rng inside";
+/* Instant in a block
+   comment */ let y = 2;"#;
+        let m = mask_source(src);
+        assert!(!m.contains("parking_lot"));
+        assert!(!m.contains("thread_rng"));
+        assert!(!m.contains("Instant"));
+        assert!(m.contains("let x = 1;"));
+        assert!(m.contains("let y = 2;"));
+        assert_eq!(m.lines().count(), src.lines().count());
+    }
+
+    #[test]
+    fn masks_raw_strings_and_char_literals() {
+        let src = r##"let r = r#"SystemTime"#; let c = 'I'; let lt: &'static str = "x";"##;
+        let m = mask_source(src);
+        assert!(!m.contains("SystemTime"));
+        assert!(m.contains("'static str"));
+    }
+
+    #[test]
+    fn keeps_code_identifiers() {
+        let src = "use parking_lot::RwLock;\nlet t = Instant::now();";
+        let m = mask_source(src);
+        assert!(m.contains("parking_lot"));
+        assert!(m.contains("Instant"));
+    }
+
+    #[test]
+    fn test_region_detection() {
+        let src = "fn real() { x.unwrap(); }\n#[cfg(test)]\nmod tests {\n    fn t() { y.unwrap(); }\n}\nfn real2() {}\n";
+        let masked = mask_source(src);
+        let in_test = test_region_lines(&masked);
+        assert!(!in_test[1]);
+        assert!(in_test[2] && in_test[3] && in_test[4] && in_test[5]);
+        assert!(!in_test[6]);
+    }
+
+    #[test]
+    fn ident_matching_is_word_bounded() {
+        let masked = "let a = Instant::now(); let b = InstantLike; let c = MyInstant;";
+        assert_eq!(find_ident_lines(masked, "Instant"), vec![1]);
+    }
+}

@@ -1,0 +1,188 @@
+//! The lint rules. Each rule takes a workspace-relative path plus the
+//! masked source (see [`crate::mask`]) and yields violations.
+
+use crate::mask::{find_ident_lines, test_region_lines};
+
+/// One finding: file, line, rule id, message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Violation {
+    pub path: String,
+    pub line: usize,
+    pub rule: &'static str,
+    pub msg: String,
+}
+
+impl std::fmt::Display for Violation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.path, self.line, self.rule, self.msg
+        )
+    }
+}
+
+/// Rule `raw-lock`: `parking_lot` may only be named inside the ranked
+/// wrapper module. Everything else must go through `srb_types::sync`, which
+/// is what ties every lock to a [`LockRank`] and keeps the deadlock
+/// detector complete — one raw lock is a blind spot.
+pub fn raw_lock(path: &str, masked: &str) -> Vec<Violation> {
+    if path == "crates/srb-types/src/sync.rs" {
+        return Vec::new();
+    }
+    find_ident_lines(masked, "parking_lot")
+        .into_iter()
+        .map(|line| Violation {
+            path: path.to_string(),
+            line,
+            rule: "raw-lock",
+            msg: "raw parking_lot lock; use srb_types::sync::{Mutex, RwLock} with a LockRank"
+                .to_string(),
+        })
+        .collect()
+}
+
+/// Rule `wall-clock`: `std::time::{SystemTime, Instant}` and
+/// `rand::thread_rng` are banned outside the virtual clock and the bench
+/// crate. The whole grid runs on `SimClock` so experiments replay
+/// identically; one wall-clock read or OS-entropy draw silently breaks
+/// that determinism.
+pub fn wall_clock(path: &str, masked: &str) -> Vec<Violation> {
+    if path == "crates/srb-types/src/clock.rs" || path.starts_with("crates/bench/") {
+        return Vec::new();
+    }
+    let mut out = Vec::new();
+    for (word, what) in [
+        ("SystemTime", "wall-clock time"),
+        ("Instant", "wall-clock time"),
+        ("thread_rng", "OS entropy"),
+    ] {
+        for line in find_ident_lines(masked, word) {
+            out.push(Violation {
+                path: path.to_string(),
+                line,
+                rule: "wall-clock",
+                msg: format!(
+                    "`{word}` ({what}) breaks simulation determinism; use \
+                     srb_types::SimClock / a seeded StdRng"
+                ),
+            });
+        }
+    }
+    out.sort_by_key(|v| v.line);
+    out
+}
+
+/// Count `.unwrap()` / `.expect(` occurrences outside `#[cfg(test)]`
+/// regions. Used by rule `unwrap-budget` (the per-file ratchet).
+pub fn count_unwraps(masked: &str) -> usize {
+    let in_test = test_region_lines(masked);
+    masked
+        .lines()
+        .enumerate()
+        .filter(|(idx, _)| !in_test.get(idx + 1).copied().unwrap_or(false))
+        .map(|(_, line)| line.matches(".unwrap()").count() + line.matches(".expect(").count())
+        .sum()
+}
+
+/// Rule `no-panic-ops`: `panic!`/`todo!`/`unimplemented!` are banned in
+/// `srb-core` op handlers (`ops_*.rs`). Op handlers run client requests; a
+/// malformed request must surface as an `SrbError` on that request, not
+/// take down the server thread.
+pub fn panic_ops(path: &str, masked: &str) -> Vec<Violation> {
+    let is_op_handler = path
+        .strip_prefix("crates/srb-core/src/")
+        .is_some_and(|f| f.starts_with("ops_") && f.ends_with(".rs"));
+    if !is_op_handler {
+        return Vec::new();
+    }
+    let in_test = test_region_lines(masked);
+    let mut out = Vec::new();
+    for word in ["panic", "todo", "unimplemented"] {
+        for line in find_ident_lines(masked, word) {
+            if in_test.get(line).copied().unwrap_or(false) {
+                continue;
+            }
+            // Only the macro form: identifier immediately followed by `!`.
+            let is_macro = masked
+                .lines()
+                .nth(line - 1)
+                .is_some_and(|l| l.contains(&format!("{word}!")));
+            if is_macro {
+                out.push(Violation {
+                    path: path.to_string(),
+                    line,
+                    rule: "no-panic-ops",
+                    msg: format!(
+                        "`{word}!` in an op handler; return an SrbError so one bad \
+                         request cannot kill the server"
+                    ),
+                });
+            }
+        }
+    }
+    out.sort_by_key(|v| v.line);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mask::mask_source;
+
+    #[test]
+    fn raw_lock_flags_usage_outside_wrapper() {
+        let masked = mask_source("use parking_lot::RwLock;\n");
+        let v = raw_lock("crates/srb-net/src/load.rs", &masked);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].line, 1);
+        // ... but not in the wrapper module itself.
+        assert!(raw_lock("crates/srb-types/src/sync.rs", &masked).is_empty());
+        // ... and not in comments.
+        let commented = mask_source("// parking_lot is banned\n");
+        assert!(raw_lock("crates/srb-net/src/load.rs", &commented).is_empty());
+    }
+
+    #[test]
+    fn wall_clock_flags_time_and_entropy() {
+        let masked =
+            mask_source("let t = std::time::Instant::now();\nlet r = rand::thread_rng();\n");
+        let v = wall_clock("crates/srb-core/src/grid.rs", &masked);
+        assert_eq!(v.len(), 2);
+        assert_eq!((v[0].line, v[1].line), (1, 2));
+        // Allowed in the virtual clock and the bench crate.
+        assert!(wall_clock("crates/srb-types/src/clock.rs", &masked).is_empty());
+        assert!(wall_clock("crates/bench/src/fixtures.rs", &masked).is_empty());
+        // Duration is fine anywhere.
+        let dur = mask_source("use std::time::Duration;\n");
+        assert!(wall_clock("crates/srb-core/src/grid.rs", &dur).is_empty());
+    }
+
+    #[test]
+    fn unwrap_counting_skips_test_modules() {
+        let src = "fn a() { x.unwrap(); y.expect(\"m\"); }\n\
+                   #[cfg(test)]\nmod tests {\n    fn t() { z.unwrap(); }\n}\n";
+        assert_eq!(count_unwraps(&mask_source(src)), 2);
+        // unwrap_or / expect_err are not unwraps.
+        assert_eq!(
+            count_unwraps(&mask_source("x.unwrap_or(0); y.expect_err(\"\");\n")),
+            0
+        );
+    }
+
+    #[test]
+    fn panic_ops_only_in_op_handlers() {
+        let masked = mask_source("fn f() { panic!(\"boom\"); }\n");
+        assert_eq!(
+            panic_ops("crates/srb-core/src/ops_write.rs", &masked).len(),
+            1
+        );
+        assert!(panic_ops("crates/srb-core/src/grid.rs", &masked).is_empty());
+        assert!(panic_ops("crates/srb-net/src/load.rs", &masked).is_empty());
+        // assert!/debug_assert! and test-module panics are fine.
+        let ok = mask_source(
+            "fn f() { assert!(true); }\n#[cfg(test)]\nmod tests {\n    fn t() { panic!(); }\n}\n",
+        );
+        assert!(panic_ops("crates/srb-core/src/ops_write.rs", &ok).is_empty());
+    }
+}
