@@ -3,5 +3,15 @@ fn main() {
         .ok()
         .and_then(|v| v.parse().ok())
         .unwrap_or(100_000);
-    bench::experiments::e1_catalog_scale::run(max).print();
+    if std::env::args().any(|a| a == "--json") {
+        let v = bench::experiments::e1_catalog_scale::run_json(max);
+        let text = serde_json::to_string_pretty(&v).unwrap_or_default();
+        if let Err(e) = std::fs::write("BENCH_E1.json", text) {
+            eprintln!("failed to write BENCH_E1.json: {e}");
+            std::process::exit(1);
+        }
+        println!("wrote BENCH_E1.json (up to {max} datasets)");
+    } else {
+        bench::experiments::e1_catalog_scale::run(max).print();
+    }
 }

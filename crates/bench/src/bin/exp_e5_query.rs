@@ -1,3 +1,18 @@
 fn main() {
-    bench::experiments::e5_query::run(20_000).print();
+    let json = std::env::args().any(|a| a == "--json");
+    let n = std::env::var("SRB_E5_N")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(if json { 100_000 } else { 20_000 });
+    if json {
+        let v = bench::experiments::e5_query::run_json(n);
+        let text = serde_json::to_string_pretty(&v).unwrap_or_default();
+        if let Err(e) = std::fs::write("BENCH_E5.json", text) {
+            eprintln!("failed to write BENCH_E5.json: {e}");
+            std::process::exit(1);
+        }
+        println!("wrote BENCH_E5.json ({n} datasets)");
+    } else {
+        bench::experiments::e5_query::run(n).print();
+    }
 }

@@ -1,77 +1,131 @@
 //! E1 — "scalable to handle millions of datasets" (§2).
 //!
 //! Grows the catalog through decades of size and reports per-operation
-//! wall-clock costs at each scale: ingest, point query (indexed), and the
+//! wall-clock costs at each scale: ingest, point query through the
+//! multi-index planner, the same point query through the pre-overhaul
+//! single-driver engine (the "before" row for `BENCH_E1.json`), and the
 //! full-scan baseline. The claim holds if ingest and indexed-query costs
 //! stay near-flat while the scan cost grows linearly.
 
-use crate::fixtures::{connect, single_site_grid};
+use crate::fixtures::{connect, ok, single_site_grid, time_us};
 use crate::table::Table;
+use serde_json::json;
 use srb_core::IngestOptions;
 use srb_mcat::Query;
 use srb_types::{CompareOp, Triplet};
 use std::time::Instant;
 
-/// Run with catalog sizes up to `max` (e.g. 100_000; override with the
-/// SRB_E1_MAX environment variable in the binary).
-pub fn run(max: usize) -> Table {
+struct Row {
+    datasets: usize,
+    ingest_us: f64,
+    planner_us: f64,
+    single_driver_us: f64,
+    scan_ms: f64,
+    hits: usize,
+}
+
+fn measure(max: usize) -> Vec<Row> {
     let (grid, srv) = single_site_grid();
     let conn = connect(&grid, srv);
-    conn.make_collection("/home/bench/data").unwrap();
-    let mut table = Table::new(
-        "E1: catalog scalability (per-op wall time vs catalog size)",
-        &[
-            "datasets",
-            "ingest us/op",
-            "point query us",
-            "scan query ms",
-            "hits",
-        ],
-    );
+    ok(conn.make_collection("/home/bench/data"));
+    let mcat = &grid.mcat;
+    let mut rows = Vec::new();
     let mut current = 0usize;
     let mut size = 1000usize;
     while size <= max {
         // Grow the catalog to `size`.
         let t0 = Instant::now();
         for i in current..size {
-            conn.ingest(
+            ok(conn.ingest(
                 &format!("/home/bench/data/obj{i:07}"),
                 b"x",
                 IngestOptions::to_resource("fs")
                     .with_metadata(Triplet::new("serial", i as i64, ""))
                     .with_metadata(Triplet::new("kind", ["image", "text"][i % 2], "")),
-            )
-            .unwrap();
+            ));
         }
         let grown = size - current;
         let ingest_us = t0.elapsed().as_micros() as f64 / grown.max(1) as f64;
         current = size;
 
-        // Point query on the unique attribute (indexed path).
+        // Point query on the unique attribute, through all three engines.
         let probe = (size / 2) as i64;
         let q = Query::everywhere().and("serial", CompareOp::Eq, probe);
-        let t1 = Instant::now();
-        let reps = 100;
-        let mut hits = 0;
-        for _ in 0..reps {
-            hits = conn.query(&q).unwrap().0.len();
-        }
-        let point_us = t1.elapsed().as_micros() as f64 / reps as f64;
-
-        // The same query through the full-scan baseline (A1 ablation).
-        let t2 = Instant::now();
-        let scan_hits = conn.query_scan(&q).unwrap().0.len();
-        let scan_ms = t2.elapsed().as_micros() as f64 / 1000.0;
-        assert_eq!(hits, scan_hits);
-
-        table.row(vec![
-            size.to_string(),
-            format!("{ingest_us:.1}"),
-            format!("{point_us:.1}"),
-            format!("{scan_ms:.2}"),
-            hits.to_string(),
-        ]);
+        let hits = ok(mcat.query(&q)).len();
+        assert_eq!(hits, ok(mcat.query_single_driver(&q)).len());
+        assert_eq!(hits, ok(mcat.query_scan(&q)).len());
+        let planner_us = time_us(100, || {
+            ok(mcat.query(&q));
+        });
+        let single_driver_us = time_us(100, || {
+            ok(mcat.query_single_driver(&q));
+        });
+        let scan_ms = time_us(1, || {
+            ok(mcat.query_scan(&q));
+        }) / 1000.0;
+        rows.push(Row {
+            datasets: size,
+            ingest_us,
+            planner_us,
+            single_driver_us,
+            scan_ms,
+            hits,
+        });
         size *= 10;
     }
+    rows
+}
+
+/// Run with catalog sizes up to `max` (e.g. 100_000; override with the
+/// SRB_E1_MAX environment variable in the binary).
+pub fn run(max: usize) -> Table {
+    let mut table = Table::new(
+        "E1: catalog scalability (per-op wall time vs catalog size)",
+        &[
+            "datasets",
+            "ingest us/op",
+            "planner us",
+            "1-driver us",
+            "scan query ms",
+            "hits",
+        ],
+    );
+    for r in measure(max) {
+        table.row(vec![
+            r.datasets.to_string(),
+            format!("{:.1}", r.ingest_us),
+            format!("{:.1}", r.planner_us),
+            format!("{:.1}", r.single_driver_us),
+            format!("{:.2}", r.scan_ms),
+            r.hits.to_string(),
+        ]);
+    }
     table
+}
+
+/// The same measurements as machine-readable before/after rows for
+/// `BENCH_E1.json` (`--json` mode of the `exp_e1_catalog_scale` binary);
+/// `single_driver_us` is the "before" engine, `planner_us` the "after".
+pub fn run_json(max: usize) -> serde_json::Value {
+    let rows: Vec<serde_json::Value> = measure(max)
+        .iter()
+        .map(|r| {
+            json!({
+                "datasets": r.datasets,
+                "ingest_us_per_op": r.ingest_us,
+                "planner_us": r.planner_us,
+                "single_driver_us": r.single_driver_us,
+                "scan_ms": r.scan_ms,
+                "hits": r.hits,
+                "speedup_vs_single_driver": r.single_driver_us / r.planner_us.max(0.001),
+            })
+        })
+        .collect();
+    json!({
+        "experiment": "e1_catalog_scale",
+        "max_datasets": max,
+        "before_engine": "single_driver",
+        "after_engine": "planner",
+        "rows": rows,
+    })
 }

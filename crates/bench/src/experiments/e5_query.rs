@@ -1,62 +1,135 @@
 //! E5 — the conjunctive attribute query (§6) and ablation A1 (value
 //! indexes vs full scan).
 //!
-//! A 20k-dataset catalog is queried with growing numbers of ANDed
-//! conditions; each row compares the indexed planner against the scan
-//! baseline and reports the hit count (identical by construction — the
-//! property tests enforce it).
+//! A seeded catalog is queried with growing numbers of ANDed conditions;
+//! each row compares three engines on the same [`Query`]:
+//!
+//! - **planner** — the multi-index intersection planner
+//!   ([`srb_mcat::Mcat::query`]),
+//! - **single-driver** — the pre-overhaul engine kept as an ablation
+//!   ([`srb_mcat::Mcat::query_single_driver`]): one driver index,
+//!   per-candidate verification on cloned rows,
+//! - **scan** — the index-free full scan
+//!   ([`srb_mcat::Mcat::query_scan`]).
+//!
+//! Hit counts are identical by construction (the differential oracle in
+//! `crates/srb-mcat/tests/query_oracle.rs` enforces it); the interesting
+//! output is the cost ratio as conditions accumulate. Timings are taken at
+//! the catalog layer so permission filtering does not blur the engine
+//! comparison.
 
-use crate::fixtures::{connect, seed_datasets, single_site_grid};
+use crate::fixtures::{connect, ok, seed_datasets, single_site_grid, time_us};
 use crate::table::Table;
+use serde_json::json;
 use srb_mcat::Query;
-use srb_types::CompareOp;
-use std::time::Instant;
+use srb_types::{CompareOp, MetaValue};
 
-pub fn run(n: usize) -> Table {
-    let (grid, srv) = single_site_grid();
-    let conn = connect(&grid, srv);
-    seed_datasets(&conn, n, "fs");
-    let mut table = Table::new(
-        &format!("E5: conjunctive query cost over {n} datasets (indexed vs scan)"),
-        &[
-            "conditions",
-            "hits",
-            "indexed us",
-            "scan us",
-            "scan/indexed",
-        ],
-    );
-    // Conditions of decreasing selectivity order, as the web form allows.
-    let conds: Vec<(&str, CompareOp, srb_types::MetaValue)> = vec![
+/// The six-condition workload over the attributes `seed_datasets` attaches:
+/// a unique `serial`, a three-way `kind`, and a 0..1000 `score`.
+fn conditions() -> Vec<(&'static str, CompareOp, MetaValue)> {
+    vec![
         ("serial", CompareOp::Lt, 400i64.into()),
         ("kind", CompareOp::Eq, "image".into()),
         ("score", CompareOp::Ge, 200i64.into()),
         ("score", CompareOp::Lt, 900i64.into()),
         ("serial", CompareOp::Ge, 10i64.into()),
-    ];
+        ("kind", CompareOp::Ne, "movie".into()),
+    ]
+}
+
+struct Row {
+    conds: usize,
+    hits: usize,
+    planner_us: f64,
+    single_driver_us: f64,
+    scan_us: f64,
+}
+
+fn measure(n: usize) -> Vec<Row> {
+    let (grid, srv) = single_site_grid();
+    let conn = connect(&grid, srv);
+    seed_datasets(&conn, n, "fs");
+    let mcat = &grid.mcat;
+    let conds = conditions();
+    let mut rows = Vec::new();
     for ncond in 1..=conds.len() {
         let mut q = Query::everywhere();
         for (attr, op, val) in conds.iter().take(ncond) {
             q = q.and(attr, *op, val.clone());
         }
-        let reps = 20;
-        let t0 = Instant::now();
-        let mut hits = 0;
-        for _ in 0..reps {
-            hits = conn.query(&q).unwrap().0.len();
-        }
-        let indexed_us = t0.elapsed().as_micros() as f64 / reps as f64;
-        let t1 = Instant::now();
-        let scan_hits = conn.query_scan(&q).unwrap().0.len();
-        let scan_us = t1.elapsed().as_micros() as f64;
-        assert_eq!(hits, scan_hits);
+        let hits = ok(mcat.query(&q)).len();
+        assert_eq!(hits, ok(mcat.query_single_driver(&q)).len());
+        assert_eq!(hits, ok(mcat.query_scan(&q)).len());
+        let planner_us = time_us(20, || {
+            ok(mcat.query(&q));
+        });
+        let single_driver_us = time_us(5, || {
+            ok(mcat.query_single_driver(&q));
+        });
+        let scan_us = time_us(1, || {
+            ok(mcat.query_scan(&q));
+        });
+        rows.push(Row {
+            conds: ncond,
+            hits,
+            planner_us,
+            single_driver_us,
+            scan_us,
+        });
+    }
+    rows
+}
+
+pub fn run(n: usize) -> Table {
+    let mut table = Table::new(
+        &format!("E5: conjunctive query cost over {n} datasets (planner vs single-driver vs scan)"),
+        &[
+            "conditions",
+            "hits",
+            "planner us",
+            "1-driver us",
+            "scan us",
+            "1-driver/planner",
+            "scan/planner",
+        ],
+    );
+    for r in measure(n) {
         table.row(vec![
-            ncond.to_string(),
-            hits.to_string(),
-            format!("{indexed_us:.0}"),
-            format!("{scan_us:.0}"),
-            format!("{:.1}x", scan_us / indexed_us.max(0.001)),
+            r.conds.to_string(),
+            r.hits.to_string(),
+            format!("{:.0}", r.planner_us),
+            format!("{:.0}", r.single_driver_us),
+            format!("{:.0}", r.scan_us),
+            format!("{:.1}x", r.single_driver_us / r.planner_us.max(0.001)),
+            format!("{:.1}x", r.scan_us / r.planner_us.max(0.001)),
         ]);
     }
     table
+}
+
+/// The same measurements as machine-readable before/after rows for
+/// `BENCH_E5.json` (`--json` mode of the `exp_e5_query` binary);
+/// `single_driver_us` is the "before" engine, `planner_us` the "after".
+pub fn run_json(n: usize) -> serde_json::Value {
+    let rows: Vec<serde_json::Value> = measure(n)
+        .iter()
+        .map(|r| {
+            json!({
+                "conditions": r.conds,
+                "hits": r.hits,
+                "planner_us": r.planner_us,
+                "single_driver_us": r.single_driver_us,
+                "scan_us": r.scan_us,
+                "speedup_vs_single_driver": r.single_driver_us / r.planner_us.max(0.001),
+                "speedup_vs_scan": r.scan_us / r.planner_us.max(0.001),
+            })
+        })
+        .collect();
+    json!({
+        "experiment": "e5_query",
+        "datasets": n,
+        "before_engine": "single_driver",
+        "after_engine": "planner",
+        "rows": rows,
+    })
 }

@@ -42,6 +42,24 @@ pub fn federated_grid() -> (Grid, [ServerId; 3]) {
     (grid, [s1, s2, s3])
 }
 
+/// Unwrap an experiment-infrastructure result without `.unwrap()` (the
+/// unwrap-budget ratchet covers bench library code too).
+pub fn ok<T, E: std::fmt::Display>(r: Result<T, E>) -> T {
+    match r {
+        Ok(v) => v,
+        Err(e) => panic!("experiment op failed: {e}"),
+    }
+}
+
+/// Average wall-clock microseconds over `reps` runs of `f`.
+pub fn time_us(reps: usize, mut f: impl FnMut()) -> f64 {
+    let t0 = std::time::Instant::now();
+    for _ in 0..reps {
+        f();
+    }
+    t0.elapsed().as_micros() as f64 / reps.max(1) as f64
+}
+
 /// Connect the standard bench user.
 pub fn connect<'g>(grid: &'g Grid, srv: ServerId) -> SrbConnection<'g> {
     SrbConnection::connect(grid, srv, "bench", "sdsc", "pw").expect("bench user connects")

@@ -31,7 +31,7 @@ fn e4_federation_smoke() {
 #[test]
 fn e5_query_smoke() {
     let t = e5_query::run(2_000);
-    assert_eq!(t.len(), 5);
+    assert_eq!(t.len(), 6); // growing conjunction, 1..=6 conditions
 }
 
 #[test]

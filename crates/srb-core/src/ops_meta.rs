@@ -291,6 +291,18 @@ impl SrbConnection<'_> {
         Ok((visible, receipt))
     }
 
+    /// Paging helper for the MySRB result listing: run `q` with an
+    /// *unordered* limit of `n`, letting the catalog short-circuit
+    /// candidate verification as soon as `n` hits confirm ("show me some
+    /// matches fast"). The hits are real matches, sorted among themselves,
+    /// but not necessarily the first `n` in global path order; permission
+    /// filtering happens afterwards, so fewer than `n` rows may come back
+    /// even when more matches exist.
+    pub fn query_first(&self, q: &Query, n: usize) -> SrbResult<(Vec<QueryHit>, Receipt)> {
+        let q = q.clone().first_hits(n);
+        self.query(&q)
+    }
+
     /// The scan-path baseline of the same query (ablation A1).
     pub fn query_scan(&self, q: &Query) -> SrbResult<(Vec<QueryHit>, Receipt)> {
         let user = self.check_session()?;

@@ -13,10 +13,11 @@ use crate::query::{Query, QueryCondition, QueryHit};
 use crate::resource::ResourceTable;
 use crate::user::UserTable;
 use srb_types::{
-    CollectionId, DatasetId, IdGen, LogicalPath, MetaValue, Permission, SimClock, SrbError,
-    SrbResult, Triplet, UserId,
+    CollectionId, CompareOp, DatasetId, IdGen, LogicalPath, MetaValue, Permission, SimClock,
+    SrbError, SrbResult, Triplet, UserId,
 };
 use std::collections::HashSet;
+use std::sync::Arc;
 
 /// The Metadata Catalog.
 ///
@@ -52,9 +53,11 @@ impl Mcat {
     pub fn new(clock: SimClock, admin_password: &str) -> Self {
         let ids = IdGen::new();
         let users = UserTable::new();
-        let admin = users
-            .register(&ids, "srb", "sdsc", admin_password, true)
-            .expect("fresh table");
+        let admin = match users.register(&ids, "srb", "sdsc", admin_password, true) {
+            Ok(u) => u,
+            // Registration only fails on a duplicate name; the table is new.
+            Err(_) => unreachable!("fresh user table has no duplicate names"),
+        };
         let collections = CollectionTable::new(&ids, admin, clock.now());
         Mcat {
             ids,
@@ -286,46 +289,25 @@ impl Mcat {
 
     /// Attribute names queryable in a scope — "a drop-down menu containing
     /// all the metadata names that are queryable in that collection and
-    /// every collection in the hierarchy under the collection".
+    /// every collection in the hierarchy under the collection". Served from
+    /// the collection-subtree cache plus a set-probed single pass over the
+    /// metadata subject index; no per-dataset `Subject` vector is built.
     pub fn queryable_attrs(&self, scope: &LogicalPath) -> SrbResult<Vec<String>> {
-        let subjects: Vec<Subject> = self
-            .datasets_in_scope(scope)?
-            .into_iter()
-            .map(Subject::Dataset)
-            .collect();
-        Ok(self.metadata.attr_names(Some(&subjects)))
+        let set = self.scope_set(scope)?;
+        let in_scope: HashSet<DatasetId> = self.datasets.ids_in_colls(&set).into_iter().collect();
+        Ok(self.metadata.attr_names_in(&in_scope))
     }
 
-    fn scope_set(&self, scope: &LogicalPath) -> SrbResult<HashSet<CollectionId>> {
+    /// The collection set a query over `scope` searches, via the
+    /// generation-stamped subtree cache on [`CollectionTable`].
+    fn scope_set(&self, scope: &LogicalPath) -> SrbResult<Arc<HashSet<CollectionId>>> {
         let root = self.collections.resolve(scope)?;
-        let mut set: HashSet<CollectionId> =
-            self.collections.descendants(root).into_iter().collect();
-        set.insert(root);
-        // Follow collection links inside the scope so linked sub-collections
-        // are searched through their targets too.
-        let linked: Vec<CollectionId> = set
-            .iter()
-            .filter_map(|c| self.collections.get(*c).ok().and_then(|n| n.link_target))
-            .collect();
-        for t in linked {
-            if set.insert(t) {
-                for d in self.collections.descendants(t) {
-                    set.insert(d);
-                }
-            }
-        }
-        Ok(set)
+        Ok(self.collections.subtree_set(root))
     }
 
     fn datasets_in_scope(&self, scope: &LogicalPath) -> SrbResult<Vec<DatasetId>> {
         let set = self.scope_set(scope)?;
-        let mut out = Vec::new();
-        for coll in &set {
-            for d in self.datasets.list(*coll) {
-                out.push(d.id);
-            }
-        }
-        Ok(out)
+        Ok(self.datasets.ids_in_colls(&set))
     }
 
     fn is_system_attr(attr: &str) -> bool {
@@ -375,8 +357,15 @@ impl Mcat {
     }
 
     fn build_hit(&self, q: &Query, dataset: DatasetId) -> QueryHit {
-        let path = self
-            .dataset_path(dataset)
+        let row = self.datasets.get(dataset).ok();
+        let path = row
+            .as_ref()
+            .and_then(|d| {
+                self.collections
+                    .get(d.coll)
+                    .ok()
+                    .and_then(|c| c.path.child(&d.name).ok())
+            })
             .map(|p| p.to_string())
             .unwrap_or_default();
         let selected = q
@@ -388,10 +377,7 @@ impl Mcat {
                     .value_of(Subject::Dataset(dataset), attr)
                     .or_else(|| {
                         if q.include_system {
-                            self.datasets
-                                .get(dataset)
-                                .ok()
-                                .and_then(|d| self.system_value(&d, attr))
+                            row.as_ref().and_then(|d| self.system_value(d, attr))
                         } else {
                             None
                         }
@@ -408,12 +394,271 @@ impl Mcat {
         }
     }
 
-    /// Execute a query using the attribute indexes: the planner picks the
-    /// most selective indexable condition, reads its candidates from the
-    /// value index, then verifies the remaining conditions per candidate.
+    /// A condition is *index-complete* when the metadata value index alone
+    /// yields exactly the datasets satisfying it. A condition on a system
+    /// attribute name under `include_system`, or on `annotation` under
+    /// `include_annotations`, can also be satisfied by data the index does
+    /// not cover (a dataset named `size` in system metadata, an annotation
+    /// text), so such conditions must be verified per candidate instead.
+    fn index_complete(q: &Query, c: &QueryCondition) -> bool {
+        let system_shadow = q.include_system && Self::is_system_attr(&c.attr);
+        let annotation_shadow = q.include_annotations && c.attr == "annotation";
+        !(system_shadow || annotation_shadow)
+    }
+
+    /// Check one residual condition against borrowed state: the caller's
+    /// metadata guard first, then system attributes and annotations.
+    fn residual_matches(
+        &self,
+        q: &Query,
+        meta: &crate::metadata::MetaBatch<'_>,
+        row: &crate::dataset::Dataset,
+        c: &QueryCondition,
+    ) -> bool {
+        if meta.subject_matches(Subject::Dataset(row.id), &c.attr, c.op, &c.value) {
+            return true;
+        }
+        if q.include_system && Self::is_system_attr(&c.attr) {
+            if let Some(v) = self.system_value(row, &c.attr) {
+                if c.op.eval(&v, &c.value) {
+                    return true;
+                }
+            }
+        }
+        q.include_annotations
+            && c.attr == "annotation"
+            && self
+                .annotations
+                .text_matches(Subject::Dataset(row.id), &c.value.lexical())
+    }
+
+    /// Candidate counts past which verification fans out across a scoped
+    /// thread pool (never when the limit push-down may short-circuit).
+    const PARALLEL_VERIFY_THRESHOLD: usize = 1024;
+    /// Smallest candidate slice worth a verifier thread of its own.
+    const PARALLEL_VERIFY_CHUNK: usize = 512;
+    /// Upper bound on verifier threads regardless of hardware width.
+    const PARALLEL_VERIFY_MAX: usize = 8;
+
+    /// Verify scope membership and residual conditions for each candidate,
+    /// holding one metadata read guard and one dataset read guard for the
+    /// entire sweep (both `McatTable` rank, so they may be held together).
+    /// With an unordered limit, stops as soon as `limit` hits confirm.
+    fn verify_candidates(
+        &self,
+        q: &Query,
+        scope: &HashSet<CollectionId>,
+        residual: &[&QueryCondition],
+        candidates: Vec<DatasetId>,
+    ) -> Vec<DatasetId> {
+        let push_down = q.limit > 0 && !q.ordered;
+        if !push_down && candidates.len() > Self::PARALLEL_VERIFY_THRESHOLD {
+            return self.verify_parallel(q, scope, residual, &candidates);
+        }
+        let meta = self.metadata.batch();
+        let ds = self.datasets.batch();
+        let mut out = Vec::new();
+        for d in candidates {
+            let Some(row) = ds.get_ref(d) else { continue };
+            if !scope.contains(&row.coll) {
+                continue;
+            }
+            if residual
+                .iter()
+                .all(|c| self.residual_matches(q, &meta, row, c))
+            {
+                out.push(d);
+                if push_down && out.len() >= q.limit {
+                    break;
+                }
+            }
+        }
+        out
+    }
+
+    /// Scoped-thread verification for large candidate sets. Each worker
+    /// takes its own read guards (the lock-rank `HELD` stack is
+    /// thread-local, so fresh `McatTable`-rank acquisitions are legal) and
+    /// sweeps a contiguous slice; slices are re-joined in order, keeping
+    /// the result deterministic.
+    fn verify_parallel(
+        &self,
+        q: &Query,
+        scope: &HashSet<CollectionId>,
+        residual: &[&QueryCondition],
+        candidates: &[DatasetId],
+    ) -> Vec<DatasetId> {
+        let hw = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        let workers = (candidates.len() / Self::PARALLEL_VERIFY_CHUNK)
+            .clamp(1, hw.min(Self::PARALLEL_VERIFY_MAX));
+        let chunk = candidates.len().div_ceil(workers);
+        let mut confirmed = Vec::with_capacity(candidates.len());
+        std::thread::scope(|s| {
+            let handles: Vec<_> = candidates
+                .chunks(chunk)
+                .map(|part| {
+                    s.spawn(move || {
+                        let meta = self.metadata.batch();
+                        let ds = self.datasets.batch();
+                        let mut out = Vec::new();
+                        for &d in part {
+                            let Some(row) = ds.get_ref(d) else { continue };
+                            if !scope.contains(&row.coll) {
+                                continue;
+                            }
+                            if residual
+                                .iter()
+                                .all(|c| self.residual_matches(q, &meta, row, c))
+                            {
+                                out.push(d);
+                            }
+                        }
+                        out
+                    })
+                })
+                .collect();
+            for h in handles {
+                match h.join() {
+                    Ok(mut part) => confirmed.append(&mut part),
+                    Err(panic) => std::panic::resume_unwind(panic),
+                }
+            }
+        });
+        confirmed
+    }
+
+    /// Build hits for confirmed candidates under batch guards: one metadata
+    /// guard, one dataset guard, and one collection-path guard serve every
+    /// hit, and each hit reads its dataset row exactly once.
+    fn build_hits(&self, q: &Query, confirmed: &[DatasetId]) -> Vec<QueryHit> {
+        let meta = self.metadata.batch();
+        let ds = self.datasets.batch();
+        let paths = self.collections.path_batch();
+        confirmed
+            .iter()
+            .filter_map(|&d| {
+                let row = ds.get_ref(d)?;
+                let path = paths
+                    .path_of(row.coll)
+                    .and_then(|p| p.child(&row.name).ok())
+                    .map(|p| p.to_string())
+                    .unwrap_or_default();
+                let selected = q
+                    .select
+                    .iter()
+                    .map(|attr| {
+                        let v = meta
+                            .value_of(Subject::Dataset(d), attr)
+                            .map(|v| v.lexical())
+                            .or_else(|| {
+                                if q.include_system {
+                                    self.system_value(row, attr).map(|v| v.lexical())
+                                } else {
+                                    None
+                                }
+                            })
+                            .unwrap_or_default();
+                        (attr.clone(), v)
+                    })
+                    .collect();
+                Some(QueryHit {
+                    dataset: d,
+                    path,
+                    selected,
+                })
+            })
+            .collect()
+    }
+
+    /// Execute a query through the multi-index planner.
+    ///
+    /// Pipeline:
+    /// 1. **Set sources** — every index-complete condition can contribute
+    ///    an exact candidate set from the metadata value index. The planner
+    ///    materializes the most selective source and folds in the rest
+    ///    cheapest-first — intersecting materialized sets, or probing each
+    ///    survivor against the index when a source's partition dwarfs the
+    ///    running set — and exits the moment the intersection is empty.
+    ///    `Like`/`NotLike` sources scan whole partitions, so they drive the
+    ///    plan only when no point/range source exists.
+    /// 2. **Verification sweep** — scope membership plus residual
+    ///    conditions are checked against borrowed rows under one metadata
+    ///    guard and one dataset guard held for the whole sweep
+    ///    (`verify_candidates`). Unordered limited queries stop at
+    ///    `limit` confirmed hits; large ordered sweeps fan out across a
+    ///    scoped thread pool.
+    /// 3. **Hit building** — paths and selected values come from batch
+    ///    guards; each hit touches its dataset row once
+    ///    (`build_hits`).
     pub fn query(&self, q: &Query) -> SrbResult<Vec<QueryHit>> {
         let scope = self.scope_set(&q.scope)?;
-        // Pick the cheapest indexable driver condition.
+        let mut strong: Vec<&QueryCondition> = Vec::new();
+        let mut patterns: Vec<&QueryCondition> = Vec::new();
+        let mut residual: Vec<&QueryCondition> = Vec::new();
+        for c in &q.conditions {
+            if !Self::index_complete(q, c) {
+                residual.push(c);
+            } else if matches!(c.op, CompareOp::Like | CompareOp::NotLike) {
+                patterns.push(c);
+            } else {
+                strong.push(c);
+            }
+        }
+        if strong.is_empty() {
+            strong.append(&mut patterns);
+        } else {
+            residual.append(&mut patterns);
+        }
+        let mut sources: Vec<(usize, &QueryCondition)> = strong
+            .into_iter()
+            .map(|c| (self.metadata.selectivity(&c.attr, c.op, &c.value), c))
+            .collect();
+        sources.sort_by_key(|(cost, _)| *cost);
+
+        let candidates: Vec<DatasetId> = if let Some((_, driver)) = sources.first() {
+            let mut set = self
+                .metadata
+                .dataset_candidates(&driver.attr, driver.op, &driver.value);
+            for (cost, c) in &sources[1..] {
+                if set.is_empty() {
+                    break;
+                }
+                if *cost > set.len().saturating_mul(4) {
+                    self.metadata
+                        .filter_datasets(&mut set, &c.attr, c.op, &c.value);
+                } else {
+                    let other = self.metadata.dataset_candidates(&c.attr, c.op, &c.value);
+                    set.retain(|d| other.contains(d));
+                }
+            }
+            if set.is_empty() {
+                return Ok(Vec::new());
+            }
+            let mut v: Vec<DatasetId> = set.into_iter().collect();
+            v.sort_unstable();
+            v
+        } else {
+            self.datasets.ids_in_colls(&scope)
+        };
+
+        let confirmed = self.verify_candidates(q, &scope, &residual, candidates);
+        let mut hits = self.build_hits(q, &confirmed);
+        hits.sort_by(|a, b| a.path.cmp(&b.path));
+        if q.limit > 0 {
+            hits.truncate(q.limit);
+        }
+        Ok(hits)
+    }
+
+    /// The pre-overhaul engine, kept as an ablation baseline so the
+    /// before/after rows in `BENCH_E1.json` / `BENCH_E5.json` can be
+    /// measured from one binary: at most one driver index, per-candidate
+    /// scope checks on cloned rows, per-candidate `condition_matches` that
+    /// re-clones every metadata row for every condition.
+    pub fn query_single_driver(&self, q: &Query) -> SrbResult<Vec<QueryHit>> {
+        let scope = self.scope_set(&q.scope)?;
         let driver = q
             .conditions
             .iter()

@@ -7,11 +7,13 @@
 //! vocabularies shown as drop-down lists, and mandatory attributes).
 
 use serde::{Deserialize, Serialize};
-use srb_types::sync::{LockRank, RwLock};
+use srb_types::sync::{LockRank, RwLock, RwLockReadGuard};
 use srb_types::{
-    AccessMatrix, CollectionId, IdGen, LogicalPath, SrbError, SrbResult, Timestamp, UserId,
+    AccessMatrix, CollectionId, GenCounter, Generation, IdGen, LogicalPath, SrbError, SrbResult,
+    Timestamp, UserId,
 };
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
 
 /// A structural-metadata requirement on a collection.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -77,16 +79,32 @@ pub struct Collection {
     pub created: Timestamp,
 }
 
+/// One cached subtree: the generation it was computed at plus the set itself.
+type CachedScope = (Generation, Arc<HashSet<CollectionId>>);
+
 /// The collection tree.
 #[derive(Debug)]
 pub struct CollectionTable {
     inner: RwLock<Inner>,
+    /// Bumped by every structural mutation (create/link/move/delete); the
+    /// subtree cache below stamps its entries with this counter.
+    generation: GenCounter,
+    /// Scope-root → cached subtree. Entries whose stamp trails
+    /// [`Self::generation`] are recomputed on next use; queries sharing a
+    /// scope between mutations share one `Arc`'d set.
+    scope_cache: RwLock<HashMap<CollectionId, CachedScope>>,
 }
 
 impl Default for CollectionTable {
     fn default() -> Self {
         CollectionTable {
             inner: RwLock::new(LockRank::McatTable, "mcat.collections", Inner::default()),
+            generation: GenCounter::new(),
+            scope_cache: RwLock::new(
+                LockRank::McatTable,
+                "mcat.collections.scope_cache",
+                HashMap::new(),
+            ),
         }
     }
 }
@@ -127,7 +145,11 @@ impl CollectionTable {
 
     /// The root collection id.
     pub fn root(&self) -> CollectionId {
-        *self.inner.read().by_path.get("/").expect("root exists")
+        match self.inner.read().by_path.get("/") {
+            Some(id) => *id,
+            // "/" is inserted at construction and delete() refuses the root.
+            None => unreachable!("root exists for the table's lifetime"),
+        }
     }
 
     /// Create a sub-collection under `parent`.
@@ -171,6 +193,8 @@ impl CollectionTable {
         g.by_path.insert(key, id);
         g.children.entry(parent).or_default().push(id);
         g.children.insert(id, Vec::new());
+        drop(g);
+        self.generation.bump();
         Ok(id)
     }
 
@@ -218,6 +242,8 @@ impl CollectionTable {
         );
         g.by_path.insert(key, id);
         g.children.entry(parent).or_default().push(id);
+        drop(g);
+        self.generation.bump();
         Ok(id)
     }
 
@@ -282,6 +308,80 @@ impl CollectionTable {
         out
     }
 
+    /// The subtree rooted at `root` as a set: `root`, every descendant,
+    /// plus (one level of) collection-link targets inside that set and
+    /// *their* descendants — the scope the query engine searches.
+    ///
+    /// Results are cached per root and stamped with the table's mutation
+    /// generation; any create/link/move/delete invalidates every entry.
+    /// The stamp is read **before** the set is computed, so a mutation that
+    /// races the computation leaves the inserted entry already stale rather
+    /// than fresh-but-wrong.
+    pub fn subtree_set(&self, root: CollectionId) -> Arc<HashSet<CollectionId>> {
+        let gen_before = self.generation.current();
+        if let Some((stamp, set)) = self.scope_cache.read().get(&root) {
+            if *stamp == gen_before {
+                return Arc::clone(set);
+            }
+        }
+        let set = Arc::new(self.compute_subtree(root));
+        self.scope_cache
+            .write()
+            .insert(root, (gen_before, Arc::clone(&set)));
+        set
+    }
+
+    fn compute_subtree(&self, root: CollectionId) -> HashSet<CollectionId> {
+        let g = self.inner.read();
+        let mut set = HashSet::new();
+        set.insert(root);
+        let mut stack = vec![root];
+        while let Some(cur) = stack.pop() {
+            if let Some(kids) = g.children.get(&cur) {
+                for &k in kids {
+                    if set.insert(k) {
+                        stack.push(k);
+                    }
+                }
+            }
+        }
+        // Follow collection links inside the scope so linked
+        // sub-collections are searched through their targets too.
+        let linked: Vec<CollectionId> = set
+            .iter()
+            .filter_map(|c| g.nodes.get(c).and_then(|n| n.link_target))
+            .collect();
+        for t in linked {
+            if set.insert(t) {
+                let mut stack = vec![t];
+                while let Some(cur) = stack.pop() {
+                    if let Some(kids) = g.children.get(&cur) {
+                        for &k in kids {
+                            if set.insert(k) {
+                                stack.push(k);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        set
+    }
+
+    /// Current mutation generation (cache diagnostics and tests).
+    pub fn generation(&self) -> Generation {
+        self.generation.current()
+    }
+
+    /// A read guard over the tree for batch path materialization: one lock
+    /// acquisition serves any number of [`CollPathBatch::path_of`] lookups,
+    /// and the returned paths are borrowed, not cloned.
+    pub fn path_batch(&self) -> CollPathBatch<'_> {
+        CollPathBatch {
+            g: self.inner.read(),
+        }
+    }
+
     /// Update the ACL.
     pub fn set_acl(&self, id: CollectionId, acl: AccessMatrix) -> SrbResult<()> {
         let mut g = self.inner.write();
@@ -340,8 +440,12 @@ impl CollectionTable {
         if g.by_path.contains_key(&new_path.to_string()) {
             return Err(SrbError::AlreadyExists(format!("collection '{new_path}'")));
         }
-        // Unhook from the old parent.
-        let old_parent = g.nodes[&id].parent.expect("non-root has a parent");
+        // Unhook from the old parent. The root cannot reach here (its path
+        // prefixes every other, tripping the own-subtree check above), so
+        // the defensive error is unreachable in practice.
+        let Some(old_parent) = g.nodes.get(&id).and_then(|n| n.parent) else {
+            return Err(SrbError::Invalid("cannot move the root collection".into()));
+        };
         if let Some(kids) = g.children.get_mut(&old_parent) {
             kids.retain(|&k| k != id);
         }
@@ -362,16 +466,24 @@ impl CollectionTable {
             let rebased = node_path.rebase(&old_path, &new_path)?;
             g.by_path.remove(&node_path.to_string());
             g.by_path.insert(rebased.to_string(), cid);
-            let node = g.nodes.get_mut(&cid).expect("affected node exists");
-            node.path = rebased;
+            if let Some(node) = g.nodes.get_mut(&cid) {
+                node.path = rebased;
+            }
         }
-        let node = g.nodes.get_mut(&id).expect("moved node exists");
-        node.parent = Some(new_parent);
+        if let Some(node) = g.nodes.get_mut(&id) {
+            node.parent = Some(new_parent);
+        }
+        drop(g);
+        self.generation.bump();
         Ok(())
     }
 
     fn root_locked(&self, g: &Inner) -> CollectionId {
-        *g.by_path.get("/").expect("root exists")
+        match g.by_path.get("/") {
+            Some(id) => *id,
+            // See root(): "/" is present for the table's lifetime.
+            None => unreachable!("root exists for the table's lifetime"),
+        }
     }
 
     /// Delete a collection. It must have no child collections (the catalog
@@ -397,6 +509,8 @@ impl CollectionTable {
                 kids.retain(|&k| k != id);
             }
         }
+        drop(g);
+        self.generation.bump();
         Ok(())
     }
 
@@ -430,6 +544,19 @@ impl CollectionTable {
     /// Total number of collections.
     pub fn count(&self) -> usize {
         self.inner.read().nodes.len()
+    }
+}
+
+/// Batch path lookups under one read guard; see
+/// [`CollectionTable::path_batch`].
+pub struct CollPathBatch<'a> {
+    g: RwLockReadGuard<'a, Inner>,
+}
+
+impl CollPathBatch<'_> {
+    /// The logical path of a collection, borrowed from the table.
+    pub fn path_of(&self, id: CollectionId) -> Option<&LogicalPath> {
+        self.g.nodes.get(&id).map(|n| &n.path)
     }
 }
 

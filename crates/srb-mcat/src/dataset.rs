@@ -9,12 +9,12 @@
 //! the other copy".
 
 use serde::{Deserialize, Serialize};
-use srb_types::sync::{LockRank, RwLock};
+use srb_types::sync::{LockRank, RwLock, RwLockReadGuard};
 use srb_types::{
     AccessMatrix, CollectionId, ContainerId, DatasetId, IdGen, ReplicaId, ResourceId, SrbError,
     SrbResult, Timestamp, UserId,
 };
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 
 /// Rendering template for registered SQL objects (paper: `HTMLREL`,
 /// `HTMLNEST`, `XMLREL`, or a user style-sheet held in SRB).
@@ -641,6 +641,41 @@ impl DatasetTable {
         for d in self.inner.read().rows.values() {
             f(d);
         }
+    }
+
+    /// Ids of every dataset whose collection is in `colls`, under one read
+    /// guard and without cloning any row — the scope-expansion primitive
+    /// of the query engine. Order follows each collection's insertion
+    /// order; callers needing a stable order sort the resulting hits.
+    pub fn ids_in_colls(&self, colls: &HashSet<CollectionId>) -> Vec<DatasetId> {
+        let g = self.inner.read();
+        let mut out = Vec::new();
+        for coll in colls {
+            if let Some(ids) = g.by_coll.get(coll) {
+                out.extend_from_slice(ids);
+            }
+        }
+        out
+    }
+
+    /// A read guard over the table for batch verification: one lock
+    /// acquisition serves any number of borrowed row lookups.
+    pub fn batch(&self) -> DatasetBatch<'_> {
+        DatasetBatch {
+            g: self.inner.read(),
+        }
+    }
+}
+
+/// Borrowed row access under one read guard; see [`DatasetTable::batch`].
+pub struct DatasetBatch<'a> {
+    g: RwLockReadGuard<'a, Inner>,
+}
+
+impl DatasetBatch<'_> {
+    /// The dataset row, borrowed from the table (no link following).
+    pub fn get_ref(&self, id: DatasetId) -> Option<&Dataset> {
+        self.g.rows.get(&id)
     }
 }
 

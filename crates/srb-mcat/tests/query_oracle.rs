@@ -1,0 +1,302 @@
+//! Differential oracle for the query engine: on randomized catalogs
+//! (collection trees, links, metadata triplets, annotations) and random
+//! conjunctive queries, the indexed planner, the pre-overhaul single-driver
+//! engine, and the full-scan baseline must agree hit-for-hit — including
+//! scope, `limit`, `include_system`, and `include_annotations` — and the
+//! unordered limit push-down must return a correct subset.
+
+use proptest::prelude::*;
+use srb_mcat::{AccessSpec, AnnotationKind, Mcat, MetaKind, Query, QueryCondition, Subject};
+use srb_types::{CompareOp, DatasetId, MetaValue, ResourceId, SimClock, Triplet};
+
+/// Attribute pool for stored triplets; `size` and `name` deliberately
+/// collide with system attribute names so `include_system` interplay is
+/// exercised.
+const ATTRS: [&str; 4] = ["species", "rating", "size", "name"];
+const TEXTS: [&str; 3] = ["red", "green", "blue"];
+const NOTES: [&str; 4] = ["great specimen", "needs review", "red flag", "ok"];
+/// Condition attributes: stored names plus `annotation` and a never-stored
+/// name.
+const COND_ATTRS: [&str; 6] = ["species", "rating", "size", "name", "annotation", "missing"];
+const OPS: [CompareOp; 8] = [
+    CompareOp::Eq,
+    CompareOp::Ne,
+    CompareOp::Gt,
+    CompareOp::Ge,
+    CompareOp::Lt,
+    CompareOp::Le,
+    CompareOp::Like,
+    CompareOp::NotLike,
+];
+const PATTERNS: [&str; 3] = ["%e%", "%r%", "%1%"];
+
+fn value_for(idx: u8) -> MetaValue {
+    match idx % 6 {
+        0..=2 => MetaValue::Int((idx % 3) as i64),
+        _ => MetaValue::Text(TEXTS[(idx as usize - 3) % TEXTS.len()].to_string()),
+    }
+}
+
+fn cond_value_for(op: CompareOp, idx: u8) -> MetaValue {
+    match op {
+        CompareOp::Like | CompareOp::NotLike => {
+            MetaValue::Text(PATTERNS[idx as usize % PATTERNS.len()].to_string())
+        }
+        _ => value_for(idx),
+    }
+}
+
+struct Fixture {
+    m: Mcat,
+    colls: Vec<srb_types::CollectionId>,
+    datasets: Vec<DatasetId>,
+}
+
+#[allow(clippy::type_complexity)]
+fn build(
+    coll_parents: &[u8],
+    links: &[(u8, u8)],
+    ds_specs: &[(u8, u16)],
+    meta: &[(u8, u8, u8)],
+    annos: &[(u8, u8)],
+) -> Fixture {
+    let m = Mcat::new(SimClock::new(), "pw");
+    let root = m.collections.root();
+    let admin = m.admin();
+    let now = m.clock.now();
+    let mut colls = vec![root];
+    for (i, p) in coll_parents.iter().enumerate() {
+        let parent = colls[*p as usize % colls.len()];
+        let c = m
+            .collections
+            .create(&m.ids, parent, &format!("c{i}"), admin, now)
+            .unwrap();
+        colls.push(c);
+    }
+    for (i, (p, t)) in links.iter().enumerate() {
+        let parent = colls[*p as usize % colls.len()];
+        let target = colls[*t as usize % colls.len()];
+        // Self/cycle/name-clash links may be rejected; that is fine here.
+        let _ = m
+            .collections
+            .link(&m.ids, parent, &format!("l{i}"), target, admin, now);
+    }
+    let mut datasets = Vec::new();
+    for (i, (c, size)) in ds_specs.iter().enumerate() {
+        let coll = colls[*c as usize % colls.len()];
+        let replica = (
+            AccessSpec::Stored {
+                resource: ResourceId(1),
+                phys_path: format!("/p/{i}"),
+            },
+            *size as u64,
+            None,
+        );
+        let d = m
+            .datasets
+            .create(
+                &m.ids,
+                coll,
+                &format!("d{i}"),
+                "generic",
+                admin,
+                vec![replica],
+                now,
+            )
+            .unwrap();
+        datasets.push(d);
+    }
+    for (d, a, v) in meta {
+        let subject = Subject::Dataset(datasets[*d as usize % datasets.len()]);
+        m.metadata.add(
+            &m.ids,
+            subject,
+            Triplet::new(ATTRS[*a as usize % ATTRS.len()], value_for(*v), ""),
+            MetaKind::UserDefined,
+        );
+    }
+    for (d, t) in annos {
+        let subject = Subject::Dataset(datasets[*d as usize % datasets.len()]);
+        m.annotations.add(
+            &m.ids,
+            subject,
+            admin,
+            now,
+            AnnotationKind::Comment,
+            "",
+            NOTES[*t as usize % NOTES.len()],
+        );
+    }
+    Fixture { m, colls, datasets }
+}
+
+fn build_query(
+    f: &Fixture,
+    scope_idx: u8,
+    conds: &[(u8, u8, u8)],
+    flags: u8,
+    limit: usize,
+) -> Query {
+    let scope_coll = f.colls[scope_idx as usize % f.colls.len()];
+    let scope = f.m.collections.get(scope_coll).unwrap().path;
+    let mut q = Query::everywhere().under(scope).limit(limit);
+    if flags & 1 != 0 {
+        q = q.with_system();
+    }
+    if flags & 2 != 0 {
+        q = q.with_annotations();
+    }
+    for (a, o, v) in conds {
+        let op = OPS[*o as usize % OPS.len()];
+        q.conditions.push(QueryCondition {
+            attr: COND_ATTRS[*a as usize % COND_ATTRS.len()].to_string(),
+            op,
+            value: cond_value_for(op, *v),
+        });
+    }
+    q
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn planner_agrees_with_scan_and_single_driver(
+        coll_parents in prop::collection::vec(0u8..8, 0..7),
+        links in prop::collection::vec((0u8..8, 0u8..8), 0..3),
+        ds_specs in prop::collection::vec((0u8..8, 0u16..200), 1..25),
+        meta in prop::collection::vec((0u8..25, 0u8..4, 0u8..6), 0..50),
+        annos in prop::collection::vec((0u8..25, 0u8..4), 0..8),
+        conds in prop::collection::vec((0u8..6, 0u8..8, 0u8..6), 0..4),
+        scope_idx in 0u8..9,
+        flags in 0u8..4,
+        limit in 0usize..5,
+    ) {
+        let f = build(&coll_parents, &links, &ds_specs, &meta, &annos);
+        let q = build_query(&f, scope_idx, &conds, flags, limit);
+
+        let planned = f.m.query(&q).unwrap();
+        let scanned = f.m.query_scan(&q).unwrap();
+        let legacy = f.m.query_single_driver(&q).unwrap();
+        prop_assert_eq!(&planned, &scanned);
+        prop_assert_eq!(&planned, &legacy);
+
+        // Unordered limit push-down: every hit is a real match and the
+        // count equals min(limit, total matches).
+        if limit > 0 {
+            let unordered = f.m.query(&q.clone().any_order()).unwrap();
+            let full = f.m.query_scan(&q.clone().limit(0)).unwrap();
+            prop_assert_eq!(unordered.len(), full.len().min(limit));
+            for h in &unordered {
+                prop_assert!(full.contains(h));
+            }
+        }
+
+        // The queryable-attrs drop-down agrees with a scan-derived model.
+        let scope_coll = f.colls[scope_idx as usize % f.colls.len()];
+        let scope_path = f.m.collections.get(scope_coll).unwrap().path;
+        let attrs = f.m.queryable_attrs(&scope_path).unwrap();
+        let browse = Query::everywhere().under(scope_path.clone());
+        let mut model: Vec<String> = f
+            .m
+            .query_scan(&browse)
+            .unwrap()
+            .iter()
+            .flat_map(|h| {
+                f.m.metadata
+                    .for_subject(Subject::Dataset(h.dataset))
+                    .into_iter()
+                    .map(|r| r.triplet.name)
+            })
+            .collect();
+        model.sort();
+        model.dedup();
+        prop_assert_eq!(attrs, model);
+
+        // Mutate the tree (invalidates the scope cache) and re-check.
+        let admin = f.m.admin();
+        let now = f.m.clock.now();
+        let fresh = f
+            .m
+            .collections
+            .create(&f.m.ids, scope_coll, "fresh", admin, now)
+            .unwrap();
+        let d = f
+            .m
+            .datasets
+            .create(&f.m.ids, fresh, "fresh.dat", "generic", admin, vec![], now)
+            .unwrap();
+        f.m.metadata.add(
+            &f.m.ids,
+            Subject::Dataset(d),
+            Triplet::new("species", "red", ""),
+            MetaKind::UserDefined,
+        );
+        let planned = f.m.query(&q).unwrap();
+        let scanned = f.m.query_scan(&q).unwrap();
+        prop_assert_eq!(&planned, &scanned);
+        prop_assert!(f.datasets.len() < f.m.datasets.count());
+    }
+}
+
+/// Deterministic large-catalog check: enough candidates to cross the
+/// planner's parallel-verification threshold (1024), so the scoped worker
+/// threads take their batch guards under the debug lock-rank checker.
+/// A residual (`include_system`) condition forces per-candidate
+/// verification rather than a pure index answer.
+#[test]
+fn parallel_verify_agrees_with_scan() {
+    let m = Mcat::new(SimClock::new(), "pw");
+    let root = m.collections.root();
+    let admin = m.admin();
+    let now = m.clock.now();
+    for i in 0..3000u32 {
+        let replica = (
+            AccessSpec::Stored {
+                resource: ResourceId(1),
+                phys_path: format!("/p/{i}"),
+            },
+            u64::from(i % 700),
+            None,
+        );
+        let d = m
+            .datasets
+            .create(
+                &m.ids,
+                root,
+                &format!("d{i}"),
+                "generic",
+                admin,
+                vec![replica],
+                now,
+            )
+            .unwrap();
+        m.metadata.add(
+            &m.ids,
+            Subject::Dataset(d),
+            Triplet::new("kind", MetaValue::Int(i64::from(i % 2)), ""),
+            MetaKind::UserDefined,
+        );
+    }
+    // ~1500 candidates from the index, residual `size` check per candidate.
+    let q = Query::everywhere()
+        .and("kind", CompareOp::Eq, 0i64)
+        .and("size", CompareOp::Lt, 650i64)
+        .with_system();
+    let planned = m.query(&q).unwrap();
+    let scanned = m.query_scan(&q).unwrap();
+    let legacy = m.query_single_driver(&q).unwrap();
+    assert!(
+        planned.len() > 1024,
+        "workload must cross the parallel threshold"
+    );
+    assert_eq!(planned, scanned);
+    assert_eq!(planned, legacy);
+
+    // Unordered push-down over the same workload stops early but must
+    // still return real matches.
+    let first = m.query(&q.clone().first_hits(40)).unwrap();
+    assert_eq!(first.len(), 40);
+    let all: std::collections::HashSet<DatasetId> = planned.iter().map(|h| h.dataset).collect();
+    assert!(first.iter().all(|h| all.contains(&h.dataset)));
+}

@@ -1,0 +1,77 @@
+//! Generation stamps for derived-data caches.
+//!
+//! A cache over mutable catalog state (e.g. the collection-subtree cache
+//! feeding the query planner) needs a cheap way to know whether its entries
+//! are still valid. A [`GenCounter`] is bumped by every mutation of the
+//! underlying table; each cache entry records the [`Generation`] current
+//! when it was computed and is treated as stale the moment the counter has
+//! moved on. Readers never block writers: the counter is a single atomic,
+//! read outside any table lock.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// An opaque point in a table's mutation history. Two equal generations
+/// bracket a window with no mutations; anything else proves nothing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Generation(u64);
+
+impl Generation {
+    /// The raw counter value (diagnostics only).
+    pub fn raw(self) -> u64 {
+        self.0
+    }
+}
+
+/// A monotone mutation counter owned by a table; see the module docs.
+#[derive(Debug, Default)]
+pub struct GenCounter(AtomicU64);
+
+impl GenCounter {
+    /// A counter at generation zero.
+    pub const fn new() -> Self {
+        GenCounter(AtomicU64::new(0))
+    }
+
+    /// The current generation. `Acquire` pairs with the `Release` in
+    /// [`bump`](Self::bump): a reader that observes generation `g` also
+    /// observes every table write that happened before the bump to `g`.
+    pub fn current(&self) -> Generation {
+        Generation(self.0.load(Ordering::Acquire))
+    }
+
+    /// Record one mutation, invalidating every stamp taken earlier.
+    pub fn bump(&self) {
+        self.0.fetch_add(1, Ordering::Release);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stamps_equal_until_bumped() {
+        let c = GenCounter::new();
+        let a = c.current();
+        let b = c.current();
+        assert_eq!(a, b);
+        c.bump();
+        assert_ne!(a, c.current());
+        assert_eq!(c.current().raw(), 1);
+    }
+
+    #[test]
+    fn bumps_are_cumulative_across_threads() {
+        let c = GenCounter::new();
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    for _ in 0..100 {
+                        c.bump();
+                    }
+                });
+            }
+        });
+        assert_eq!(c.current().raw(), 400);
+    }
+}

@@ -191,7 +191,7 @@ pub fn to_hex(bytes: &[u8]) -> String {
 
 /// Decode lowercase/uppercase hex; `None` on odd length or bad digits.
 pub fn from_hex(s: &str) -> Option<Vec<u8>> {
-    if s.len() % 2 != 0 {
+    if !s.len().is_multiple_of(2) {
         return None;
     }
     let bytes = s.as_bytes();

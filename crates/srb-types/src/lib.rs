@@ -11,6 +11,7 @@
 pub mod acl;
 pub mod clock;
 pub mod error;
+pub mod gen;
 pub mod hash;
 pub mod id;
 pub mod path;
@@ -20,6 +21,7 @@ pub mod value;
 pub use acl::{AccessMatrix, Permission, Role};
 pub use clock::{SimClock, Timestamp};
 pub use error::{SrbError, SrbResult};
+pub use gen::{GenCounter, Generation};
 pub use hash::{ct_eq, from_hex, hmac_sha256, sha256, sha256_hex, to_hex, Sha256};
 pub use id::*;
 pub use path::LogicalPath;

@@ -83,8 +83,8 @@ impl BenchmarkGroup<'_> {
         for _ in 0..self.sample_size {
             let mut b = Bencher::default();
             f(&mut b);
-            if b.iters > 0 {
-                samples.push(b.elapsed.as_nanos() as u64 / b.iters);
+            if let Some(per_iter) = (b.elapsed.as_nanos() as u64).checked_div(b.iters) {
+                samples.push(per_iter);
             }
         }
         samples.sort_unstable();

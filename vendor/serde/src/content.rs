@@ -485,7 +485,7 @@ mod tests {
     fn round_trip_compact() {
         let src = r#"{"a":[1,-2,3.5,null,true],"b":{"c":"x\"y\n"},"d":[]}"#;
         let v = parse_json(src).unwrap();
-        assert_eq!(v.render(false), src.replace("3.5", "3.5"));
+        assert_eq!(v.render(false), src);
         assert_eq!(parse_json(&v.render(true)).unwrap(), v);
     }
 

@@ -324,14 +324,8 @@ fn gen_struct_de(name: &str, shape: &Shape) -> String {
         Shape::Tuple(1) => {
             format!("serde::Deserialize::from_content(__c).map({name}).map_err(|e| e.at({name:?}))")
         }
-        Shape::Tuple(n) => format!(
-            "{{ {} }}",
-            tuple_de_expr(&format!("{name}"), *n, "__c", name)
-        ),
-        Shape::Named(fields) => format!(
-            "{{ {} }}",
-            named_de_expr(&format!("{name}"), fields, "__c", name)
-        ),
+        Shape::Tuple(n) => format!("{{ {} }}", tuple_de_expr(name, *n, "__c", name)),
+        Shape::Named(fields) => format!("{{ {} }}", named_de_expr(name, fields, "__c", name)),
     };
     format!(
         "impl serde::Deserialize for {name} {{\n\

@@ -1,0 +1,73 @@
+//! `cargo xtask benchcheck` — validate the `BENCH_E1.json` /
+//! `BENCH_E5.json` artifacts written by `exp_e1_catalog_scale --json` and
+//! `exp_e5_query --json`.
+//!
+//! Both files must parse, carry a non-empty `rows` array with the
+//! before/after timing fields, and show the indexed planner no slower than
+//! the full-scan baseline on every row — the regression the bench-smoke CI
+//! job exists to catch.
+
+use serde_json::Value;
+use std::path::Path;
+use std::process::ExitCode;
+
+fn num(row: &Value, key: &str) -> Option<f64> {
+    row.get(key).and_then(Value::as_f64)
+}
+
+fn check(root: &Path, file: &str, scan_field: &str, scan_scale: f64) -> Result<String, String> {
+    let path = root.join(file);
+    let text = std::fs::read_to_string(&path)
+        .map_err(|e| format!("unreadable ({e}); run the exp binary with --json first"))?;
+    let v: Value = serde_json::from_str(&text).map_err(|e| format!("invalid JSON: {e}"))?;
+    let rows = v
+        .get("rows")
+        .and_then(Value::as_array)
+        .ok_or("missing `rows` array")?;
+    if rows.is_empty() {
+        return Err("`rows` array is empty".into());
+    }
+    let mut worst = f64::INFINITY;
+    for (i, row) in rows.iter().enumerate() {
+        let planner =
+            num(row, "planner_us").ok_or_else(|| format!("row {i}: missing planner_us"))?;
+        let single = num(row, "single_driver_us")
+            .ok_or_else(|| format!("row {i}: missing single_driver_us"))?;
+        let scan = num(row, scan_field).ok_or_else(|| format!("row {i}: missing {scan_field}"))?
+            * scan_scale;
+        if planner <= 0.0 || single <= 0.0 || scan <= 0.0 {
+            return Err(format!("row {i}: non-positive timing"));
+        }
+        if planner > scan {
+            return Err(format!(
+                "row {i}: planner ({planner:.1} us) slower than the full scan ({scan:.1} us)"
+            ));
+        }
+        worst = worst.min(scan / planner);
+    }
+    Ok(format!(
+        "{} rows ok, planner beats scan by >= {worst:.1}x",
+        rows.len()
+    ))
+}
+
+pub fn benchcheck(root: &Path) -> ExitCode {
+    let mut failed = false;
+    for (file, scan_field, scan_scale) in [
+        ("BENCH_E1.json", "scan_ms", 1000.0),
+        ("BENCH_E5.json", "scan_us", 1.0),
+    ] {
+        match check(root, file, scan_field, scan_scale) {
+            Ok(msg) => println!("xtask benchcheck: {file}: {msg}"),
+            Err(e) => {
+                eprintln!("xtask benchcheck: {file}: {e}");
+                failed = true;
+            }
+        }
+    }
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

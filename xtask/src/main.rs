@@ -17,7 +17,11 @@
 //!
 //! `vendor/` (offline dependency stand-ins) and `xtask/` itself are out of
 //! scope; everything under `crates/`, `src/`, and `tests/` is linted.
+//!
+//! `cargo xtask benchcheck` validates the `BENCH_E1.json` /
+//! `BENCH_E5.json` artifacts (see `benchcheck.rs`).
 
+mod benchcheck;
 mod mask;
 mod rules;
 
@@ -35,8 +39,9 @@ fn main() -> ExitCode {
             let update = args.iter().any(|a| a == "--update-baseline");
             lint(update)
         }
+        Some("benchcheck") => benchcheck::benchcheck(&workspace_root()),
         _ => {
-            eprintln!("usage: cargo xtask lint [--update-baseline]");
+            eprintln!("usage: cargo xtask lint [--update-baseline] | cargo xtask benchcheck");
             ExitCode::from(2)
         }
     }

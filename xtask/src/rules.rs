@@ -24,7 +24,7 @@ impl std::fmt::Display for Violation {
 
 /// Rule `raw-lock`: `parking_lot` may only be named inside the ranked
 /// wrapper module. Everything else must go through `srb_types::sync`, which
-/// is what ties every lock to a [`LockRank`] and keeps the deadlock
+/// is what ties every lock to a `LockRank` and keeps the deadlock
 /// detector complete — one raw lock is a blind spot.
 pub fn raw_lock(path: &str, masked: &str) -> Vec<Violation> {
     if path == "crates/srb-types/src/sync.rs" {
