@@ -1,5 +1,21 @@
 fn main() {
-    bench::experiments::e6_parallel::run_scaling().print();
-    bench::experiments::e6_parallel::run_policies().print();
-    bench::experiments::e6_parallel::run_policies_skewed().print();
+    let json = std::env::args().any(|a| a == "--json");
+    let files = std::env::var("SRB_E6_FILES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(10_000);
+    if json {
+        let v = bench::experiments::e6_parallel::run_json(files);
+        let text = serde_json::to_string_pretty(&v).unwrap_or_default();
+        if let Err(e) = std::fs::write("BENCH_E6.json", text) {
+            eprintln!("failed to write BENCH_E6.json: {e}");
+            std::process::exit(1);
+        }
+        println!("wrote BENCH_E6.json ({files} bulk files)");
+    } else {
+        bench::experiments::e6_parallel::run_scaling().print();
+        bench::experiments::e6_parallel::run_policies().print();
+        bench::experiments::e6_parallel::run_policies_skewed().print();
+        bench::experiments::e6_parallel::run_fanout(files).print();
+    }
 }

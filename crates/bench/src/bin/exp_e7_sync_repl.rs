@@ -1,3 +1,14 @@
 fn main() {
-    bench::experiments::e7_sync_repl::run().print();
+    let json = std::env::args().any(|a| a == "--json");
+    if json {
+        let v = bench::experiments::e7_sync_repl::run_json();
+        let text = serde_json::to_string_pretty(&v).unwrap_or_default();
+        if let Err(e) = std::fs::write("BENCH_E7.json", text) {
+            eprintln!("failed to write BENCH_E7.json: {e}");
+            std::process::exit(1);
+        }
+        println!("wrote BENCH_E7.json");
+    } else {
+        bench::experiments::e7_sync_repl::run().print();
+    }
 }

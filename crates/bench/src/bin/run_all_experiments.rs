@@ -12,6 +12,7 @@ fn main() {
     bench::experiments::e6_parallel::run_scaling().print();
     bench::experiments::e6_parallel::run_policies().print();
     bench::experiments::e6_parallel::run_policies_skewed().print();
+    bench::experiments::e6_parallel::run_fanout(2_000).print();
     bench::experiments::e7_sync_repl::run().print();
     bench::experiments::e8_auth::run().print();
     bench::experiments::e9_migration::run().print();

@@ -40,7 +40,7 @@ pub fn run() -> Table {
         let conn = SrbConnection::connect(&grid, servers[0], "bench", "sdsc", "pw").unwrap();
         conn.ingest(
             "/home/bench/obj",
-            &vec![1u8; 32 << 10],
+            vec![1u8; 32 << 10],
             IngestOptions::to_resource("fs0"),
         )
         .unwrap();

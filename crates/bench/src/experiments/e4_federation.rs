@@ -29,7 +29,7 @@ pub fn run() -> Table {
     for (size, name) in [(1usize << 10, "small"), (1 << 20, "large")] {
         conn.ingest(
             &format!("/home/bench/{name}.bin"),
-            &vec![7u8; size],
+            vec![7u8; size],
             IngestOptions::to_resource("fs-sdsc"),
         )
         .unwrap();

@@ -11,6 +11,7 @@
 //! all as `impl SrbConnection` blocks.
 
 use crate::auth::{AuthService, Session};
+use crate::fanout::FanoutMode;
 use crate::grid::Grid;
 use crate::replication::ReplicaPolicy;
 use crate::template::render_template;
@@ -66,8 +67,10 @@ pub type CollectionListing = (Vec<String>, Vec<(String, String, u64)>, Receipt);
 pub struct SrbConnection<'g> {
     pub(crate) grid: &'g Grid,
     pub(crate) server: ServerId,
+    pub(crate) site: SiteId,
     pub(crate) session: Session,
     pub(crate) policy: ReplicaPolicy,
+    pub(crate) fanout: FanoutMode,
 }
 
 impl<'g> SrbConnection<'g> {
@@ -116,8 +119,10 @@ impl<'g> SrbConnection<'g> {
         Ok(SrbConnection {
             grid,
             server,
+            site: srv.site,
             session,
             policy: ReplicaPolicy::default(),
+            fanout: FanoutMode::default(),
         })
     }
 
@@ -141,6 +146,17 @@ impl<'g> SrbConnection<'g> {
         self.policy = policy;
     }
 
+    /// Change how multi-replica storage legs execute (the sequential mode
+    /// is the measurable ablation in bench E6/E7).
+    pub fn set_fanout_mode(&mut self, mode: FanoutMode) {
+        self.fanout = mode;
+    }
+
+    /// The connection's current fan-out mode.
+    pub fn fanout_mode(&self) -> FanoutMode {
+        self.fanout
+    }
+
     /// End the session.
     pub fn logout(self) {
         self.grid.auth.logout(&self.session.ticket);
@@ -158,10 +174,7 @@ impl<'g> SrbConnection<'g> {
     }
 
     pub(crate) fn site(&self) -> SiteId {
-        self.grid
-            .server(self.server)
-            .map(|s| s.site)
-            .expect("connection server exists")
+        self.site
     }
 
     /// One metadata round trip: contact server → MCAT server.
@@ -381,7 +394,8 @@ impl<'g> SrbConnection<'g> {
                 let script = TScript::parse(&String::from_utf8_lossy(&sheet_bytes))?;
                 script.render(&result)
             }
-            builtin => render_template(builtin, &result).expect("non-stylesheet template"),
+            builtin => render_template(builtin, &result)
+                .ok_or_else(|| SrbError::Internal("built-in template failed to render".into()))?,
         };
         let rendered_len = rendered.len() as u64;
         let transfer = self.data_transfer(resource, rendered_len)?;

@@ -1,0 +1,241 @@
+//! The replica fan-out engine: concurrent execution of multi-replica
+//! storage legs.
+//!
+//! The paper moves data to logical resources as *synchronous replicas*;
+//! the latency-critical step of every write-side operation is pushing the
+//! same bytes to k independent storage systems. Those legs are mutually
+//! independent — they touch disjoint drivers, charge disjoint load
+//! counters, and perform no catalog mutation — so the engine runs them on
+//! scoped worker threads and the caller commits all MCAT changes
+//! afterwards, on its own thread, in leg order. That split is what makes
+//! parallel and sequential execution produce byte-identical catalog state
+//! (see `tests/fanout_oracle.rs`).
+//!
+//! Cost accounting follows the execution shape: sequential legs compose
+//! with [`Receipt::absorb`] (durations add), parallel legs with
+//! [`Receipt::join_parallel`] (overlapping durations take the max, byte
+//! and message counters still add). Parallel composition models a fixed
+//! number of [`VIRTUAL_LANES`] rather than the host's thread count, so
+//! `sim_ns` is identical on every machine.
+
+use crate::conn::SrbConnection;
+use bytes::Bytes;
+use srb_net::Receipt;
+use srb_types::{ResourceId, SrbError, SrbResult};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// How a connection executes multi-replica storage legs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum FanoutMode {
+    /// Concurrent legs on scoped worker threads; costs max-compose
+    /// across [`VIRTUAL_LANES`]. The default.
+    #[default]
+    Parallel,
+    /// One leg after another on the caller thread; costs sum-compose.
+    /// Kept as the measurable ablation (bench E6/E7).
+    Sequential,
+}
+
+/// Number of concurrent transfer lanes the *cost model* assumes in
+/// [`FanoutMode::Parallel`]. Fixed — deliberately independent of the
+/// host's real core count — so simulated time is deterministic across
+/// machines. Real execution may use fewer or more threads.
+pub const VIRTUAL_LANES: usize = 8;
+
+/// Upper bound on real worker threads per fan-out call.
+const MAX_WORKERS: usize = 16;
+
+/// Run `n` independent legs under `mode`, returning their results in leg
+/// order regardless of completion order. Legs must not touch the MCAT:
+/// catalog commits belong to the caller, after the join.
+pub(crate) fn run_legs<R, F>(mode: FanoutMode, n: usize, leg: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(usize) -> R + Sync,
+{
+    let workers = match mode {
+        FanoutMode::Sequential => 1,
+        FanoutMode::Parallel => std::thread::available_parallelism()
+            .map(|p| p.get())
+            .unwrap_or(1)
+            .min(MAX_WORKERS)
+            .min(n),
+    };
+    if workers <= 1 || n <= 1 {
+        return (0..n).map(leg).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let per_worker: Vec<Vec<(usize, R)>> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                s.spawn(|| {
+                    let mut mine = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= n {
+                            break;
+                        }
+                        mine.push((i, leg(i)));
+                    }
+                    mine
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| match h.join() {
+                Ok(v) => v,
+                Err(payload) => std::panic::resume_unwind(payload),
+            })
+            .collect()
+    });
+    let mut flat: Vec<(usize, R)> = per_worker.into_iter().flatten().collect();
+    flat.sort_by_key(|(i, _)| *i);
+    flat.into_iter().map(|(_, r)| r).collect()
+}
+
+/// Compose per-leg receipts according to the execution shape: sequential
+/// legs sum; parallel legs are dealt round-robin onto [`VIRTUAL_LANES`]
+/// (summing within a lane) and the lanes max-compose. With at most
+/// `VIRTUAL_LANES` legs — every replica fan-out in practice — this reduces
+/// to an exact max over the legs.
+pub(crate) fn compose(mode: FanoutMode, legs: &[Receipt]) -> Receipt {
+    match mode {
+        FanoutMode::Sequential => legs.iter().fold(Receipt::free(), |acc, r| acc.then(r)),
+        FanoutMode::Parallel => {
+            let lanes = legs.len().clamp(1, VIRTUAL_LANES);
+            let mut lane_cost = vec![Receipt::free(); lanes];
+            for (i, r) in legs.iter().enumerate() {
+                lane_cost[i % lanes].absorb(r);
+            }
+            let mut it = lane_cost.into_iter();
+            let first = it.next().unwrap_or_default();
+            it.fold(first, |mut acc, r| {
+                acc.join_parallel(&r);
+                acc
+            })
+        }
+    }
+}
+
+/// One storage leg: push the shared payload to `resource` at `phys_path`.
+#[derive(Debug, Clone)]
+pub(crate) struct StoreLeg {
+    /// Target physical resource.
+    pub resource: ResourceId,
+    /// Physical path within the resource.
+    pub phys_path: String,
+    /// Overwrite (`write`) vs create-new (`ingest`/`replicate`).
+    pub overwrite: bool,
+}
+
+/// What a fan-out produced: per-leg results in leg order, plus the
+/// composed cost of the legs that succeeded.
+pub(crate) struct FanoutOutcome {
+    /// Per-leg result, in the order the legs were given.
+    pub results: Vec<SrbResult<Receipt>>,
+    /// Cost of the successful legs, composed for the mode that ran them.
+    pub receipt: Receipt,
+}
+
+impl FanoutOutcome {
+    /// Number of legs that stored their bytes.
+    pub fn successes(&self) -> usize {
+        self.results.iter().filter(|r| r.is_ok()).count()
+    }
+
+    /// First non-retryable error, in leg order.
+    pub fn first_fatal(&self) -> Option<SrbError> {
+        self.results
+            .iter()
+            .filter_map(|r| r.as_ref().err())
+            .find(|e| !e.is_retryable())
+            .cloned()
+    }
+
+    /// First error of any kind, in leg order.
+    pub fn first_err(&self) -> Option<SrbError> {
+        self.results
+            .iter()
+            .filter_map(|r| r.as_ref().err())
+            .next()
+            .cloned()
+    }
+}
+
+impl SrbConnection<'_> {
+    /// Execute storage legs under the connection's [`FanoutMode`]: every
+    /// leg pushes the *same* shared buffer (zero payload clones), results
+    /// come back in leg order, and the composed receipt reflects the
+    /// execution shape. No catalog state is touched.
+    pub(crate) fn store_fanout(&self, legs: &[StoreLeg], data: &Bytes) -> FanoutOutcome {
+        let mode = self.fanout_mode();
+        let results = run_legs(mode, legs.len(), |i| {
+            let leg = &legs[i];
+            self.store_bytes(leg.resource, &leg.phys_path, data, leg.overwrite)
+        });
+        let ok: Vec<Receipt> = results.iter().filter_map(|r| r.clone().ok()).collect();
+        FanoutOutcome {
+            receipt: compose(mode, &ok),
+            results,
+        }
+    }
+
+    /// Best-effort removal of bytes stored by legs that succeeded, used
+    /// when a fatal leg error aborts an operation before any catalog row
+    /// exists to account for them.
+    pub(crate) fn undo_stored_legs(&self, legs: &[StoreLeg], results: &[SrbResult<Receipt>]) {
+        for (leg, result) in legs.iter().zip(results) {
+            if result.is_ok() {
+                if let Ok(driver) = self.grid.driver(leg.resource) {
+                    let _ = driver.driver().delete(&leg.phys_path);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn run_legs_preserves_order_both_modes() {
+        for mode in [FanoutMode::Parallel, FanoutMode::Sequential] {
+            let out = run_legs(mode, 100, |i| i * 2);
+            assert_eq!(out, (0..100).map(|i| i * 2).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn compose_sequential_sums() {
+        let legs: Vec<Receipt> = (1..=4).map(|i| Receipt::time(i * 100)).collect();
+        let r = compose(FanoutMode::Sequential, &legs);
+        assert_eq!(r.sim_ns, 1000);
+    }
+
+    #[test]
+    fn compose_parallel_is_max_up_to_lane_count() {
+        let mut legs: Vec<Receipt> = (1..=4).map(|i| Receipt::time(i * 100)).collect();
+        for (i, l) in legs.iter_mut().enumerate() {
+            l.bytes = 10 * (i as u64 + 1);
+        }
+        let r = compose(FanoutMode::Parallel, &legs);
+        assert_eq!(r.sim_ns, 400); // max of the legs
+        assert_eq!(r.bytes, 100); // bytes still add
+    }
+
+    #[test]
+    fn compose_parallel_beyond_lanes_queues_on_lanes() {
+        // 16 equal legs over 8 lanes: two per lane, so 2× one leg's time.
+        let legs = vec![Receipt::time(100); 16];
+        let r = compose(FanoutMode::Parallel, &legs);
+        assert_eq!(r.sim_ns, 200);
+    }
+
+    #[test]
+    fn compose_empty_is_free() {
+        assert_eq!(compose(FanoutMode::Parallel, &[]), Receipt::free());
+        assert_eq!(compose(FanoutMode::Sequential, &[]), Receipt::free());
+    }
+}

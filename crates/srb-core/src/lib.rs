@@ -33,6 +33,7 @@
 
 pub mod auth;
 pub mod conn;
+pub mod fanout;
 pub mod grid;
 pub mod ops_container;
 pub mod ops_lock;
@@ -48,6 +49,7 @@ pub mod xmlmeta;
 
 pub use auth::{AuthService, Session};
 pub use conn::{ObjectContent, SrbConnection};
+pub use fanout::FanoutMode;
 pub use grid::{Grid, GridBuilder, SrbServer};
 pub use ops_maintenance::ChecksumStatus;
 pub use ops_write::{IngestOptions, RegisterSpec};

@@ -11,6 +11,7 @@
 //! replica.
 
 use crate::conn::SrbConnection;
+use crate::fanout::StoreLeg;
 use srb_mcat::dataset::ContainerSlice;
 use srb_mcat::{AccessSpec, AuditAction, ReplicaStatus};
 use srb_net::Receipt;
@@ -59,37 +60,53 @@ impl SrbConnection<'_> {
         let (fresh, read_receipt) = self.read_dataset_bytes(ds.id)?;
         receipt.absorb(&read_receipt);
         let checksum = sha256_hex(&fresh);
-        let mut repaired = 0;
-        for replica in stale {
-            let AccessSpec::Stored {
+        // One leg per repairable stale replica; registered replicas cannot
+        // be rewritten. Catalog commits happen after the join, in leg
+        // order, on this thread.
+        let mut legs: Vec<StoreLeg> = Vec::new();
+        let mut leg_nums: Vec<u32> = Vec::new();
+        for replica in &stale {
+            if let AccessSpec::Stored {
                 resource,
                 phys_path,
             } = &replica.spec
-            else {
-                continue; // registered replicas cannot be rewritten
-            };
-            match self.store_bytes(*resource, phys_path, &fresh, true) {
-                Ok(r) => {
-                    receipt.absorb(&r);
-                    let now = self.now();
-                    self.grid.mcat.datasets.update(ds.id, |d| {
-                        if let Some(rep) = d
-                            .replicas
-                            .iter_mut()
-                            .find(|x| x.repl_num == replica.repl_num)
-                        {
-                            rep.status = ReplicaStatus::UpToDate;
-                            rep.size = fresh.len() as u64;
-                            rep.checksum = Some(checksum.clone());
-                        }
-                        d.modified = now;
-                        Ok(())
-                    })?;
-                    repaired += 1;
-                }
-                Err(e) if e.is_retryable() => continue, // still down; stays stale
-                Err(e) => return Err(e),
+            {
+                legs.push(StoreLeg {
+                    resource: *resource,
+                    phys_path: phys_path.clone(),
+                    overwrite: true,
+                });
+                leg_nums.push(replica.repl_num);
             }
+        }
+        let fan = self.store_fanout(&legs, &fresh);
+        receipt.absorb(&fan.receipt);
+        let repaired_nums: Vec<u32> = leg_nums
+            .iter()
+            .zip(&fan.results)
+            .filter(|(_, r)| r.is_ok())
+            .map(|(n, _)| *n)
+            .collect();
+        let repaired = repaired_nums.len();
+        if !repaired_nums.is_empty() {
+            let now = self.now();
+            self.grid.mcat.datasets.update(ds.id, |d| {
+                for rep in d.replicas.iter_mut() {
+                    if repaired_nums.contains(&rep.repl_num) {
+                        rep.status = ReplicaStatus::UpToDate;
+                        rep.size = fresh.len() as u64;
+                        rep.checksum = Some(checksum.clone());
+                    }
+                }
+                d.modified = now;
+                Ok(())
+            })?;
+        }
+        // Retryable failures stay stale for the next resync; a fatal leg
+        // error propagates only after the successful repairs are
+        // committed above.
+        if let Some(e) = fan.first_fatal() {
+            return Err(e);
         }
         self.audit(AuditAction::Replicate, path, "resync");
         Ok((repaired, receipt))

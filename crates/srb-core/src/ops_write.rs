@@ -3,13 +3,15 @@
 //! Operations").
 
 use crate::conn::SrbConnection;
+use crate::fanout::{self, FanoutOutcome, StoreLeg};
 use bytes::Bytes;
-use srb_mcat::{AccessSpec, AuditAction, ReplicaStatus, Subject, Template};
+use srb_mcat::{AccessSpec, AuditAction, MetaKind, NewDataset, ReplicaStatus, Subject, Template};
 use srb_net::Receipt;
 use srb_types::{
     sha256_hex, CollectionId, DatasetId, LogicalPath, Permission, ResourceId, SrbError, SrbResult,
     Triplet,
 };
+use std::collections::HashSet;
 
 /// How to place ingested data.
 #[derive(Debug, Clone, Default)]
@@ -183,8 +185,18 @@ impl SrbConnection<'_> {
 
     // -------------------------------------------------------------- ingest --
 
-    /// Ingest a new file at `path`.
-    pub fn ingest(&self, path: &str, data: &[u8], opts: IngestOptions) -> SrbResult<Receipt> {
+    /// Ingest a new file at `path`. A logical-resource target fans the
+    /// bytes out to every member concurrently (one shared buffer, one
+    /// checksum); members whose resource is down get a `Stale` replica row
+    /// repairable via [`SrbConnection::sync_replicas`], as long as at
+    /// least one member stored the bytes.
+    pub fn ingest(
+        &self,
+        path: &str,
+        data: impl Into<Bytes>,
+        opts: IngestOptions,
+    ) -> SrbResult<Receipt> {
+        let data: Bytes = data.into();
         let user = self.check_session()?;
         let lp = self.parse(path)?;
         let name = lp
@@ -202,7 +214,7 @@ impl SrbConnection<'_> {
 
         // Container placement overrides resource placement.
         if let Some(container) = &opts.container {
-            let r = self.ingest_into_container_impl(coll, name, data, container, &opts, user)?;
+            let r = self.ingest_into_container_impl(coll, name, &data, container, &opts, user)?;
             receipt.absorb(&r);
             self.audit(AuditAction::Ingest, path, "ok");
             return Ok(receipt);
@@ -213,38 +225,107 @@ impl SrbConnection<'_> {
             .as_deref()
             .ok_or_else(|| SrbError::Invalid("ingest needs a resource or container".into()))?;
         let targets = self.grid.mcat.resources.resolve_targets(resource_name)?;
-        let checksum = sha256_hex(data);
-        let mut replicas = Vec::with_capacity(targets.len());
-        for rid in &targets {
-            let phys_path = Self::phys_path(coll, name);
-            let r = self.store_bytes(*rid, &phys_path, data, false)?;
-            receipt.absorb(&r);
-            replicas.push((
-                AccessSpec::Stored {
-                    resource: *rid,
-                    phys_path,
-                },
-                data.len() as u64,
-                Some(checksum.clone()),
-            ));
-        }
-        let ds = self.grid.mcat.datasets.create(
-            &self.grid.mcat.ids,
+        let checksum = sha256_hex(&data);
+        let legs: Vec<StoreLeg> = targets
+            .iter()
+            .map(|rid| StoreLeg {
+                resource: *rid,
+                phys_path: Self::phys_path(coll, name),
+                overwrite: false,
+            })
+            .collect();
+        let fan = self.store_fanout(&legs, &data);
+        receipt.absorb(&fan.receipt);
+        let ds = self.commit_fanout_dataset(
             coll,
             name,
             &opts.data_type,
             user,
-            replicas,
-            self.now(),
+            &legs,
+            &fan,
+            data.len() as u64,
+            &checksum,
         )?;
         self.attach_ingest_metadata(ds, &opts.metadata);
         self.audit(AuditAction::Ingest, path, "ok");
         Ok(receipt)
     }
 
+    /// Shared catalog commit for `ingest`/`copy`: the legs ran, now create
+    /// the dataset row on the caller thread, in leg order. A fatal leg
+    /// error aborts the whole operation (stored bytes are rolled back
+    /// best-effort); if nothing stored, the first leg error propagates;
+    /// retryable failures become `Stale` replica rows whose bytes arrive
+    /// at the next resync.
+    #[allow(clippy::too_many_arguments)]
+    fn commit_fanout_dataset(
+        &self,
+        coll: CollectionId,
+        name: &str,
+        data_type: &str,
+        user: srb_types::UserId,
+        legs: &[StoreLeg],
+        fan: &FanoutOutcome,
+        size: u64,
+        checksum: &str,
+    ) -> SrbResult<DatasetId> {
+        if let Some(e) = fan.first_fatal() {
+            self.undo_stored_legs(legs, &fan.results);
+            return Err(e);
+        }
+        if fan.successes() == 0 {
+            return Err(fan.first_err().unwrap_or_else(|| {
+                SrbError::NotFound(format!(
+                    "no physical resource behind the target for '{name}'"
+                ))
+            }));
+        }
+        let mut replicas = Vec::with_capacity(legs.len());
+        let mut stale_nums: Vec<u32> = Vec::new();
+        for (i, (leg, result)) in legs.iter().zip(&fan.results).enumerate() {
+            let spec = AccessSpec::Stored {
+                resource: leg.resource,
+                phys_path: leg.phys_path.clone(),
+            };
+            match result {
+                Ok(_) => replicas.push((spec, size, Some(checksum.to_string()))),
+                Err(_) => {
+                    stale_nums.push((i + 1) as u32);
+                    replicas.push((spec, size, None));
+                }
+            }
+        }
+        let ds = self.grid.mcat.datasets.create(
+            &self.grid.mcat.ids,
+            coll,
+            name,
+            data_type,
+            user,
+            replicas,
+            self.now(),
+        )?;
+        if !stale_nums.is_empty() {
+            self.grid.mcat.datasets.update(ds, |d| {
+                for r in d.replicas.iter_mut() {
+                    if stale_nums.contains(&r.repl_num) {
+                        r.status = ReplicaStatus::Stale;
+                    }
+                }
+                Ok(())
+            })?;
+        }
+        Ok(ds)
+    }
+
     /// Overwrite an object's data; all up replicas are updated
-    /// synchronously, replicas on failed resources are marked stale.
-    pub fn write(&self, path: &str, data: &[u8]) -> SrbResult<Receipt> {
+    /// synchronously (fanning out concurrently under the connection's
+    /// [`crate::fanout::FanoutMode`]), replicas on failed resources are
+    /// marked stale. If a leg fails fatally after other replicas accepted
+    /// the bytes, the partial staleness vector is committed *before* the
+    /// error propagates, so the catalog never claims a missed write was
+    /// applied.
+    pub fn write(&self, path: &str, data: impl Into<Bytes>) -> SrbResult<Receipt> {
+        let data: Bytes = data.into();
         let user = self.check_session()?;
         let lp = self.parse(path)?;
         let mut receipt = self.mcat_rpc()?;
@@ -254,29 +335,13 @@ impl SrbConnection<'_> {
             .mcat
             .require_dataset(Some(user), ds.id, Permission::Write)?;
         ds.write_allowed_by_locks(user, self.now())?;
-        let checksum = sha256_hex(data);
-        let mut staleness: Vec<(u32, ReplicaStatus)> = Vec::new();
+        // Reject unsupported replica kinds before any bytes move.
         for replica in &ds.replicas {
-            if let Some(slice) = replica.in_container {
-                let r = self.rewrite_container_slice(ds.id, slice, data)?;
-                receipt.absorb(&r);
-                staleness.push((replica.repl_num, ReplicaStatus::UpToDate));
+            if replica.in_container.is_some() {
                 continue;
             }
             match &replica.spec {
-                AccessSpec::Stored {
-                    resource,
-                    phys_path,
-                } => match self.store_bytes(*resource, phys_path, data, true) {
-                    Ok(r) => {
-                        receipt.absorb(&r);
-                        staleness.push((replica.repl_num, ReplicaStatus::UpToDate));
-                    }
-                    Err(e) if e.is_retryable() => {
-                        staleness.push((replica.repl_num, ReplicaStatus::Stale));
-                    }
-                    Err(e) => return Err(e),
-                },
+                AccessSpec::Stored { .. } => {}
                 AccessSpec::RegisteredFile { .. } => {
                     return Err(SrbError::Unsupported(
                         "cannot write through a registered file (not under SRB control)".into(),
@@ -290,10 +355,48 @@ impl SrbConnection<'_> {
                 }
             }
         }
-        if staleness.iter().all(|(_, s)| *s == ReplicaStatus::Stale) {
-            return Err(SrbError::ResourceUnavailable(
-                "no replica accepted the write".into(),
-            ));
+        let checksum = sha256_hex(&data);
+        // Container slices rewrite inline (they share one container file
+        // and must not race); standalone stored replicas fan out.
+        let mut staleness: Vec<(u32, ReplicaStatus)> = Vec::new();
+        let mut legs: Vec<StoreLeg> = Vec::new();
+        let mut leg_nums: Vec<u32> = Vec::new();
+        for replica in &ds.replicas {
+            if let Some(slice) = replica.in_container {
+                let r = self.rewrite_container_slice(ds.id, slice, &data)?;
+                receipt.absorb(&r);
+                staleness.push((replica.repl_num, ReplicaStatus::UpToDate));
+                continue;
+            }
+            if let AccessSpec::Stored {
+                resource,
+                phys_path,
+            } = &replica.spec
+            {
+                legs.push(StoreLeg {
+                    resource: *resource,
+                    phys_path: phys_path.clone(),
+                    overwrite: true,
+                });
+                leg_nums.push(replica.repl_num);
+            }
+        }
+        let fan = self.store_fanout(&legs, &data);
+        receipt.absorb(&fan.receipt);
+        for (num, result) in leg_nums.iter().zip(&fan.results) {
+            let status = if result.is_ok() {
+                ReplicaStatus::UpToDate
+            } else {
+                ReplicaStatus::Stale
+            };
+            staleness.push((*num, status));
+        }
+        if !staleness.iter().any(|(_, s)| *s == ReplicaStatus::UpToDate) {
+            // Nothing accepted the write: every replica still holds the
+            // old (mutually consistent) version, so nothing goes stale.
+            return Err(fan.first_fatal().unwrap_or_else(|| {
+                SrbError::ResourceUnavailable("no replica accepted the write".into())
+            }));
         }
         let now = self.now();
         self.grid.mcat.datasets.update(ds.id, |d| {
@@ -309,6 +412,10 @@ impl SrbConnection<'_> {
             d.modified = now;
             Ok(())
         })?;
+        if let Some(e) = fan.first_fatal() {
+            self.audit(AuditAction::Write, path, e.code());
+            return Err(e);
+        }
         self.audit(AuditAction::Write, path, "ok");
         Ok(receipt)
     }
@@ -316,8 +423,185 @@ impl SrbConnection<'_> {
     /// Re-ingest: replace the data, keeping all linked metadata (paper:
     /// "a user can reingest a file (i.e., all metadata associated with the
     /// file by the SRB are still linked to it)").
-    pub fn reingest(&self, path: &str, data: &[u8]) -> SrbResult<Receipt> {
-        self.write(path, data)
+    pub fn reingest(&self, path: &str, data: impl Into<Bytes>) -> SrbResult<Receipt> {
+        self.write(path, data.into())
+    }
+
+    // --------------------------------------------------------- bulk ingest --
+
+    /// Ingest many small files into one collection in a single brokered
+    /// call — the batched counterpart of [`SrbConnection::ingest`] for
+    /// archive-bound workloads where per-file round trips dominate.
+    ///
+    /// The whole batch pays for *one* session check, *one* structural-
+    /// metadata validation, *one* MCAT round trip, *one* audit row, and
+    /// two catalog lock acquisitions (dataset rows, metadata rows); the
+    /// physical stores fan out across files under the connection's
+    /// [`crate::fanout::FanoutMode`], with each file's checksum computed
+    /// inside its own leg so hashing parallelizes too.
+    ///
+    /// All-or-nothing at the catalog: a duplicate name (in the collection
+    /// or within the batch), a fatal storage error, or a file no target
+    /// accepted aborts the call, rolls back any stored bytes best-effort,
+    /// and leaves the catalog untouched. A file that reaches *some* but
+    /// not all targets gets `Stale` rows for the missed ones, exactly
+    /// like single-file ingest. Returns the created dataset ids in batch
+    /// order plus the composed receipt.
+    pub fn ingest_bulk(
+        &self,
+        coll_path: &str,
+        files: Vec<(String, Bytes)>,
+        opts: &IngestOptions,
+    ) -> SrbResult<(Vec<DatasetId>, Receipt)> {
+        let user = self.check_session()?;
+        if opts.container.is_some() {
+            return Err(SrbError::Unsupported(
+                "bulk ingest into a container is not supported; use per-file ingest".into(),
+            ));
+        }
+        let lp = self.parse(coll_path)?;
+        let mut receipt = self.mcat_rpc()?;
+        let coll = self.grid.mcat.collections.resolve(&lp)?;
+        self.grid
+            .mcat
+            .require_collection(Some(user), coll, Permission::Write)?;
+        self.grid.mcat.validate_structural(coll, &opts.metadata)?;
+        let resource_name = opts
+            .resource
+            .as_deref()
+            .ok_or_else(|| SrbError::Invalid("bulk ingest needs a resource".into()))?;
+        let targets = self.grid.mcat.resources.resolve_targets(resource_name)?;
+        if targets.is_empty() {
+            return Err(SrbError::NotFound(format!(
+                "no physical resource behind '{resource_name}'"
+            )));
+        }
+        // Reject duplicate names before any bytes move — one read guard
+        // covers the whole batch.
+        {
+            let batch = self.grid.mcat.datasets.batch();
+            let mut seen: HashSet<&str> = HashSet::with_capacity(files.len());
+            for (name, _) in &files {
+                if batch.contains_name(coll, name) || !seen.insert(name.as_str()) {
+                    return Err(SrbError::AlreadyExists(format!(
+                        "dataset '{name}' in collection {coll}"
+                    )));
+                }
+            }
+        }
+        // One leg per file: hash, then push to every target. The legs are
+        // pure storage I/O; every catalog mutation happens after the join,
+        // in batch order, so parallel and sequential runs commit
+        // identical state.
+        struct BulkLeg {
+            checksum: String,
+            stores: Vec<SrbResult<Receipt>>,
+            cost: Receipt,
+        }
+        let mode = self.fanout_mode();
+        let leg_results: Vec<BulkLeg> = fanout::run_legs(mode, files.len(), |i| {
+            let (name, data) = &files[i];
+            let checksum = sha256_hex(data);
+            let phys = Self::phys_path(coll, name);
+            let mut cost = Receipt::free();
+            let stores: Vec<SrbResult<Receipt>> = targets
+                .iter()
+                .map(|rid| {
+                    let r = self.store_bytes(*rid, &phys, data, false);
+                    if let Ok(rr) = &r {
+                        cost.absorb(rr);
+                    }
+                    r
+                })
+                .collect();
+            BulkLeg {
+                checksum,
+                stores,
+                cost,
+            }
+        });
+        let leg_costs: Vec<Receipt> = leg_results.iter().map(|l| l.cost.clone()).collect();
+        receipt.absorb(&fanout::compose(mode, &leg_costs));
+        // A fatal error anywhere, or a file no target accepted, aborts the
+        // batch before the catalog is touched.
+        let mut abort: Option<SrbError> = leg_results
+            .iter()
+            .flat_map(|l| l.stores.iter())
+            .filter_map(|r| r.as_ref().err())
+            .find(|e| !e.is_retryable())
+            .cloned();
+        if abort.is_none() {
+            abort = leg_results
+                .iter()
+                .find(|l| l.stores.iter().all(|r| r.is_err()))
+                .and_then(|l| l.stores.iter().filter_map(|r| r.as_ref().err()).next())
+                .cloned();
+        }
+        if let Some(e) = abort {
+            for ((name, _), leg) in files.iter().zip(&leg_results) {
+                let phys = Self::phys_path(coll, name);
+                for (rid, r) in targets.iter().zip(&leg.stores) {
+                    if r.is_ok() {
+                        if let Ok(driver) = self.grid.driver(*rid) {
+                            let _ = driver.driver().delete(&phys);
+                        }
+                    }
+                }
+            }
+            return Err(e);
+        }
+        // Catalog commit: one write-locked batch for the dataset rows, one
+        // for the metadata rows, one audit record for the whole batch.
+        let rows: Vec<NewDataset> = files
+            .iter()
+            .zip(&leg_results)
+            .map(|((name, data), leg)| NewDataset {
+                name: name.clone(),
+                replicas: targets
+                    .iter()
+                    .zip(&leg.stores)
+                    .map(|(rid, r)| {
+                        let spec = AccessSpec::Stored {
+                            resource: *rid,
+                            phys_path: Self::phys_path(coll, name),
+                        };
+                        match r {
+                            Ok(_) => (
+                                spec,
+                                data.len() as u64,
+                                Some(leg.checksum.clone()),
+                                ReplicaStatus::UpToDate,
+                            ),
+                            Err(_) => (spec, data.len() as u64, None, ReplicaStatus::Stale),
+                        }
+                    })
+                    .collect(),
+            })
+            .collect();
+        let ids = self.grid.mcat.datasets.create_batch(
+            &self.grid.mcat.ids,
+            coll,
+            &opts.data_type,
+            user,
+            rows,
+            self.now(),
+        )?;
+        if !opts.metadata.is_empty() {
+            self.grid.mcat.metadata.add_batch(
+                &self.grid.mcat.ids,
+                ids.iter().flat_map(|ds| {
+                    opts.metadata
+                        .iter()
+                        .map(move |t| (Subject::Dataset(*ds), t.clone(), MetaKind::UserDefined))
+                }),
+            );
+        }
+        self.audit(
+            AuditAction::Ingest,
+            &format!("{coll_path} [bulk {} files]", files.len()),
+            "ok",
+        );
+        Ok((ids, receipt))
     }
 
     // ------------------------------------------------------------ register --
@@ -469,28 +753,78 @@ impl SrbConnection<'_> {
         receipt.absorb(&read_receipt);
         let targets = self.grid.mcat.resources.resolve_targets(resource_name)?;
         let checksum = sha256_hex(&data);
-        for rid in targets {
-            let phys_path = format!(
-                "{}.r{}",
-                Self::phys_path(ds.coll, &ds.name),
-                ds.max_repl_num() + 1
-            );
-            let r = self.store_bytes(rid, &phys_path, &data, false)?;
-            receipt.absorb(&r);
-            self.grid.mcat.datasets.add_replica(
-                &self.grid.mcat.ids,
-                ds.id,
-                AccessSpec::Stored {
-                    resource: rid,
-                    phys_path,
-                },
-                data.len() as u64,
-                Some(checksum.clone()),
-                self.now(),
-            )?;
-        }
+        let base = Self::phys_path(ds.coll, &ds.name);
+        let next = ds.max_repl_num() + 1;
+        let legs: Vec<StoreLeg> = targets
+            .iter()
+            .enumerate()
+            .map(|(i, rid)| StoreLeg {
+                resource: *rid,
+                phys_path: format!("{base}.r{}", next + i as u32),
+                overwrite: false,
+            })
+            .collect();
+        let fan = self.store_fanout(&legs, &data);
+        receipt.absorb(&fan.receipt);
+        self.commit_fanout_replicas(ds.id, &legs, &fan, data.len() as u64, &checksum)?;
         self.audit(AuditAction::Replicate, path, "ok");
         Ok(receipt)
+    }
+
+    /// Shared catalog commit for `replicate`/`ingest_replica`: add one
+    /// replica row per leg, in leg order — `UpToDate` for stored legs,
+    /// `Stale` (repairable at resync) for legs whose resource was down.
+    /// Commits every successful leg *before* propagating a fatal leg
+    /// error; with no successes at all, the first leg error propagates
+    /// and the catalog is untouched.
+    fn commit_fanout_replicas(
+        &self,
+        ds: DatasetId,
+        legs: &[StoreLeg],
+        fan: &FanoutOutcome,
+        size: u64,
+        checksum: &str,
+    ) -> SrbResult<()> {
+        if fan.successes() == 0 {
+            if let Some(e) = fan.first_err() {
+                return Err(e);
+            }
+            return Ok(()); // zero targets: nothing to do
+        }
+        for (leg, result) in legs.iter().zip(&fan.results) {
+            let spec = AccessSpec::Stored {
+                resource: leg.resource,
+                phys_path: leg.phys_path.clone(),
+            };
+            match result {
+                Ok(_) => {
+                    self.grid.mcat.datasets.add_replica(
+                        &self.grid.mcat.ids,
+                        ds,
+                        spec,
+                        size,
+                        Some(checksum.to_string()),
+                        self.now(),
+                    )?;
+                }
+                Err(e) if e.is_retryable() => {
+                    self.grid.mcat.datasets.add_replica_with_status(
+                        &self.grid.mcat.ids,
+                        ds,
+                        spec,
+                        size,
+                        None,
+                        ReplicaStatus::Stale,
+                        self.now(),
+                    )?;
+                }
+                Err(_) => {} // fatal: no row; error propagates below
+            }
+        }
+        if let Some(e) = fan.first_fatal() {
+            return Err(e);
+        }
+        Ok(())
     }
 
     /// Register another spec as a replica of an existing object ("register
@@ -524,9 +858,10 @@ impl SrbConnection<'_> {
     pub fn ingest_replica(
         &self,
         path: &str,
-        data: &[u8],
+        data: impl Into<Bytes>,
         resource_name: &str,
     ) -> SrbResult<Receipt> {
+        let data: Bytes = data.into();
         let user = self.check_session()?;
         let lp = self.parse(path)?;
         let mut receipt = self.mcat_rpc()?;
@@ -536,26 +871,21 @@ impl SrbConnection<'_> {
             .mcat
             .require_dataset(Some(user), ds.id, Permission::Write)?;
         let targets = self.grid.mcat.resources.resolve_targets(resource_name)?;
-        for rid in targets {
-            let phys_path = format!(
-                "{}.ir{}",
-                Self::phys_path(ds.coll, &ds.name),
-                ds.max_repl_num() + 1
-            );
-            let r = self.store_bytes(rid, &phys_path, data, false)?;
-            receipt.absorb(&r);
-            self.grid.mcat.datasets.add_replica(
-                &self.grid.mcat.ids,
-                ds.id,
-                AccessSpec::Stored {
-                    resource: rid,
-                    phys_path,
-                },
-                data.len() as u64,
-                Some(sha256_hex(data)),
-                self.now(),
-            )?;
-        }
+        let checksum = sha256_hex(&data);
+        let base = Self::phys_path(ds.coll, &ds.name);
+        let next = ds.max_repl_num() + 1;
+        let legs: Vec<StoreLeg> = targets
+            .iter()
+            .enumerate()
+            .map(|(i, rid)| StoreLeg {
+                resource: *rid,
+                phys_path: format!("{base}.ir{}", next + i as u32),
+                overwrite: false,
+            })
+            .collect();
+        let fan = self.store_fanout(&legs, &data);
+        receipt.absorb(&fan.receipt);
+        self.commit_fanout_replicas(ds.id, &legs, &fan, data.len() as u64, &checksum)?;
         self.audit(AuditAction::Replicate, path, "ok");
         Ok(receipt)
     }
@@ -601,28 +931,25 @@ impl SrbConnection<'_> {
         receipt.absorb(&read_receipt);
         let targets = self.grid.mcat.resources.resolve_targets(resource_name)?;
         let checksum = sha256_hex(&data);
-        let mut replicas = Vec::new();
-        for rid in targets {
-            let phys_path = Self::phys_path(dst_coll, dst_name);
-            let r = self.store_bytes(rid, &phys_path, &data, false)?;
-            receipt.absorb(&r);
-            replicas.push((
-                AccessSpec::Stored {
-                    resource: rid,
-                    phys_path,
-                },
-                data.len() as u64,
-                Some(checksum.clone()),
-            ));
-        }
-        self.grid.mcat.datasets.create(
-            &self.grid.mcat.ids,
+        let legs: Vec<StoreLeg> = targets
+            .iter()
+            .map(|rid| StoreLeg {
+                resource: *rid,
+                phys_path: Self::phys_path(dst_coll, dst_name),
+                overwrite: false,
+            })
+            .collect();
+        let fan = self.store_fanout(&legs, &data);
+        receipt.absorb(&fan.receipt);
+        self.commit_fanout_dataset(
             dst_coll,
             dst_name,
             &src_ds.data_type,
             user,
-            replicas,
-            self.now(),
+            &legs,
+            &fan,
+            data.len() as u64,
+            &checksum,
         )?;
         self.audit(AuditAction::Copy, &format!("{src} -> {dst}"), "ok");
         Ok(receipt)

@@ -13,7 +13,7 @@ fn least_loaded_policy_spreads_reads_across_replicas() {
     let conn = connect(&f, "sekar");
     conn.ingest(
         "/home/sekar/hot",
-        &vec![7u8; 4096],
+        vec![7u8; 4096],
         IngestOptions::to_resource("unix-sdsc"),
     )
     .unwrap();
@@ -173,13 +173,13 @@ fn hop_accounting_scales_with_distance() {
     let conn = connect(&f, "sekar");
     conn.ingest(
         "/home/sekar/near",
-        &vec![1u8; 10_000],
+        vec![1u8; 10_000],
         IngestOptions::to_resource("unix-sdsc"),
     )
     .unwrap();
     conn.ingest(
         "/home/sekar/far",
-        &vec![1u8; 10_000],
+        vec![1u8; 10_000],
         IngestOptions::to_resource("unix-ncsa"),
     )
     .unwrap();
@@ -202,7 +202,7 @@ fn network_traffic_is_accounted() {
     let conn = connect(&f, "sekar");
     conn.ingest(
         "/home/sekar/f",
-        &vec![1u8; 50_000],
+        vec![1u8; 50_000],
         IngestOptions::to_resource("unix-ncsa"),
     )
     .unwrap();

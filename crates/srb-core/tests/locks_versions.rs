@@ -94,7 +94,7 @@ fn pin_protects_cache_replica_from_purge() {
     // cache-sdsc holds 64 KiB.
     conn.ingest(
         "/home/sekar/pinned",
-        &vec![1u8; 40 * 1024],
+        vec![1u8; 40 * 1024],
         IngestOptions::to_resource("cache-sdsc"),
     )
     .unwrap();
@@ -104,7 +104,7 @@ fn pin_protects_cache_replica_from_purge() {
     let err = conn
         .ingest(
             "/home/sekar/big",
-            &vec![2u8; 40 * 1024],
+            vec![2u8; 40 * 1024],
             IngestOptions::to_resource("cache-sdsc"),
         )
         .unwrap_err();
@@ -114,7 +114,7 @@ fn pin_protects_cache_replica_from_purge() {
     conn.unpin("/home/sekar/pinned", 1).unwrap();
     conn.ingest(
         "/home/sekar/big2",
-        &vec![3u8; 40 * 1024],
+        vec![3u8; 40 * 1024],
         IngestOptions::to_resource("cache-sdsc"),
     )
     .unwrap();
@@ -127,7 +127,7 @@ fn pin_expiry_is_honoured() {
     let conn = connect(&f, "sekar");
     conn.ingest(
         "/home/sekar/p",
-        &vec![1u8; 40 * 1024],
+        vec![1u8; 40 * 1024],
         IngestOptions::to_resource("cache-sdsc"),
     )
     .unwrap();
@@ -136,7 +136,7 @@ fn pin_expiry_is_honoured() {
     // Pin expired: eviction proceeds.
     conn.ingest(
         "/home/sekar/q",
-        &vec![2u8; 40 * 1024],
+        vec![2u8; 40 * 1024],
         IngestOptions::to_resource("cache-sdsc"),
     )
     .unwrap();

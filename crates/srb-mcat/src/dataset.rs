@@ -317,6 +317,18 @@ impl Dataset {
     }
 }
 
+/// One dataset to create in a [`DatasetTable::create_batch`] call: the
+/// name plus its initial replicas as `(spec, size, checksum, status)` —
+/// stale rows record replicas whose resource was down during the bulk
+/// fan-out (repairable via `sync_replicas`).
+#[derive(Debug, Clone)]
+pub struct NewDataset {
+    /// Name within the target collection.
+    pub name: String,
+    /// Initial replicas: spec, size, checksum, health.
+    pub replicas: Vec<(AccessSpec, u64, Option<String>, ReplicaStatus)>,
+}
+
 /// The dataset table.
 #[derive(Debug)]
 pub struct DatasetTable {
@@ -401,6 +413,75 @@ impl DatasetTable {
         g.by_name.insert(key, id);
         g.by_coll.entry(coll).or_default().push(id);
         Ok(id)
+    }
+
+    /// Create many datasets in one collection under a single write-lock
+    /// acquisition — the catalog half of bulk ingest. All-or-nothing:
+    /// every name is validated (against the table and within the batch)
+    /// before the first row is inserted, so a duplicate anywhere leaves
+    /// the table untouched. Ids are assigned in batch order.
+    pub fn create_batch(
+        &self,
+        ids: &IdGen,
+        coll: CollectionId,
+        data_type: &str,
+        owner: UserId,
+        batch: Vec<NewDataset>,
+        now: Timestamp,
+    ) -> SrbResult<Vec<DatasetId>> {
+        let mut g = self.inner.write();
+        let mut in_batch: HashSet<&str> = HashSet::with_capacity(batch.len());
+        for nd in &batch {
+            if g.by_name.contains_key(&(coll, nd.name.clone())) || !in_batch.insert(&nd.name) {
+                return Err(SrbError::AlreadyExists(format!(
+                    "dataset '{}' in collection {coll}",
+                    nd.name
+                )));
+            }
+        }
+        let mut out = Vec::with_capacity(batch.len());
+        for nd in batch {
+            let id: DatasetId = ids.next();
+            let reps = nd
+                .replicas
+                .into_iter()
+                .enumerate()
+                .map(|(i, (spec, size, checksum, status))| Replica {
+                    id: ids.next(),
+                    repl_num: (i + 1) as u32,
+                    spec,
+                    size,
+                    checksum,
+                    in_container: None,
+                    status,
+                    pinned_until: None,
+                    created: now,
+                })
+                .collect();
+            g.rows.insert(
+                id,
+                Dataset {
+                    id,
+                    coll,
+                    name: nd.name.clone(),
+                    data_type: data_type.to_string(),
+                    owner,
+                    acl: AccessMatrix::owned_by(owner),
+                    replicas: reps,
+                    link_target: None,
+                    lock: None,
+                    checkout: None,
+                    versions: Vec::new(),
+                    current_version: 1,
+                    created: now,
+                    modified: now,
+                },
+            );
+            g.by_name.insert((coll, nd.name), id);
+            g.by_coll.entry(coll).or_default().push(id);
+            out.push(id);
+        }
+        Ok(out)
     }
 
     /// Create a soft-link dataset pointing at `target`. Chaining collapses
@@ -518,6 +599,31 @@ impl DatasetTable {
         checksum: Option<String>,
         now: Timestamp,
     ) -> SrbResult<u32> {
+        self.add_replica_with_status(
+            ids,
+            dataset,
+            spec,
+            size,
+            checksum,
+            ReplicaStatus::UpToDate,
+            now,
+        )
+    }
+
+    /// Add a replica with an explicit health status. A `Stale` row records
+    /// a replica whose target resource was down when the bytes fanned out
+    /// (the phys path is reserved; `sync_replicas` writes it later).
+    #[allow(clippy::too_many_arguments)]
+    pub fn add_replica_with_status(
+        &self,
+        ids: &IdGen,
+        dataset: DatasetId,
+        spec: AccessSpec,
+        size: u64,
+        checksum: Option<String>,
+        status: ReplicaStatus,
+        now: Timestamp,
+    ) -> SrbResult<u32> {
         let rid: ReplicaId = ids.next();
         self.update(dataset, |d| {
             let repl_num = d.max_repl_num() + 1;
@@ -528,7 +634,7 @@ impl DatasetTable {
                 size,
                 checksum,
                 in_container: None,
-                status: ReplicaStatus::UpToDate,
+                status,
                 pinned_until: None,
                 created: now,
             });
@@ -676,6 +782,13 @@ impl DatasetBatch<'_> {
     /// The dataset row, borrowed from the table (no link following).
     pub fn get_ref(&self, id: DatasetId) -> Option<&Dataset> {
         self.g.rows.get(&id)
+    }
+
+    /// Is a name already taken in `coll`? Used by bulk ingest to reject
+    /// duplicates before any bytes move, under one read guard for the
+    /// whole batch.
+    pub fn contains_name(&self, coll: CollectionId, name: &str) -> bool {
+        self.g.by_name.contains_key(&(coll, name.to_string()))
     }
 }
 

@@ -35,8 +35,8 @@ pub use catalog::Mcat;
 pub use collection::{AttrRequirement, Collection};
 pub use container::ContainerRecord;
 pub use dataset::{
-    AccessSpec, CheckoutState, Dataset, LockKind, LockState, Replica, ReplicaStatus, Template,
-    VersionRecord,
+    AccessSpec, CheckoutState, Dataset, LockKind, LockState, NewDataset, Replica, ReplicaStatus,
+    Template, VersionRecord,
 };
 pub use metadata::{MetaKind, MetaRow, Subject};
 pub use query::{Query, QueryCondition, QueryHit};

@@ -132,6 +132,33 @@ impl MetaStore {
     pub fn add(&self, ids: &IdGen, subject: Subject, triplet: Triplet, kind: MetaKind) -> MetaId {
         let id: MetaId = ids.next();
         let mut g = self.inner.write();
+        Self::insert_locked(&mut g, id, subject, triplet, kind);
+        id
+    }
+
+    /// Add many rows under a single write-lock acquisition — the metadata
+    /// half of bulk ingest. Ids are assigned in iteration order.
+    pub fn add_batch<I>(&self, ids: &IdGen, rows: I) -> Vec<MetaId>
+    where
+        I: IntoIterator<Item = (Subject, Triplet, MetaKind)>,
+    {
+        let mut g = self.inner.write();
+        rows.into_iter()
+            .map(|(subject, triplet, kind)| {
+                let id: MetaId = ids.next();
+                Self::insert_locked(&mut g, id, subject, triplet, kind);
+                id
+            })
+            .collect()
+    }
+
+    fn insert_locked(
+        g: &mut Inner,
+        id: MetaId,
+        subject: Subject,
+        triplet: Triplet,
+        kind: MetaKind,
+    ) {
         g.by_subject.entry(subject).or_default().push(id);
         g.index
             .entry(triplet.name.clone())
@@ -148,7 +175,6 @@ impl MetaStore {
                 kind,
             },
         );
-        id
     }
 
     /// Update a row's value/units in place.

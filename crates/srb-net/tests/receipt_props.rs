@@ -1,0 +1,115 @@
+//! Property tests for the receipt algebra behind the fan-out engine.
+//!
+//! `absorb` models sequential composition (every cost adds); a
+//! `join_parallel` fold models legs overlapping in time (durations take
+//! the maximum, traffic counters still add). The fan-out engine's receipt
+//! composition is exactly these folds, so the invariants here are the
+//! cost model's correctness argument.
+
+use proptest::prelude::*;
+use srb_net::Receipt;
+use srb_types::ReplicaId;
+
+fn receipt_strategy() -> impl Strategy<Value = Receipt> {
+    (
+        (0u64..1_000_000_000_000, 0u64..1_000_000_000, 0u64..10_000),
+        (0u32..16, 0u32..64, any::<bool>(), 0u64..1_000),
+    )
+        .prop_map(
+            |((sim_ns, bytes, messages), (hops, replicas_tried, has_server, served))| Receipt {
+                sim_ns,
+                bytes,
+                messages,
+                hops,
+                replicas_tried,
+                served_by: has_server.then_some(ReplicaId(served)),
+            },
+        )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// A join_parallel fold is "max the clock, sum the traffic": the
+    /// composite takes as long as the slowest leg while moving every
+    /// leg's bytes and messages.
+    #[test]
+    fn join_parallel_fold_is_max_time_sum_traffic(
+        legs in prop::collection::vec(receipt_strategy(), 1..20),
+    ) {
+        let mut folded = Receipt::free();
+        for leg in &legs {
+            folded.join_parallel(leg);
+        }
+        prop_assert_eq!(folded.sim_ns, legs.iter().map(|l| l.sim_ns).max().unwrap_or(0));
+        prop_assert_eq!(folded.bytes, legs.iter().map(|l| l.bytes).sum::<u64>());
+        prop_assert_eq!(folded.messages, legs.iter().map(|l| l.messages).sum::<u64>());
+        prop_assert_eq!(folded.hops, legs.iter().map(|l| l.hops).max().unwrap_or(0));
+        prop_assert_eq!(
+            folded.replicas_tried,
+            legs.iter().map(|l| l.replicas_tried).sum::<u32>()
+        );
+        // The latest leg with a server wins provenance.
+        prop_assert_eq!(
+            folded.served_by,
+            legs.iter().rev().find_map(|l| l.served_by)
+        );
+    }
+
+    /// An absorb fold sums everything — the sequential baseline the
+    /// parallel engine is measured against.
+    #[test]
+    fn absorb_fold_sums_all_costs(
+        legs in prop::collection::vec(receipt_strategy(), 1..20),
+    ) {
+        let mut folded = Receipt::free();
+        for leg in &legs {
+            folded.absorb(leg);
+        }
+        prop_assert_eq!(folded.sim_ns, legs.iter().map(|l| l.sim_ns).sum::<u64>());
+        prop_assert_eq!(folded.bytes, legs.iter().map(|l| l.bytes).sum::<u64>());
+        prop_assert_eq!(folded.messages, legs.iter().map(|l| l.messages).sum::<u64>());
+        prop_assert_eq!(folded.hops, legs.iter().map(|l| l.hops).sum::<u32>());
+    }
+
+    /// Parallel composition never takes longer than sequential and never
+    /// loses traffic: for any leg set, max-of-legs <= sum-of-legs with
+    /// byte counts identical. This is the "fan-out can't be slower in
+    /// simulated time" half of the bench invariant.
+    #[test]
+    fn parallel_no_slower_than_sequential_same_bytes(
+        legs in prop::collection::vec(receipt_strategy(), 1..20),
+    ) {
+        let mut par = Receipt::free();
+        let mut seq = Receipt::free();
+        for leg in &legs {
+            par.join_parallel(leg);
+            seq.absorb(leg);
+        }
+        prop_assert!(par.sim_ns <= seq.sim_ns);
+        prop_assert_eq!(par.bytes, seq.bytes);
+        prop_assert_eq!(par.messages, seq.messages);
+    }
+
+    /// join_parallel is commutative and associative on the cost counters,
+    /// so the engine may fold legs in any order without changing the
+    /// composite cost.
+    #[test]
+    fn join_parallel_cost_order_independent(
+        a in receipt_strategy(),
+        b in receipt_strategy(),
+        c in receipt_strategy(),
+    ) {
+        let mut ab_c = a.clone();
+        ab_c.join_parallel(&b);
+        ab_c.join_parallel(&c);
+        let mut a_bc = b.clone();
+        a_bc.join_parallel(&c);
+        a_bc.join_parallel(&a);
+        prop_assert_eq!(ab_c.sim_ns, a_bc.sim_ns);
+        prop_assert_eq!(ab_c.bytes, a_bc.bytes);
+        prop_assert_eq!(ab_c.messages, a_bc.messages);
+        prop_assert_eq!(ab_c.hops, a_bc.hops);
+        prop_assert_eq!(ab_c.replicas_tried, a_bc.replicas_tried);
+    }
+}

@@ -29,7 +29,7 @@ fn main() -> SrbResult<()> {
     let conn = SrbConnection::connect(&grid, srv_sdsc, "ops", "sdsc", "pw")?;
     conn.ingest(
         "/home/ops/hot.dat",
-        &vec![0xABu8; 64 * 1024],
+        vec![0xABu8; 64 * 1024],
         IngestOptions::to_resource("fs-sdsc"),
     )?;
     conn.replicate("/home/ops/hot.dat", "fs-caltech")?;

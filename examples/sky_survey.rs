@@ -57,7 +57,7 @@ fn main() -> SrbResult<()> {
         }
         let r = conn.ingest(
             &format!("/home/survey/2mass/field-{i:05}.fits"),
-            &fits_image(i),
+            fits_image(i),
             IngestOptions::into_container(&format!("2mass-ct{container_idx}"))
                 .with_type("fits image")
                 .with_metadata(Triplet::new("ra", ((i * 7) % 360) as i64, "deg"))

@@ -113,6 +113,24 @@ impl From<String> for Bytes {
     }
 }
 
+impl<const N: usize> From<&[u8; N]> for Bytes {
+    fn from(v: &[u8; N]) -> Self {
+        Bytes::copy_from_slice(v)
+    }
+}
+
+impl From<&Vec<u8>> for Bytes {
+    fn from(v: &Vec<u8>) -> Self {
+        Bytes::copy_from_slice(v)
+    }
+}
+
+impl From<&Bytes> for Bytes {
+    fn from(v: &Bytes) -> Self {
+        v.clone()
+    }
+}
+
 impl PartialEq for Bytes {
     fn eq(&self, other: &Self) -> bool {
         self.as_ref() == other.as_ref()

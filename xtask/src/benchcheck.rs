@@ -1,11 +1,13 @@
-//! `cargo xtask benchcheck` — validate the `BENCH_E1.json` /
-//! `BENCH_E5.json` artifacts written by `exp_e1_catalog_scale --json` and
-//! `exp_e5_query --json`.
+//! `cargo xtask benchcheck` — validate the `BENCH_E*.json` artifacts
+//! written by the `exp_*` binaries with `--json`.
 //!
-//! Both files must parse, carry a non-empty `rows` array with the
-//! before/after timing fields, and show the indexed planner no slower than
-//! the full-scan baseline on every row — the regression the bench-smoke CI
-//! job exists to catch.
+//! Every file must parse and carry a non-empty `rows` array with its
+//! before/after timing fields. E1/E5 must show the indexed planner no
+//! slower than the full-scan baseline; E6/E7 must show the parallel
+//! fan-out engine no slower than the sequential ablation — strictly in
+//! simulated time (host-independent), and in wall-clock where the
+//! recording host actually had worker threads to parallelize on. These
+//! are the regressions the bench-smoke CI job exists to catch.
 
 use serde_json::Value;
 use std::path::Path;
@@ -51,6 +53,95 @@ fn check(root: &Path, file: &str, scan_field: &str, scan_scale: f64) -> Result<S
     ))
 }
 
+fn rows_of(root: &Path, file: &str) -> Result<Vec<Value>, String> {
+    let path = root.join(file);
+    let text = std::fs::read_to_string(&path)
+        .map_err(|e| format!("unreadable ({e}); run the exp binary with --json first"))?;
+    let v: Value = serde_json::from_str(&text).map_err(|e| format!("invalid JSON: {e}"))?;
+    let rows = v
+        .get("rows")
+        .and_then(Value::as_array)
+        .ok_or("missing `rows` array")?;
+    if rows.is_empty() {
+        return Err("`rows` array is empty".into());
+    }
+    Ok(rows.clone())
+}
+
+/// E6: parallel fan-out / bulk ingest vs the sequential ablation.
+/// Simulated time must improve strictly on every row. Wall-clock must
+/// not regress on bulk rows (the win is algorithmic — batched catalog
+/// locks — so it holds even single-threaded) and on fan-out rows when
+/// the host had more than one worker thread.
+fn check_e6(root: &Path) -> Result<String, String> {
+    let rows = rows_of(root, "BENCH_E6.json")?;
+    let mut worst = f64::INFINITY;
+    for (i, row) in rows.iter().enumerate() {
+        let kind = row.get("kind").and_then(Value::as_str).unwrap_or("?");
+        let sim_before =
+            num(row, "sim_ms_before").ok_or_else(|| format!("row {i}: missing sim_ms_before"))?;
+        let sim_after =
+            num(row, "sim_ms_after").ok_or_else(|| format!("row {i}: missing sim_ms_after"))?;
+        let wall_before =
+            num(row, "wall_ms_before").ok_or_else(|| format!("row {i}: missing wall_ms_before"))?;
+        let wall_after =
+            num(row, "wall_ms_after").ok_or_else(|| format!("row {i}: missing wall_ms_after"))?;
+        let workers = num(row, "workers").unwrap_or(1.0);
+        if sim_before <= 0.0 || sim_after <= 0.0 || wall_before <= 0.0 || wall_after <= 0.0 {
+            return Err(format!("row {i} ({kind}): non-positive timing"));
+        }
+        if sim_after >= sim_before {
+            return Err(format!(
+                "row {i} ({kind}): parallel sim time ({sim_after:.1} ms) not below sequential ({sim_before:.1} ms)"
+            ));
+        }
+        let wall_gated = kind == "bulk" || workers > 1.0;
+        if wall_gated && wall_after > wall_before * 1.10 {
+            return Err(format!(
+                "row {i} ({kind}): parallel wall time ({wall_after:.1} ms) slower than sequential ({wall_before:.1} ms)"
+            ));
+        }
+        worst = worst.min(sim_before / sim_after);
+    }
+    Ok(format!(
+        "{} rows ok, parallel beats sequential by >= {worst:.2}x sim time",
+        rows.len()
+    ))
+}
+
+/// E7: synchronous-replication ingest cost under both fan-out modes.
+/// Parallel must be strictly cheaper in simulated time for every
+/// fan-out width above 1 and never more expensive at width 1.
+fn check_e7(root: &Path) -> Result<String, String> {
+    let rows = rows_of(root, "BENCH_E7.json")?;
+    let mut worst = f64::INFINITY;
+    for (i, row) in rows.iter().enumerate() {
+        let k = num(row, "k").ok_or_else(|| format!("row {i}: missing k"))? as u64;
+        let seq = num(row, "sync_seq_ms").ok_or_else(|| format!("row {i}: missing sync_seq_ms"))?;
+        let par = num(row, "sync_par_ms").ok_or_else(|| format!("row {i}: missing sync_par_ms"))?;
+        if seq <= 0.0 || par <= 0.0 {
+            return Err(format!("row {i} (k={k}): non-positive timing"));
+        }
+        if k >= 2 && par >= seq {
+            return Err(format!(
+                "row {i} (k={k}): parallel sync ingest ({par:.1} ms) not below sequential ({seq:.1} ms)"
+            ));
+        }
+        if k < 2 && par > seq * 1.001 {
+            return Err(format!(
+                "row {i} (k={k}): parallel sync ingest ({par:.1} ms) above sequential ({seq:.1} ms)"
+            ));
+        }
+        if k >= 2 {
+            worst = worst.min(seq / par);
+        }
+    }
+    Ok(format!(
+        "{} rows ok, parallel sync replication >= {worst:.2}x cheaper at k>=2",
+        rows.len()
+    ))
+}
+
 pub fn benchcheck(root: &Path) -> ExitCode {
     let mut failed = false;
     for (file, scan_field, scan_scale) in [
@@ -58,6 +149,21 @@ pub fn benchcheck(root: &Path) -> ExitCode {
         ("BENCH_E5.json", "scan_us", 1.0),
     ] {
         match check(root, file, scan_field, scan_scale) {
+            Ok(msg) => println!("xtask benchcheck: {file}: {msg}"),
+            Err(e) => {
+                eprintln!("xtask benchcheck: {file}: {e}");
+                failed = true;
+            }
+        }
+    }
+    for (file, checker) in [
+        (
+            "BENCH_E6.json",
+            check_e6 as fn(&Path) -> Result<String, String>,
+        ),
+        ("BENCH_E7.json", check_e7),
+    ] {
+        match checker(root) {
             Ok(msg) => println!("xtask benchcheck: {file}: {msg}"),
             Err(e) => {
                 eprintln!("xtask benchcheck: {file}: {e}");
