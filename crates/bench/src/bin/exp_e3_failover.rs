@@ -1,3 +1,19 @@
 fn main() {
-    bench::experiments::e3_failover::run().print();
+    let json = std::env::args().any(|a| a == "--json");
+    let reads = std::env::var("SRB_E3_READS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(400);
+    if json {
+        let v = bench::experiments::e3_failover::run_json(reads);
+        let text = serde_json::to_string_pretty(&v).unwrap_or_default();
+        if let Err(e) = std::fs::write("BENCH_E3.json", text) {
+            eprintln!("failed to write BENCH_E3.json: {e}");
+            std::process::exit(1);
+        }
+        println!("wrote BENCH_E3.json ({reads} reads per arm)");
+    } else {
+        bench::experiments::e3_failover::run().print();
+        bench::experiments::e3_failover::run_flaky(reads).print();
+    }
 }

@@ -11,7 +11,7 @@
 //! all as `impl SrbConnection` blocks.
 
 use crate::auth::{AuthService, Session};
-use crate::fanout::FanoutMode;
+use crate::fanout::{FanoutMode, RetryBudget};
 use crate::grid::Grid;
 use crate::replication::ReplicaPolicy;
 use crate::template::render_template;
@@ -71,6 +71,8 @@ pub struct SrbConnection<'g> {
     pub(crate) session: Session,
     pub(crate) policy: ReplicaPolicy,
     pub(crate) fanout: FanoutMode,
+    pub(crate) retry: RetryBudget,
+    pub(crate) allow_stale: bool,
 }
 
 impl<'g> SrbConnection<'g> {
@@ -123,6 +125,8 @@ impl<'g> SrbConnection<'g> {
             session,
             policy: ReplicaPolicy::default(),
             fanout: FanoutMode::default(),
+            retry: RetryBudget::default(),
+            allow_stale: false,
         })
     }
 
@@ -155,6 +159,30 @@ impl<'g> SrbConnection<'g> {
     /// The connection's current fan-out mode.
     pub fn fanout_mode(&self) -> FanoutMode {
         self.fanout
+    }
+
+    /// Change how hard storage attempts retry transient errors
+    /// ([`RetryBudget::none`] is the ablation arm of bench E3).
+    pub fn set_retry_budget(&mut self, budget: RetryBudget) {
+        self.retry = budget;
+    }
+
+    /// The connection's current retry budget.
+    pub fn retry_budget(&self) -> RetryBudget {
+        self.retry
+    }
+
+    /// Opt in (or out) of graceful degradation: when no fresh replica is
+    /// reachable, a read may serve a `Stale` copy, flagged by
+    /// `Receipt::served_stale`. Off by default — stale bytes must never
+    /// surprise a caller.
+    pub fn set_allow_stale(&mut self, allow: bool) {
+        self.allow_stale = allow;
+    }
+
+    /// Whether this connection accepts stale reads as a last resort.
+    pub fn allow_stale(&self) -> bool {
+        self.allow_stale
     }
 
     /// End the session.
@@ -314,24 +342,52 @@ impl<'g> SrbConnection<'g> {
                 AccessSpec::Stored { .. } | AccessSpec::RegisteredFile { .. } => {}
             }
         }
-        // Byte replicas: policy order + failover.
-        let ordered = self.policy.order(replicas, &self.grid.load);
-        if ordered.is_empty() {
+        // Byte replicas: policy order + failover (+ stale degradation).
+        self.read_with_failover(replicas, receipt)
+            .map(ObjectContent::Bytes)
+    }
+
+    /// Walk the policy-ordered fresh replicas (open-breaker resources
+    /// demoted) with failover; if every fresh replica is unreachable and
+    /// the connection opted into degradation, fall back to stale copies,
+    /// flagging the receipt.
+    fn read_with_failover(&self, replicas: &[Replica], receipt: &mut Receipt) -> SrbResult<Bytes> {
+        let ordered =
+            self.policy
+                .order_with_health(replicas, &self.grid.load, Some(&self.grid.health));
+        if ordered.fresh.is_empty() && (!self.allow_stale || ordered.stale.is_empty()) {
             return Err(SrbError::NotFound("object has no readable replica".into()));
         }
         let mut last_err = SrbError::ResourceUnavailable("no replica reachable".into());
-        for replica in ordered {
+        for replica in ordered.fresh {
             receipt.replicas_tried += 1;
             match self.read_replica(replica, receipt) {
                 Ok(bytes) => {
                     receipt.served_by = Some(replica.id);
-                    return Ok(ObjectContent::Bytes(bytes));
+                    return Ok(bytes);
                 }
                 Err(e) if e.is_retryable() => {
                     last_err = e;
                     continue;
                 }
                 Err(e) => return Err(e),
+            }
+        }
+        if self.allow_stale {
+            for replica in ordered.stale {
+                receipt.replicas_tried += 1;
+                match self.read_replica(replica, receipt) {
+                    Ok(bytes) => {
+                        receipt.served_by = Some(replica.id);
+                        receipt.served_stale = true;
+                        return Ok(bytes);
+                    }
+                    Err(e) if e.is_retryable() => {
+                        last_err = e;
+                        continue;
+                    }
+                    Err(e) => return Err(e),
+                }
             }
         }
         Err(last_err)
@@ -358,13 +414,28 @@ impl<'g> SrbConnection<'g> {
                 )))
             }
         };
+        self.retry_storage(resource, receipt, |rec| {
+            self.read_replica_once(resource, phys_path, rec)
+        })
+    }
+
+    /// One storage attempt at a replica: fault injection, driver read,
+    /// cost charging. Breaker admission and outcome recording happen in
+    /// the wrapping [`retry_storage`](Self::retry_storage).
+    fn read_replica_once(
+        &self,
+        resource: srb_types::ResourceId,
+        phys_path: &str,
+        receipt: &mut Receipt,
+    ) -> SrbResult<Bytes> {
         let site = self.grid.site_of_resource(resource)?;
-        self.grid.faults.check(resource, site)?;
+        let injected_ns = self.grid.faults.inject(resource, site)?;
         let driver = self.grid.driver(resource)?;
         let _inflight = self.grid.load.begin(resource);
         let (data, storage_ns) = driver.driver().read(phys_path)?;
-        self.grid.load.charge(resource, storage_ns);
-        receipt.absorb(&Receipt::time(storage_ns));
+        let busy_ns = storage_ns + injected_ns;
+        self.grid.load.charge(resource, busy_ns);
+        receipt.absorb(&Receipt::time(busy_ns));
         let transfer = self.data_transfer(resource, data.len() as u64)?;
         receipt.absorb(&transfer);
         Ok(data)
@@ -378,7 +449,8 @@ impl<'g> SrbConnection<'g> {
         receipt: &mut Receipt,
     ) -> SrbResult<ObjectContent> {
         let site = self.grid.site_of_resource(resource)?;
-        self.grid.faults.check(resource, site)?;
+        let injected_ns = self.grid.faults.inject(resource, site)?;
+        receipt.absorb(&Receipt::time(injected_ns));
         let driver = self.grid.driver(resource)?;
         let db = driver
             .as_db()
@@ -444,23 +516,8 @@ impl<'g> SrbConnection<'g> {
     pub(crate) fn read_dataset_bytes(&self, id: DatasetId) -> SrbResult<(Bytes, Receipt)> {
         let ds = self.grid.mcat.datasets.resolve_links(id)?;
         let mut receipt = Receipt::free();
-        let ordered = self.policy.order(&ds.replicas, &self.grid.load);
-        let mut last_err = SrbError::NotFound(format!("dataset {id} has no byte replica"));
-        for replica in ordered {
-            receipt.replicas_tried += 1;
-            match self.read_replica(replica, &mut receipt) {
-                Ok(bytes) => {
-                    receipt.served_by = Some(replica.id);
-                    return Ok((bytes, receipt));
-                }
-                Err(e) if e.is_retryable() => {
-                    last_err = e;
-                    continue;
-                }
-                Err(e) => return Err(e),
-            }
-        }
-        Err(last_err)
+        let bytes = self.read_with_failover(&ds.replicas, &mut receipt)?;
+        Ok((bytes, receipt))
     }
 
     /// Read a file *inside* a registered directory (read-only access to the
@@ -490,10 +547,10 @@ impl<'g> SrbConnection<'g> {
         };
         let full = format!("{}/{}", dir_path.trim_end_matches('/'), rel_path);
         let site = self.grid.site_of_resource(*resource)?;
-        self.grid.faults.check(*resource, site)?;
+        let injected_ns = self.grid.faults.inject(*resource, site)?;
         let driver = self.grid.driver(*resource)?;
         let (data, ns) = driver.driver().read(&full)?;
-        receipt.absorb(&Receipt::time(ns));
+        receipt.absorb(&Receipt::time(ns + injected_ns));
         receipt.absorb(&self.data_transfer(*resource, data.len() as u64)?);
         self.audit(AuditAction::Read, &format!("{dir_object}:{rel_path}"), "ok");
         Ok((data, receipt))

@@ -42,6 +42,71 @@ pub enum FanoutMode {
 /// machines. Real execution may use fewer or more threads.
 pub const VIRTUAL_LANES: usize = 8;
 
+/// How hard a connection retries transient storage errors before giving
+/// up on a replica (and, on the write side, marking its leg `Stale`).
+///
+/// Backoff is exponential with deterministic jitter: attempt `n` waits
+/// `base_ns * multiplier^(n-1)` simulated nanoseconds, capped at
+/// `max_backoff_ns`, then jittered into `[½·b, b]` by a splitmix64 draw
+/// over `(jitter_seed, key, attempt)`. The wait is *charged to the leg's
+/// receipt*, never slept — same-machine runs replay identically.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryBudget {
+    /// Total attempts, including the first. `1` means no retries.
+    pub max_attempts: u32,
+    /// Backoff before the first retry, in simulated nanoseconds.
+    pub base_ns: u64,
+    /// Exponential growth factor between retries.
+    pub multiplier: u32,
+    /// Ceiling on a single backoff wait.
+    pub max_backoff_ns: u64,
+    /// Seed for the deterministic jitter stream.
+    pub jitter_seed: u64,
+}
+
+impl Default for RetryBudget {
+    fn default() -> Self {
+        RetryBudget {
+            max_attempts: 4,
+            base_ns: 1_000_000, // 1 simulated ms
+            multiplier: 2,
+            max_backoff_ns: 64_000_000,
+            jitter_seed: 0x5eed_beef,
+        }
+    }
+}
+
+impl RetryBudget {
+    /// No retries at all — the ablation arm (and the seed behaviour).
+    pub fn none() -> Self {
+        RetryBudget {
+            max_attempts: 1,
+            ..RetryBudget::default()
+        }
+    }
+
+    /// The simulated backoff before retry number `attempt` (1-based: the
+    /// wait after the first failed attempt has `attempt = 1`). `key`
+    /// decorrelates streams of different legs/replicas.
+    pub fn backoff_ns(&self, key: u64, attempt: u32) -> u64 {
+        let exp = (self.multiplier as u64)
+            .saturating_pow(attempt.saturating_sub(1))
+            .max(1);
+        let raw = self.base_ns.saturating_mul(exp).min(self.max_backoff_ns);
+        // Deterministic jitter into [raw/2, raw]: splitmix64 over the
+        // (seed, key, attempt) triple.
+        let mut z = self
+            .jitter_seed
+            .wrapping_add(key.wrapping_mul(0x9e3779b97f4a7c15))
+            .wrapping_add(attempt as u64);
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+        z ^= z >> 31;
+        let half = raw / 2;
+        half + if half == 0 { 0 } else { z % (raw - half + 1) }
+    }
+}
+
 /// Upper bound on real worker threads per fan-out call.
 const MAX_WORKERS: usize = 16;
 
@@ -164,15 +229,81 @@ impl FanoutOutcome {
 }
 
 impl SrbConnection<'_> {
+    /// Run one logical storage operation against `resource` under the
+    /// connection's [`RetryBudget`] and the resource's circuit breaker.
+    /// An open breaker fast-fails the whole operation up front (so
+    /// failover can move on without hammering a sick resource); transient
+    /// errors ([`SrbError::is_transient`]) are retried with exponential
+    /// backoff + deterministic jitter, the waits charged to `receipt`
+    /// (never slept). The breaker records one *post-retry* outcome: the
+    /// retry layer absorbs transient noise, so only failures the budget
+    /// could not fix count against the resource's error window.
+    pub(crate) fn retry_storage<T>(
+        &self,
+        resource: ResourceId,
+        receipt: &mut Receipt,
+        mut attempt_fn: impl FnMut(&mut Receipt) -> SrbResult<T>,
+    ) -> SrbResult<T> {
+        if self.grid.health.admit(resource) == srb_net::Admission::FastFail {
+            return Err(SrbError::ResourceUnavailable(format!(
+                "resource {resource} circuit breaker open"
+            )));
+        }
+        let budget = self.retry_budget();
+        let mut attempt: u32 = 1;
+        let outcome = loop {
+            match attempt_fn(receipt) {
+                Ok(v) => break Ok(v),
+                Err(e) if e.is_transient() && attempt < budget.max_attempts => {
+                    receipt.absorb(&Receipt::time(budget.backoff_ns(resource.raw(), attempt)));
+                    receipt.retries += 1;
+                    attempt += 1;
+                }
+                Err(e) => break Err(e),
+            }
+        };
+        // Only resource-indicting failures count against the breaker; a
+        // NotFound or permission error proves the resource answered.
+        self.grid.health.record(
+            resource,
+            match &outcome {
+                Ok(_) => true,
+                Err(e) => !e.is_retryable(),
+            },
+        );
+        outcome
+    }
+
+    /// [`store_bytes`](Self::store_bytes) under the retry budget and the
+    /// breaker — the resilient form every writer should use.
+    pub(crate) fn store_bytes_retry(
+        &self,
+        resource: ResourceId,
+        phys_path: &str,
+        data: &[u8],
+        overwrite: bool,
+    ) -> SrbResult<Receipt> {
+        let mut receipt = Receipt::free();
+        self.retry_storage(resource, &mut receipt, |rec| {
+            let r = self.store_bytes(resource, phys_path, data, overwrite)?;
+            rec.absorb(&r);
+            Ok(())
+        })?;
+        Ok(receipt)
+    }
+
     /// Execute storage legs under the connection's [`FanoutMode`]: every
     /// leg pushes the *same* shared buffer (zero payload clones), results
     /// come back in leg order, and the composed receipt reflects the
-    /// execution shape. No catalog state is touched.
+    /// execution shape. Each leg retries transient storage errors within
+    /// the connection's [`RetryBudget`]; only an exhausted leg reports an
+    /// error (which the committing caller records as `Stale`). No catalog
+    /// state is touched.
     pub(crate) fn store_fanout(&self, legs: &[StoreLeg], data: &Bytes) -> FanoutOutcome {
         let mode = self.fanout_mode();
         let results = run_legs(mode, legs.len(), |i| {
             let leg = &legs[i];
-            self.store_bytes(leg.resource, &leg.phys_path, data, leg.overwrite)
+            self.store_bytes_retry(leg.resource, &leg.phys_path, data, leg.overwrite)
         });
         let ok: Vec<Receipt> = results.iter().filter_map(|r| r.clone().ok()).collect();
         FanoutOutcome {

@@ -8,7 +8,10 @@
 use crate::auth::AuthService;
 use crate::proxy::ProxyRegistry;
 use srb_mcat::Mcat;
-use srb_net::{FaultPlan, LinkSpec, LoadTracker, Network, NetworkBuilder};
+use srb_net::{
+    BreakerConfig, FaultMode, FaultPlan, HealthRegistry, LinkSpec, LoadTracker, Network,
+    NetworkBuilder,
+};
 use srb_storage::{
     ArchiveDriver, CacheDriver, DbDriver, DriverKind, FsDriver, StorageDriver, UrlDriver,
 };
@@ -130,6 +133,7 @@ pub struct GridBuilder {
     mcat_server: usize,
     admin_password: String,
     auth_seed: u64,
+    breakers: BreakerConfig,
 }
 
 impl Default for GridBuilder {
@@ -150,7 +154,15 @@ impl GridBuilder {
             mcat_server: 0,
             admin_password: "srb-admin".to_string(),
             auth_seed: 0x5eed,
+            breakers: BreakerConfig::default(),
         }
+    }
+
+    /// Configure (or disable, via [`BreakerConfig::disabled`]) the
+    /// per-resource circuit breakers.
+    pub fn breaker_config(&mut self, config: BreakerConfig) -> &mut Self {
+        self.breakers = config;
+        self
     }
 
     /// Register a site.
@@ -249,9 +261,24 @@ impl GridBuilder {
         self
     }
 
-    /// Assemble the grid.
+    /// Assemble the grid, panicking on an invalid specification. Most
+    /// callers construct grids from literals where a specification error
+    /// is a programming bug; fallible assembly (config files, user input)
+    /// should use [`GridBuilder::try_build`].
     pub fn build(self) -> Grid {
-        assert!(!self.servers.is_empty(), "a grid needs at least one server");
+        match self.try_build() {
+            Ok(grid) => grid,
+            Err(e) => panic!("invalid grid specification: {e}"),
+        }
+    }
+
+    /// Assemble the grid, reporting specification errors instead of
+    /// panicking: duplicate resource names, resources on undeclared
+    /// servers, logical resources over undeclared members.
+    pub fn try_build(self) -> SrbResult<Grid> {
+        if self.servers.is_empty() {
+            return Err(SrbError::Invalid("a grid needs at least one server".into()));
+        }
         let clock = self.clock;
         let network = self.net.build();
         let mcat = Mcat::new(clock.clone(), &self.admin_password);
@@ -277,9 +304,11 @@ impl GridBuilder {
 
         let mut resource_home = HashMap::new();
         for (name, server_idx, spec) in self.resources {
-            let server = servers
-                .get(&ServerId(server_idx as u64))
-                .expect("resource references a declared server");
+            let server = servers.get(&ServerId(server_idx as u64)).ok_or_else(|| {
+                SrbError::Invalid(format!(
+                    "resource '{name}' references undeclared server #{server_idx}"
+                ))
+            })?;
             let (kind, driver) = match spec {
                 ResourceSpec::Fs => (
                     DriverKind::FileSystem,
@@ -304,8 +333,7 @@ impl GridBuilder {
             };
             let rid = mcat
                 .resources
-                .register(&mcat.ids, &name, kind, server.site)
-                .expect("resource names unique");
+                .register(&mcat.ids, &name, kind, server.site)?;
             server.resources.write().insert(rid, Arc::new(driver));
             resource_home.insert(rid, server.id);
         }
@@ -314,18 +342,18 @@ impl GridBuilder {
             let ids: Vec<ResourceId> = members
                 .iter()
                 .map(|m| {
-                    mcat.resources
-                        .find(m)
-                        .unwrap_or_else(|| panic!("logical resource member '{m}' not declared"))
-                        .id
+                    mcat.resources.find(m).map(|r| r.id).ok_or_else(|| {
+                        SrbError::Invalid(format!(
+                            "logical resource '{name}' member '{m}' not declared"
+                        ))
+                    })
                 })
-                .collect();
-            mcat.resources
-                .create_logical(&mcat.ids, &name, &ids)
-                .expect("logical resource names unique");
+                .collect::<SrbResult<_>>()?;
+            mcat.resources.create_logical(&mcat.ids, &name, &ids)?;
         }
 
-        Grid {
+        Ok(Grid {
+            health: HealthRegistry::new(clock.clone(), self.breakers),
             clock,
             network,
             faults: FaultPlan::new(),
@@ -336,7 +364,7 @@ impl GridBuilder {
             servers,
             resource_home: RwLock::new(LockRank::CoreState, "core.resource_home", resource_home),
             mcat_server: ServerId(self.mcat_server as u64),
-        }
+        })
     }
 }
 
@@ -348,6 +376,8 @@ pub struct Grid {
     pub network: Network,
     /// Failure-injection switchboard.
     pub faults: FaultPlan,
+    /// Per-resource circuit breakers (the health engine).
+    pub health: HealthRegistry,
     /// Per-resource load accounting.
     pub load: LoadTracker,
     /// The metadata catalog.
@@ -456,6 +486,18 @@ impl Grid {
         Ok(())
     }
 
+    /// Install an arbitrary fault mode on a resource by name.
+    pub fn set_fault_mode(&self, name: &str, mode: FaultMode) -> SrbResult<()> {
+        self.faults.set_mode(self.resource_id(name)?, mode);
+        Ok(())
+    }
+
+    /// Make a resource flaky: each access independently times out with
+    /// probability `p`, on a seeded (replayable) schedule.
+    pub fn flaky_resource(&self, name: &str, p: f64, seed: u64) -> SrbResult<()> {
+        self.set_fault_mode(name, FaultMode::FailWithProb(p, seed))
+    }
+
     /// Is the named resource currently reachable?
     pub fn resource_is_up(&self, r: ResourceId) -> bool {
         match self.site_of_resource(r) {
@@ -532,6 +574,41 @@ mod tests {
         g.restore_resource("unix-sdsc").unwrap();
         assert!(g.resource_is_up(unix));
         assert!(g.fail_resource("missing").is_err());
+    }
+
+    #[test]
+    fn try_build_reports_specification_errors() {
+        assert!(GridBuilder::new().try_build().is_err());
+
+        let mut gb = GridBuilder::new();
+        let s = gb.site("x");
+        let srv = gb.server("srb", s);
+        gb.fs_resource("r", srv).fs_resource("r", srv);
+        assert!(matches!(
+            gb.try_build(),
+            Err(SrbError::AlreadyExists(_) | SrbError::Invalid(_))
+        ));
+
+        let mut gb = GridBuilder::new();
+        let s = gb.site("x");
+        let srv = gb.server("srb", s);
+        gb.fs_resource("r", srv)
+            .logical_resource("lr", &["missing"]);
+        assert!(matches!(gb.try_build(), Err(SrbError::Invalid(_))));
+    }
+
+    #[test]
+    fn flaky_helper_installs_seeded_mode() {
+        let (g, ..) = demo_grid();
+        g.flaky_resource("unix-sdsc", 1.0, 7).unwrap();
+        let unix = g.resource_id("unix-sdsc").unwrap();
+        // p = 1.0: every access fails, but the resource still counts as up.
+        assert!(g.resource_is_up(unix));
+        let site = g.site_of_resource(unix).unwrap();
+        assert!(g.faults.check(unix, site).is_err());
+        assert!(g.flaky_resource("missing", 0.5, 1).is_err());
+        g.restore_resource("unix-sdsc").unwrap();
+        assert!(g.faults.check(unix, site).is_ok());
     }
 
     #[test]

@@ -49,12 +49,12 @@ pub mod xmlmeta;
 
 pub use auth::{AuthService, Session};
 pub use conn::{ObjectContent, SrbConnection};
-pub use fanout::FanoutMode;
+pub use fanout::{FanoutMode, RetryBudget};
 pub use grid::{Grid, GridBuilder, SrbServer};
-pub use ops_maintenance::ChecksumStatus;
+pub use ops_maintenance::{ChecksumStatus, RepairOutcome, RepairReport};
 pub use ops_write::{IngestOptions, RegisterSpec};
 pub use proxy::ProxyRegistry;
-pub use replication::ReplicaPolicy;
-pub use srb_net::Receipt;
+pub use replication::{OrderedReplicas, ReplicaPolicy};
+pub use srb_net::{Admission, BreakerConfig, BreakerState, FaultMode, HealthRegistry, Receipt};
 pub use template::render_template;
 pub use tlang::TScript;

@@ -111,9 +111,9 @@ impl SrbConnection<'_> {
         };
         let ct_path = Self::container_phys_path(&record);
         let site = self.grid.site_of_resource(cache_rid)?;
-        self.grid.faults.check(cache_rid, site)?;
+        let injected_ns = self.grid.faults.inject(cache_rid, site)?;
         let driver = self.grid.driver(cache_rid)?;
-        let storage_ns = driver.driver().append(&ct_path, data)?;
+        let storage_ns = injected_ns + driver.driver().append(&ct_path, data)?;
         self.grid.load.charge(cache_rid, storage_ns);
         let net_ns = self
             .grid
@@ -177,13 +177,13 @@ impl SrbConnection<'_> {
         let cache_site = self.grid.site_of_resource(cache_rid)?;
         for rid in archives {
             let site = self.grid.site_of_resource(rid)?;
-            self.grid.faults.check(rid, site)?;
+            let injected_ns = self.grid.faults.inject(rid, site)?;
             let driver = self.grid.driver(rid)?;
             let net_ns = self
                 .grid
                 .network
                 .charge_transfer(cache_site, site, data.len() as u64)?;
-            let write_ns = driver.driver().write(&ct_path, &data)?;
+            let write_ns = injected_ns + driver.driver().write(&ct_path, &data)?;
             self.grid.load.charge(rid, write_ns);
             receipt.absorb(&Receipt::time(net_ns + write_ns));
             receipt.bytes += data.len() as u64;
@@ -275,9 +275,9 @@ impl SrbConnection<'_> {
                 .append_member(old.container, ds, data.len() as u64)?;
         let ct_path = Self::container_phys_path(&record);
         let site = self.grid.site_of_resource(cache_rid)?;
-        self.grid.faults.check(cache_rid, site)?;
+        let injected_ns = self.grid.faults.inject(cache_rid, site)?;
         let driver = self.grid.driver(cache_rid)?;
-        let storage_ns = driver.driver().append(&ct_path, data)?;
+        let storage_ns = injected_ns + driver.driver().append(&ct_path, data)?;
         let net_ns = self
             .grid
             .network

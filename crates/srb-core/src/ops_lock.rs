@@ -223,7 +223,7 @@ impl SrbConnection<'_> {
         receipt.absorb(&tmp);
         let version = ds.current_version;
         let version_path = format!("{phys_path}.v{version}");
-        let r = self.store_bytes(*resource, &version_path, &old_data, false)?;
+        let r = self.store_bytes_retry(*resource, &version_path, &old_data, false)?;
         receipt.absorb(&r);
         let now = self.now();
         let record = VersionRecord {

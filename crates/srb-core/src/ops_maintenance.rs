@@ -15,7 +15,7 @@ use crate::fanout::StoreLeg;
 use srb_mcat::dataset::ContainerSlice;
 use srb_mcat::{AccessSpec, AuditAction, ReplicaStatus};
 use srb_net::Receipt;
-use srb_types::{sha256_hex, Permission, SrbError, SrbResult};
+use srb_types::{sha256_hex, DatasetId, Permission, SrbError, SrbResult, UserId};
 
 /// Outcome of verifying one replica's checksum.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -36,6 +36,30 @@ pub enum ChecksumStatus {
     Unreachable,
 }
 
+/// What happened to one dataset during a [`SrbConnection::repair_stale`]
+/// sweep.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RepairOutcome {
+    /// This many stale replicas were brought back up to date.
+    Repaired(usize),
+    /// Every stale replica sits on a resource whose circuit breaker is
+    /// still `Open` — re-syncing now would hammer a known-bad resource,
+    /// so the sweep left it for a later pass.
+    SkippedBreakerOpen,
+    /// The repair attempt itself failed (recorded, not propagated, so one
+    /// bad dataset does not abort the sweep).
+    Failed(String),
+}
+
+/// Audit line of one dataset's visit in a repair sweep.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RepairReport {
+    /// The dataset visited.
+    pub dataset: DatasetId,
+    /// What the sweep did with it.
+    pub outcome: RepairOutcome,
+}
+
 impl SrbConnection<'_> {
     /// Repair every stale replica of an object from an up-to-date one.
     /// Returns the number of replicas repaired.
@@ -44,6 +68,21 @@ impl SrbConnection<'_> {
         let lp = self.parse(path)?;
         let mut receipt = self.mcat_rpc()?;
         let ds_id = self.grid.mcat.resolve_dataset(&lp)?;
+        let repaired = self.resync_dataset(ds_id, user, &mut receipt)?;
+        if repaired > 0 {
+            self.audit(AuditAction::Replicate, path, "resync");
+        }
+        Ok((repaired, receipt))
+    }
+
+    /// Repair one dataset's stale replicas from a fresh copy (the core of
+    /// both [`SrbConnection::sync_replicas`] and the sweep).
+    fn resync_dataset(
+        &self,
+        ds_id: DatasetId,
+        user: UserId,
+        receipt: &mut Receipt,
+    ) -> SrbResult<usize> {
         let ds = self.grid.mcat.datasets.resolve_links(ds_id)?;
         self.grid
             .mcat
@@ -55,7 +94,7 @@ impl SrbConnection<'_> {
             .cloned()
             .collect();
         if stale.is_empty() {
-            return Ok((0, receipt));
+            return Ok(0);
         }
         let (fresh, read_receipt) = self.read_dataset_bytes(ds.id)?;
         receipt.absorb(&read_receipt);
@@ -108,8 +147,49 @@ impl SrbConnection<'_> {
         if let Some(e) = fan.first_fatal() {
             return Err(e);
         }
-        self.audit(AuditAction::Replicate, path, "resync");
-        Ok((repaired, receipt))
+        Ok(repaired)
+    }
+
+    /// Sweep the whole catalog for stale replicas and re-sync each dataset
+    /// whose target resources have recovered. A dataset whose stale
+    /// replicas all sit behind a still-`Open` circuit breaker is skipped —
+    /// the sweep runs again once the breaker's cool-down lets a probe
+    /// through (half-open). Each visit leaves an audit record; per-dataset
+    /// failures are reported, not propagated, so one bad dataset cannot
+    /// abort the sweep.
+    pub fn repair_stale(&self) -> SrbResult<(Vec<RepairReport>, Receipt)> {
+        let user = self.check_session()?;
+        let mut receipt = self.mcat_rpc()?;
+        let mut reports = Vec::new();
+        for (ds_id, resources) in self.grid.mcat.datasets.with_stale_replicas() {
+            let subject = format!("dataset {ds_id}");
+            let all_open = resources.iter().all(|r| self.grid.health.is_open(*r));
+            if all_open {
+                self.audit(AuditAction::Replicate, &subject, "repair-skip-breaker");
+                reports.push(RepairReport {
+                    dataset: ds_id,
+                    outcome: RepairOutcome::SkippedBreakerOpen,
+                });
+                continue;
+            }
+            match self.resync_dataset(ds_id, user, &mut receipt) {
+                Ok(n) => {
+                    self.audit(AuditAction::Replicate, &subject, "repair");
+                    reports.push(RepairReport {
+                        dataset: ds_id,
+                        outcome: RepairOutcome::Repaired(n),
+                    });
+                }
+                Err(e) => {
+                    self.audit(AuditAction::Replicate, &subject, e.code());
+                    reports.push(RepairReport {
+                        dataset: ds_id,
+                        outcome: RepairOutcome::Failed(e.code().to_string()),
+                    });
+                }
+            }
+        }
+        Ok((reports, receipt))
     }
 
     /// Verify every replica's stored checksum against its current bytes.
@@ -278,6 +358,43 @@ mod tests {
         // fs2 still down: repair finds nothing repairable but succeeds.
         let (repaired, _) = conn.sync_replicas("/home/u/f").unwrap();
         assert_eq!(repaired, 0);
+    }
+
+    #[test]
+    fn repair_stale_sweep_respects_breaker_then_repairs() {
+        let (grid, srv) = fixture();
+        let conn = SrbConnection::connect(&grid, srv, "u", "d", "pw").unwrap();
+        conn.ingest("/home/u/f", b"v1", IngestOptions::to_resource("lr"))
+            .unwrap();
+        grid.fail_resource("fs2").unwrap();
+        conn.write("/home/u/f", b"v2").unwrap(); // fs2 replica goes stale
+        let fs2 = grid.resource_id("fs2").unwrap();
+        // Accumulate enough failures to trip fs2's breaker, then bring
+        // the resource back: the breaker's memory outlives the outage.
+        for _ in 0..8 {
+            grid.health.record(fs2, false);
+        }
+        assert!(grid.health.is_open(fs2));
+        grid.restore_resource("fs2").unwrap();
+        // Breaker still open (cool-down not elapsed): the sweep skips.
+        let (reports, _) = conn.repair_stale().unwrap();
+        assert_eq!(reports.len(), 1);
+        assert_eq!(reports[0].outcome, RepairOutcome::SkippedBreakerOpen);
+        // Simulated cool-down elapses; the sweep's write is the half-open
+        // probe and the repair goes through.
+        grid.clock.advance(grid.health.config().cooldown_ns);
+        let (reports, _) = conn.repair_stale().unwrap();
+        assert_eq!(reports.len(), 1);
+        assert_eq!(reports[0].outcome, RepairOutcome::Repaired(1));
+        // Nothing stale left: the next sweep is empty.
+        assert!(conn.repair_stale().unwrap().0.is_empty());
+        // The repaired copy really serves the new content.
+        grid.fail_resource("fs1").unwrap();
+        assert_eq!(&conn.read("/home/u/f").unwrap().0[..], b"v2");
+        // The sweep left audit records.
+        let audit = grid.mcat.audit.dump();
+        assert!(audit.iter().any(|a| a.outcome == "repair-skip-breaker"));
+        assert!(audit.iter().any(|a| a.outcome == "repair"));
     }
 
     #[test]

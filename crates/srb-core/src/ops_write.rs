@@ -507,7 +507,7 @@ impl SrbConnection<'_> {
             let stores: Vec<SrbResult<Receipt>> = targets
                 .iter()
                 .map(|rid| {
-                    let r = self.store_bytes(*rid, &phys, data, false);
+                    let r = self.store_bytes_retry(*rid, &phys, data, false);
                     if let Ok(rr) = &r {
                         cost.absorb(rr);
                     }
@@ -1039,7 +1039,7 @@ impl SrbConnection<'_> {
         let data = self.read_replica_bytes(replica, &mut tmp)?;
         receipt.absorb(&tmp);
         let new_path = format!("{}.mv{}", Self::phys_path(ds.coll, &ds.name), repl_num);
-        let r = self.store_bytes(new_rid, &new_path, &data, false)?;
+        let r = self.store_bytes_retry(new_rid, &new_path, &data, false)?;
         receipt.absorb(&r);
         // Best effort: remove the old copy (the old resource may be down).
         if let Ok(driver) = self.grid.driver(old_rid) {
@@ -1232,7 +1232,9 @@ impl SrbConnection<'_> {
     }
 
     /// Push bytes to a resource (create or overwrite), charging transfer +
-    /// storage costs and load.
+    /// storage costs and load. One raw attempt — breaker admission,
+    /// retry, and outcome recording live in
+    /// [`store_bytes_retry`](Self::store_bytes_retry).
     pub(crate) fn store_bytes(
         &self,
         resource: ResourceId,
@@ -1241,14 +1243,15 @@ impl SrbConnection<'_> {
         overwrite: bool,
     ) -> SrbResult<Receipt> {
         let site = self.grid.site_of_resource(resource)?;
-        self.grid.faults.check(resource, site)?;
+        let injected_ns = self.grid.faults.inject(resource, site)?;
         let driver = self.grid.driver(resource)?;
         let _inflight = self.grid.load.begin(resource);
-        let storage_ns = if overwrite {
-            driver.driver().write(phys_path, data)?
-        } else {
-            driver.driver().create(phys_path, data)?
-        };
+        let storage_ns = injected_ns
+            + if overwrite {
+                driver.driver().write(phys_path, data)?
+            } else {
+                driver.driver().create(phys_path, data)?
+            };
         self.grid.load.charge(resource, storage_ns);
         let net_ns = self
             .grid
@@ -1282,10 +1285,10 @@ impl SrbConnection<'_> {
                 phys_path,
             } => {
                 let site = self.grid.site_of_resource(*resource)?;
-                self.grid.faults.check(*resource, site)?;
+                let injected_ns = self.grid.faults.inject(*resource, site)?;
                 let driver = self.grid.driver(*resource)?;
                 let (data, ns) = driver.driver().read(phys_path)?;
-                receipt.absorb(&Receipt::time(ns));
+                receipt.absorb(&Receipt::time(ns + injected_ns));
                 receipt.absorb(&self.data_transfer(*resource, data.len() as u64)?);
                 Ok(data)
             }

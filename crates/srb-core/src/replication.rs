@@ -8,8 +8,21 @@
 //! default; `Random` and `FirstAlive` are the ablation baselines (A3).
 
 use srb_mcat::{Replica, ReplicaStatus};
-use srb_net::LoadTracker;
+use srb_net::{HealthRegistry, LoadTracker};
 use srb_types::ResourceId;
+
+/// The candidates a read walks, grouped by how desperate the caller is.
+#[derive(Debug)]
+pub struct OrderedReplicas<'a> {
+    /// Fresh (up-to-date) replicas in try order. Replicas on open-breaker
+    /// resources are demoted behind every healthy one — the breaker's job
+    /// is exactly to keep known-bad resources from being tried first —
+    /// but kept as a last resort when nothing healthier exists.
+    pub fresh: Vec<&'a Replica>,
+    /// Stale byte replicas, policy-ordered. Only served under the
+    /// connection's explicit stale opt-in, and flagged in the receipt.
+    pub stale: Vec<&'a Replica>,
+}
 
 /// How to order candidate replicas for a read.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -26,14 +39,53 @@ pub enum ReplicaPolicy {
 
 impl ReplicaPolicy {
     /// Order the byte-addressable, up-to-date replicas for a read attempt.
-    /// Stale replicas are appended last — better a stale copy than no copy
-    /// only when every fresh replica is unreachable (the caller decides
-    /// whether to accept them; we keep them out entirely).
+    /// Convenience wrapper over [`ReplicaPolicy::order_with_health`] with
+    /// no breaker consultation; stale replicas are excluded entirely.
     pub fn order<'a>(&self, replicas: &'a [Replica], load: &LoadTracker) -> Vec<&'a Replica> {
-        let mut fresh: Vec<&Replica> = replicas
-            .iter()
-            .filter(|r| r.spec.is_byte_addressable() && r.status == ReplicaStatus::UpToDate)
-            .collect();
+        self.order_with_health(replicas, load, None).fresh
+    }
+
+    /// Order candidate replicas for a read attempt, consulting the health
+    /// registry when given: fresh replicas whose resource's breaker is
+    /// `Open` are demoted behind every non-open one (stable within each
+    /// group, so the policy order is preserved). Stale byte replicas come
+    /// back separately for graceful degradation.
+    pub fn order_with_health<'a>(
+        &self,
+        replicas: &'a [Replica],
+        load: &LoadTracker,
+        health: Option<&HealthRegistry>,
+    ) -> OrderedReplicas<'a> {
+        let fresh = self.sort(
+            replicas
+                .iter()
+                .filter(|r| r.spec.is_byte_addressable() && r.status == ReplicaStatus::UpToDate)
+                .collect(),
+            load,
+        );
+        let stale = self.sort(
+            replicas
+                .iter()
+                .filter(|r| r.spec.is_byte_addressable() && r.status == ReplicaStatus::Stale)
+                .collect(),
+            load,
+        );
+        let fresh = match health {
+            Some(h) => {
+                let (closed, open): (Vec<&Replica>, Vec<&Replica>) = fresh
+                    .into_iter()
+                    .partition(|r| !r.spec.resource().is_some_and(|res| h.is_open(res)));
+                let mut v = closed;
+                v.extend(open);
+                v
+            }
+            None => fresh,
+        };
+        OrderedReplicas { fresh, stale }
+    }
+
+    /// Apply the policy's ordering to an already-filtered candidate list.
+    fn sort<'a>(&self, mut fresh: Vec<&'a Replica>, load: &LoadTracker) -> Vec<&'a Replica> {
         match self {
             ReplicaPolicy::FirstAlive => {
                 fresh.sort_by_key(|r| r.repl_num);
@@ -145,6 +197,45 @@ mod tests {
             assert_eq!(order.len(), 1);
             assert_eq!(order[0].repl_num, 2);
         }
+    }
+
+    #[test]
+    fn open_breaker_resources_demoted_but_not_dropped() {
+        use srb_net::{BreakerConfig, HealthRegistry};
+        use srb_types::SimClock;
+        let reps = vec![
+            replica(1, 10, ReplicaStatus::UpToDate),
+            replica(2, 20, ReplicaStatus::UpToDate),
+        ];
+        let load = LoadTracker::new();
+        let health = HealthRegistry::new(SimClock::new(), BreakerConfig::default());
+        // Trip resource 10's breaker; catalog-order policy would try it
+        // first, but health-aware ordering demotes it behind resource 20.
+        for _ in 0..8 {
+            health.record(ResourceId(10), false);
+        }
+        let ordered = ReplicaPolicy::FirstAlive.order_with_health(&reps, &load, Some(&health));
+        assert_eq!(ordered.fresh.len(), 2);
+        assert_eq!(ordered.fresh[0].spec.resource(), Some(ResourceId(20)));
+        assert_eq!(ordered.fresh[1].spec.resource(), Some(ResourceId(10)));
+        // Without the registry the catalog order stands.
+        let plain = ReplicaPolicy::FirstAlive.order_with_health(&reps, &load, None);
+        assert_eq!(plain.fresh[0].spec.resource(), Some(ResourceId(10)));
+    }
+
+    #[test]
+    fn stale_replicas_surface_in_their_own_group() {
+        let reps = vec![
+            replica(1, 10, ReplicaStatus::Stale),
+            replica(2, 20, ReplicaStatus::UpToDate),
+            replica(3, 30, ReplicaStatus::Stale),
+        ];
+        let load = LoadTracker::new();
+        let ordered = ReplicaPolicy::FirstAlive.order_with_health(&reps, &load, None);
+        assert_eq!(ordered.fresh.len(), 1);
+        assert_eq!(ordered.fresh[0].repl_num, 2);
+        let stale_nums: Vec<u32> = ordered.stale.iter().map(|r| r.repl_num).collect();
+        assert_eq!(stale_nums, vec![1, 3]);
     }
 
     #[test]

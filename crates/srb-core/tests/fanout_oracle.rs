@@ -103,6 +103,89 @@ fn parallel_and_sequential_fanout_commit_identical_catalog_state() {
     assert_eq!(r_par.bytes, r_seq.bytes);
 }
 
+/// Chaos oracle: under a *seeded* flaky-fault schedule (p = 0.3 transient
+/// timeouts on two of the three logical-resource members), every
+/// acknowledged write survives, and Parallel ≡ Sequential catalog state
+/// still holds.
+///
+/// Determinism argument: fault draws are per-resource counters over a
+/// seeded stream, each fan-out leg targets a distinct resource, and
+/// operations are serialized on one connection — so each resource sees the
+/// identical access sequence in both modes. The clock is advanced by a
+/// fixed amount per operation (not by the mode-dependent receipt), keeping
+/// circuit-breaker cool-down decisions identical too.
+#[test]
+fn chaos_flaky_faults_lose_no_acknowledged_write_and_modes_agree() {
+    fn run(mode: FanoutMode) -> (Fixture, Vec<(String, Vec<u8>)>) {
+        let f = grid3();
+        let mut conn = SrbConnection::connect(&f.grid, f.srv, "u", "lab", "pw").unwrap();
+        conn.set_fanout_mode(mode);
+        f.grid.flaky_resource("fs2", 0.3, 42).unwrap();
+        f.grid.flaky_resource("fs3", 0.3, 43).unwrap();
+        let mut acked: Vec<(String, Vec<u8>)> = Vec::new();
+        for i in 0..24usize {
+            let path = format!("/home/u/chaos{i:02}");
+            let body = vec![i as u8; 512 + i];
+            if conn
+                .ingest(&path, body.clone(), IngestOptions::to_resource("log3"))
+                .is_ok()
+            {
+                acked.push((path.clone(), body));
+            }
+            // Overwrite a third of them to exercise write-path staleness.
+            if i % 3 == 0 && conn.write(&path, vec![0xEE; 64 + i]).is_ok() {
+                if let Some(e) = acked.iter_mut().find(|(p, _)| *p == path) {
+                    e.1 = vec![0xEE; 64 + i];
+                }
+            }
+            // Fixed, mode-independent advance: breaker timing replays.
+            f.grid.clock.advance(10_000_000);
+        }
+        f.grid.faults.heal_all();
+        // Past any breaker cool-down, then sweep the stragglers back.
+        f.grid.clock.advance(2_000_000_000);
+        conn.repair_stale().unwrap();
+        (f, acked)
+    }
+
+    let (fa, acked_par) = run(FanoutMode::Parallel);
+    let (fb, acked_seq) = run(FanoutMode::Sequential);
+
+    // The same seeded schedule acknowledges the same writes.
+    let names: Vec<&String> = acked_par.iter().map(|(p, _)| p).collect();
+    assert_eq!(
+        names,
+        acked_seq.iter().map(|(p, _)| p).collect::<Vec<_>>(),
+        "seeded chaos must acknowledge the same writes in both modes"
+    );
+    assert!(!acked_par.is_empty());
+
+    // No acknowledged write is ever lost.
+    let ca = SrbConnection::connect(&fa.grid, fa.srv, "u", "lab", "pw").unwrap();
+    let cb = SrbConnection::connect(&fb.grid, fb.srv, "u", "lab", "pw").unwrap();
+    for (path, expected) in &acked_par {
+        assert_eq!(
+            &ca.read(path).unwrap().0[..],
+            &expected[..],
+            "parallel mode lost acknowledged write {path}"
+        );
+    }
+    for (path, expected) in &acked_seq {
+        assert_eq!(
+            &cb.read(path).unwrap().0[..],
+            &expected[..],
+            "sequential mode lost acknowledged write {path}"
+        );
+    }
+
+    // And the catalogs agree byte-for-byte.
+    assert_eq!(
+        serde_json::to_value(&fa.grid.mcat.datasets.dump()),
+        serde_json::to_value(&fb.grid.mcat.datasets.dump()),
+        "parallel and sequential catalogs must match under chaos"
+    );
+}
+
 /// The bytes on disk agree too: every replica of every dataset reads back
 /// the same content in both modes.
 #[test]

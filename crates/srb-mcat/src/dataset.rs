@@ -749,6 +749,29 @@ impl DatasetTable {
         }
     }
 
+    /// Datasets holding at least one `Stale` replica, paired with the
+    /// resources those stale replicas live on — the work list of the
+    /// maintenance repair sweep. Sorted by dataset id so sweeps are
+    /// deterministic.
+    pub fn with_stale_replicas(&self) -> Vec<(DatasetId, Vec<ResourceId>)> {
+        let g = self.inner.read();
+        let mut out: Vec<(DatasetId, Vec<ResourceId>)> = g
+            .rows
+            .values()
+            .filter_map(|d| {
+                let resources: Vec<ResourceId> = d
+                    .replicas
+                    .iter()
+                    .filter(|r| r.status == ReplicaStatus::Stale)
+                    .filter_map(|r| r.spec.resource())
+                    .collect();
+                (!resources.is_empty()).then_some((d.id, resources))
+            })
+            .collect();
+        out.sort_by_key(|(id, _)| *id);
+        out
+    }
+
     /// Ids of every dataset whose collection is in `colls`, under one read
     /// guard and without cloning any row — the scope-expansion primitive
     /// of the query engine. Order follows each collection's insertion

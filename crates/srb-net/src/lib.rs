@@ -13,11 +13,13 @@
 //! in [`Receipt`]s that concurrent workloads combine.
 
 pub mod fault;
+pub mod health;
 pub mod load;
 pub mod receipt;
 pub mod topology;
 
-pub use fault::FaultPlan;
+pub use fault::{FaultMode, FaultPlan};
+pub use health::{Admission, BreakerConfig, BreakerState, HealthRegistry};
 pub use load::LoadTracker;
 pub use receipt::Receipt;
 pub use topology::{LinkSpec, Network, NetworkBuilder, Route};

@@ -21,6 +21,12 @@ pub struct Receipt {
     pub hops: u32,
     /// Number of replicas tried before one answered.
     pub replicas_tried: u32,
+    /// Same-replica retry attempts made (beyond the first attempt),
+    /// including the simulated backoff they charged to `sim_ns`.
+    pub retries: u32,
+    /// True when the request was served from a replica known to be stale
+    /// (graceful degradation under explicit opt-in).
+    pub served_stale: bool,
     /// The replica that served the request, when applicable.
     pub served_by: Option<ReplicaId>,
 }
@@ -46,6 +52,8 @@ impl Receipt {
         self.messages += other.messages;
         self.hops += other.hops;
         self.replicas_tried += other.replicas_tried;
+        self.retries += other.retries;
+        self.served_stale |= other.served_stale;
         if other.served_by.is_some() {
             self.served_by = other.served_by;
         }
@@ -65,6 +73,8 @@ impl Receipt {
         self.messages += other.messages;
         self.hops = self.hops.max(other.hops);
         self.replicas_tried += other.replicas_tried;
+        self.retries += other.retries;
+        self.served_stale |= other.served_stale;
         if other.served_by.is_some() {
             self.served_by = other.served_by;
         }
@@ -132,5 +142,22 @@ mod tests {
     #[test]
     fn sim_ms_converts() {
         assert_eq!(Receipt::time(2_500_000).sim_ms(), 2.5);
+    }
+
+    #[test]
+    fn retries_add_and_stale_is_sticky() {
+        let mut a = Receipt::time(10);
+        a.retries = 2;
+        let mut b = Receipt::time(20);
+        b.retries = 1;
+        b.served_stale = true;
+        a.absorb(&b);
+        assert_eq!(a.retries, 3);
+        assert!(a.served_stale);
+        // Stale-ness survives parallel joins with fresh legs too.
+        let fresh = Receipt::time(5);
+        a.join_parallel(&fresh);
+        assert!(a.served_stale);
+        assert_eq!(a.retries, 3);
     }
 }

@@ -14,14 +14,21 @@ fn receipt_strategy() -> impl Strategy<Value = Receipt> {
     (
         (0u64..1_000_000_000_000, 0u64..1_000_000_000, 0u64..10_000),
         (0u32..16, 0u32..64, any::<bool>(), 0u64..1_000),
+        (0u32..8, any::<bool>()),
     )
         .prop_map(
-            |((sim_ns, bytes, messages), (hops, replicas_tried, has_server, served))| Receipt {
+            |(
+                (sim_ns, bytes, messages),
+                (hops, replicas_tried, has_server, served),
+                (retries, served_stale),
+            )| Receipt {
                 sim_ns,
                 bytes,
                 messages,
                 hops,
                 replicas_tried,
+                retries,
+                served_stale,
                 served_by: has_server.then_some(ReplicaId(served)),
             },
         )
@@ -49,6 +56,8 @@ proptest! {
             folded.replicas_tried,
             legs.iter().map(|l| l.replicas_tried).sum::<u32>()
         );
+        prop_assert_eq!(folded.retries, legs.iter().map(|l| l.retries).sum::<u32>());
+        prop_assert_eq!(folded.served_stale, legs.iter().any(|l| l.served_stale));
         // The latest leg with a server wins provenance.
         prop_assert_eq!(
             folded.served_by,
@@ -70,6 +79,8 @@ proptest! {
         prop_assert_eq!(folded.bytes, legs.iter().map(|l| l.bytes).sum::<u64>());
         prop_assert_eq!(folded.messages, legs.iter().map(|l| l.messages).sum::<u64>());
         prop_assert_eq!(folded.hops, legs.iter().map(|l| l.hops).sum::<u32>());
+        prop_assert_eq!(folded.retries, legs.iter().map(|l| l.retries).sum::<u32>());
+        prop_assert_eq!(folded.served_stale, legs.iter().any(|l| l.served_stale));
     }
 
     /// Parallel composition never takes longer than sequential and never
@@ -111,5 +122,7 @@ proptest! {
         prop_assert_eq!(ab_c.messages, a_bc.messages);
         prop_assert_eq!(ab_c.hops, a_bc.hops);
         prop_assert_eq!(ab_c.replicas_tried, a_bc.replicas_tried);
+        prop_assert_eq!(ab_c.retries, a_bc.retries);
+        prop_assert_eq!(ab_c.served_stale, a_bc.served_stale);
     }
 }

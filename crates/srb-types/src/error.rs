@@ -22,8 +22,19 @@ pub enum SrbError {
     PermissionDenied(String),
     /// Authentication failed (bad credentials, expired session, bad ticket).
     AuthFailed(String),
-    /// A storage resource is unavailable (down, unreachable, out of space).
+    /// A storage resource is unavailable (down, circuit-broken, out of
+    /// space). The rest of its site may still be reachable.
     ResourceUnavailable(String),
+    /// An entire site is unreachable (network partition, site outage).
+    /// Distinct from [`SrbError::ResourceUnavailable`] so failover can
+    /// tell "this disk is down" from "everything over there is down".
+    SiteUnavailable(String),
+    /// An operation timed out transiently (flaky storage, lost message).
+    /// Retrying the *same* replica may succeed.
+    Timeout(String),
+    /// Stored bytes do not match their recorded integrity metadata.
+    /// Never retryable: re-reading corrupt data yields corrupt data.
+    Corrupt(String),
     /// The object is locked, pinned or checked out in a conflicting way.
     Locked(String),
     /// Input was syntactically or semantically invalid.
@@ -50,6 +61,9 @@ impl SrbError {
             SrbError::PermissionDenied(_) => "PERMISSION_DENIED",
             SrbError::AuthFailed(_) => "AUTH_FAILED",
             SrbError::ResourceUnavailable(_) => "RESOURCE_UNAVAILABLE",
+            SrbError::SiteUnavailable(_) => "SITE_UNAVAILABLE",
+            SrbError::Timeout(_) => "TIMEOUT",
+            SrbError::Corrupt(_) => "CORRUPT",
             SrbError::Locked(_) => "LOCKED",
             SrbError::Invalid(_) => "INVALID",
             SrbError::MissingMetadata(_) => "MISSING_METADATA",
@@ -63,9 +77,30 @@ impl SrbError {
     /// True when retrying against a different replica could succeed.
     ///
     /// The federation's failover logic uses this to decide whether to try
-    /// the next replica rather than give up.
+    /// the next replica rather than give up. Note the classification:
+    /// `Corrupt` is *not* retryable — corruption-shaped failures must
+    /// surface, not be papered over by a luckier replica — while the
+    /// unavailability family and transient I/O failures are.
     pub fn is_retryable(&self) -> bool {
-        matches!(self, SrbError::ResourceUnavailable(_) | SrbError::Io(_))
+        matches!(
+            self,
+            SrbError::ResourceUnavailable(_)
+                | SrbError::SiteUnavailable(_)
+                | SrbError::Timeout(_)
+                | SrbError::Io(_)
+        )
+    }
+
+    /// True when retrying the *same* replica after a backoff could
+    /// succeed — the error is transient rather than a statement that the
+    /// resource is down.
+    ///
+    /// The retry engine uses this: `Timeout`/`Io` legs are worth a
+    /// backoff-and-retry; `ResourceUnavailable`/`SiteUnavailable` mean the
+    /// switchboard (or a circuit breaker) has declared the target dead for
+    /// now, so the right move is failing over, not hammering it.
+    pub fn is_transient(&self) -> bool {
+        matches!(self, SrbError::Timeout(_) | SrbError::Io(_))
     }
 
     /// The human-readable detail attached at construction.
@@ -76,6 +111,9 @@ impl SrbError {
             | SrbError::PermissionDenied(s)
             | SrbError::AuthFailed(s)
             | SrbError::ResourceUnavailable(s)
+            | SrbError::SiteUnavailable(s)
+            | SrbError::Timeout(s)
+            | SrbError::Corrupt(s)
             | SrbError::Locked(s)
             | SrbError::Invalid(s)
             | SrbError::MissingMetadata(s)
@@ -106,12 +144,85 @@ mod tests {
         assert_eq!(SrbError::Parse("x".into()).code(), "PARSE");
     }
 
+    /// The full classification table: (error, code, retryable across
+    /// replicas, transient on the same replica).
     #[test]
-    fn retryable_only_for_transient_failures() {
-        assert!(SrbError::ResourceUnavailable("down".into()).is_retryable());
-        assert!(SrbError::Io("disk".into()).is_retryable());
-        assert!(!SrbError::PermissionDenied("no".into()).is_retryable());
-        assert!(!SrbError::NotFound("no".into()).is_retryable());
+    fn classification_table() {
+        let table: Vec<(SrbError, &str, bool, bool)> = vec![
+            (SrbError::NotFound("x".into()), "NOT_FOUND", false, false),
+            (
+                SrbError::AlreadyExists("x".into()),
+                "ALREADY_EXISTS",
+                false,
+                false,
+            ),
+            (
+                SrbError::PermissionDenied("x".into()),
+                "PERMISSION_DENIED",
+                false,
+                false,
+            ),
+            (
+                SrbError::AuthFailed("x".into()),
+                "AUTH_FAILED",
+                false,
+                false,
+            ),
+            (
+                SrbError::ResourceUnavailable("x".into()),
+                "RESOURCE_UNAVAILABLE",
+                true,
+                false,
+            ),
+            (
+                SrbError::SiteUnavailable("x".into()),
+                "SITE_UNAVAILABLE",
+                true,
+                false,
+            ),
+            (SrbError::Timeout("x".into()), "TIMEOUT", true, true),
+            (SrbError::Corrupt("x".into()), "CORRUPT", false, false),
+            (SrbError::Locked("x".into()), "LOCKED", false, false),
+            (SrbError::Invalid("x".into()), "INVALID", false, false),
+            (
+                SrbError::MissingMetadata("x".into()),
+                "MISSING_METADATA",
+                false,
+                false,
+            ),
+            (
+                SrbError::Unsupported("x".into()),
+                "UNSUPPORTED",
+                false,
+                false,
+            ),
+            (SrbError::Io("x".into()), "IO", true, true),
+            (SrbError::Parse("x".into()), "PARSE", false, false),
+            (SrbError::Internal("x".into()), "INTERNAL", false, false),
+        ];
+        for (err, code, retryable, transient) in table {
+            assert_eq!(err.code(), code);
+            assert_eq!(err.is_retryable(), retryable, "is_retryable for {code}");
+            assert_eq!(err.is_transient(), transient, "is_transient for {code}");
+        }
+    }
+
+    #[test]
+    fn transient_implies_retryable() {
+        for e in [
+            SrbError::Timeout("t".into()),
+            SrbError::Io("io".into()),
+            SrbError::ResourceUnavailable("r".into()),
+            SrbError::SiteUnavailable("s".into()),
+        ] {
+            if e.is_transient() {
+                assert!(e.is_retryable(), "{} transient but not retryable", e.code());
+            }
+        }
+        // Corruption is neither: a different replica may help a *read*
+        // semantically, but blindly retrying hides integrity failures.
+        assert!(!SrbError::Corrupt("bad".into()).is_retryable());
+        assert!(!SrbError::Corrupt("bad".into()).is_transient());
     }
 
     #[test]

@@ -68,6 +68,64 @@ fn rows_of(root: &Path, file: &str) -> Result<Vec<Value>, String> {
     Ok(rows.clone())
 }
 
+/// E3: read success under seeded flaky faults (p = 0.3 transient
+/// timeouts on every replica). The resilient arm (circuit breakers +
+/// retry with backoff) must keep success >= 99% wherever k >= 2, must
+/// never do worse than the ablation, and must not cost more than 10x the
+/// fault-free simulated read time; the ablation must visibly lose reads
+/// on at least one row — otherwise the experiment proves nothing.
+fn check_e3(root: &Path) -> Result<String, String> {
+    let rows = rows_of(root, "BENCH_E3.json")?;
+    let mut saw_multi_replica = false;
+    let mut saw_ablation_loss = false;
+    let mut worst_on = f64::INFINITY;
+    for (i, row) in rows.iter().enumerate() {
+        let k = num(row, "k").ok_or_else(|| format!("row {i}: missing k"))? as u64;
+        let on =
+            num(row, "success_on_pct").ok_or_else(|| format!("row {i}: missing success_on_pct"))?;
+        let off = num(row, "success_off_pct")
+            .ok_or_else(|| format!("row {i}: missing success_off_pct"))?;
+        let sim_on = num(row, "sim_ms_on").ok_or_else(|| format!("row {i}: missing sim_ms_on"))?;
+        let healthy =
+            num(row, "sim_ms_healthy").ok_or_else(|| format!("row {i}: missing sim_ms_healthy"))?;
+        if sim_on <= 0.0 || healthy <= 0.0 {
+            return Err(format!("row {i} (k={k}): non-positive timing"));
+        }
+        if on < off {
+            return Err(format!(
+                "row {i} (k={k}): resilient arm ({on:.1}%) below the ablation ({off:.1}%)"
+            ));
+        }
+        if k >= 2 {
+            saw_multi_replica = true;
+            if on < 99.0 {
+                return Err(format!(
+                    "row {i} (k={k}): resilient read success {on:.1}% below the 99% floor"
+                ));
+            }
+            worst_on = worst_on.min(on);
+        }
+        if off < 99.0 {
+            saw_ablation_loss = true;
+        }
+        if sim_on > healthy * 10.0 {
+            return Err(format!(
+                "row {i} (k={k}): resilient sim time ({sim_on:.2} ms) above 10x the fault-free floor ({healthy:.2} ms)"
+            ));
+        }
+    }
+    if !saw_multi_replica {
+        return Err("no row with k >= 2".into());
+    }
+    if !saw_ablation_loss {
+        return Err("ablation never lost a read; the fault schedule is too gentle".into());
+    }
+    Ok(format!(
+        "{} rows ok, resilient success >= {worst_on:.1}% at k>=2 where the ablation loses reads",
+        rows.len()
+    ))
+}
+
 /// E6: parallel fan-out / bulk ingest vs the sequential ablation.
 /// Simulated time must improve strictly on every row. Wall-clock must
 /// not regress on bulk rows (the win is algorithmic — batched catalog
@@ -158,9 +216,10 @@ pub fn benchcheck(root: &Path) -> ExitCode {
     }
     for (file, checker) in [
         (
-            "BENCH_E6.json",
-            check_e6 as fn(&Path) -> Result<String, String>,
+            "BENCH_E3.json",
+            check_e3 as fn(&Path) -> Result<String, String>,
         ),
+        ("BENCH_E6.json", check_e6),
         ("BENCH_E7.json", check_e7),
     ] {
         match checker(root) {
