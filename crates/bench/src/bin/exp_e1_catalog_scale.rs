@@ -3,14 +3,26 @@ fn main() {
         .ok()
         .and_then(|v| v.parse().ok())
         .unwrap_or(100_000);
-    if std::env::args().any(|a| a == "--json") {
-        let v = bench::experiments::e1_catalog_scale::run_json(max);
-        let text = serde_json::to_string_pretty(&v).unwrap_or_default();
-        if let Err(e) = std::fs::write("BENCH_E1.json", text) {
-            eprintln!("failed to write BENCH_E1.json: {e}");
-            std::process::exit(1);
+    let json = std::env::args().any(|a| a == "--json");
+    let metrics_json = std::env::args().any(|a| a == "--metrics-json");
+    if json || metrics_json {
+        let (v, metrics) = bench::experiments::e1_catalog_scale::run_json_with_metrics(max);
+        if json {
+            let text = serde_json::to_string_pretty(&v).unwrap_or_default();
+            if let Err(e) = std::fs::write("BENCH_E1.json", text) {
+                eprintln!("failed to write BENCH_E1.json: {e}");
+                std::process::exit(1);
+            }
+            println!("wrote BENCH_E1.json (up to {max} datasets)");
         }
-        println!("wrote BENCH_E1.json (up to {max} datasets)");
+        if metrics_json {
+            let text = serde_json::to_string_pretty(&metrics).unwrap_or_default();
+            if let Err(e) = std::fs::write("BENCH_E1_METRICS.json", text) {
+                eprintln!("failed to write BENCH_E1_METRICS.json: {e}");
+                std::process::exit(1);
+            }
+            println!("wrote BENCH_E1_METRICS.json (grid metric snapshot)");
+        }
     } else {
         bench::experiments::e1_catalog_scale::run(max).print();
     }

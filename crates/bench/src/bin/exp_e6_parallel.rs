@@ -1,5 +1,6 @@
 fn main() {
     let json = std::env::args().any(|a| a == "--json");
+    let metrics_json = std::env::args().any(|a| a == "--metrics-json");
     let files = std::env::var("SRB_E6_FILES")
         .ok()
         .and_then(|v| v.parse().ok())
@@ -12,7 +13,17 @@ fn main() {
             std::process::exit(1);
         }
         println!("wrote BENCH_E6.json ({files} bulk files)");
-    } else {
+    }
+    if metrics_json {
+        let v = bench::experiments::e6_parallel::metrics_json(files);
+        let text = serde_json::to_string_pretty(&v).unwrap_or_default();
+        if let Err(e) = std::fs::write("BENCH_E6_METRICS.json", text) {
+            eprintln!("failed to write BENCH_E6_METRICS.json: {e}");
+            std::process::exit(1);
+        }
+        println!("wrote BENCH_E6_METRICS.json (grid metric snapshot)");
+    }
+    if !json && !metrics_json {
         bench::experiments::e6_parallel::run_scaling().print();
         bench::experiments::e6_parallel::run_policies().print();
         bench::experiments::e6_parallel::run_policies_skewed().print();

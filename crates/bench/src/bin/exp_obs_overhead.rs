@@ -1,0 +1,21 @@
+fn main() {
+    let datasets = std::env::var("SRB_OBS_DATASETS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(10_000);
+    let files = std::env::var("SRB_OBS_FILES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(16);
+    if std::env::args().any(|a| a == "--json") {
+        let v = bench::experiments::obs_overhead::run_json(datasets, files);
+        let text = serde_json::to_string_pretty(&v).unwrap_or_default();
+        if let Err(e) = std::fs::write("BENCH_OBS.json", text) {
+            eprintln!("failed to write BENCH_OBS.json: {e}");
+            std::process::exit(1);
+        }
+        println!("wrote BENCH_OBS.json ({datasets} datasets, {files} fan-out files)");
+    } else {
+        bench::experiments::obs_overhead::run(datasets, files).print();
+    }
+}

@@ -24,7 +24,7 @@ struct Row {
     hits: usize,
 }
 
-fn measure(max: usize) -> Vec<Row> {
+fn measure(max: usize) -> (Vec<Row>, serde_json::Value) {
     let (grid, srv) = single_site_grid();
     let conn = connect(&grid, srv);
     ok(conn.make_collection("/home/bench/data"));
@@ -73,7 +73,8 @@ fn measure(max: usize) -> Vec<Row> {
         });
         size *= 10;
     }
-    rows
+    let metrics = serde_json::to_value(&grid.metrics_snapshot());
+    (rows, metrics)
 }
 
 /// Run with catalog sizes up to `max` (e.g. 100_000; override with the
@@ -90,7 +91,7 @@ pub fn run(max: usize) -> Table {
             "hits",
         ],
     );
-    for r in measure(max) {
+    for r in measure(max).0 {
         table.row(vec![
             r.datasets.to_string(),
             format!("{:.1}", r.ingest_us),
@@ -107,7 +108,15 @@ pub fn run(max: usize) -> Table {
 /// `BENCH_E1.json` (`--json` mode of the `exp_e1_catalog_scale` binary);
 /// `single_driver_us` is the "before" engine, `planner_us` the "after".
 pub fn run_json(max: usize) -> serde_json::Value {
-    let rows: Vec<serde_json::Value> = measure(max)
+    run_json_with_metrics(max).0
+}
+
+/// `run_json` plus the grid's full metric snapshot from the same run —
+/// the `--metrics-json` flag of the binary writes it next to
+/// `BENCH_E1.json` so a seeded run's counters can be diffed offline.
+pub fn run_json_with_metrics(max: usize) -> (serde_json::Value, serde_json::Value) {
+    let (measured, metrics) = measure(max);
+    let rows: Vec<serde_json::Value> = measured
         .iter()
         .map(|r| {
             json!({
@@ -121,11 +130,13 @@ pub fn run_json(max: usize) -> serde_json::Value {
             })
         })
         .collect();
-    json!({
+    let v = json!({
         "experiment": "e1_catalog_scale",
         "max_datasets": max,
         "before_engine": "single_driver",
         "after_engine": "planner",
         "rows": rows,
-    })
+    });
+    let metrics = json!({ "experiment": "e1_catalog_scale", "snapshot": metrics });
+    (v, metrics)
 }

@@ -424,6 +424,28 @@ pub fn run_fanout(files: usize) -> Table {
     table
 }
 
+/// `--metrics-json` support: one instrumented pass of the E6d fan-out
+/// workload (k = 8, parallel engine), returning the grid's full metric
+/// snapshot for `BENCH_E6_METRICS.json`.
+pub fn metrics_json(files: usize) -> serde_json::Value {
+    let fan_files = (files / 400).clamp(4, 64);
+    let (grid, srv) = fanout_grid(8);
+    let mut conn = ok(SrbConnection::connect(&grid, srv, "bench", "sdsc", "pw"));
+    conn.set_fanout_mode(FanoutMode::Parallel);
+    let data = Bytes::from(vec![0xF5u8; 1 << 20]);
+    for i in 0..fan_files {
+        ok(conn.ingest(
+            &format!("/home/bench/f{i}"),
+            data.clone(),
+            IngestOptions::to_resource("logk"),
+        ));
+    }
+    json!({
+        "experiment": "e6_parallel",
+        "snapshot": serde_json::to_value(&grid.metrics_snapshot()),
+    })
+}
+
 /// Machine-checkable artifact for `cargo xtask benchcheck`.
 pub fn run_json(files: usize) -> serde_json::Value {
     let workers = real_workers();

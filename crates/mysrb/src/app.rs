@@ -111,6 +111,29 @@ impl Response {
         }
     }
 
+    /// Render a grid error without losing its kind: the HTTP status folds
+    /// several `SrbError` variants together (503 covers both resource and
+    /// site outages, 504 covers timeouts), so the stable error code rides
+    /// along in the body for triage.
+    fn grid_error(e: &SrbError) -> Response {
+        Response {
+            status: status_for(e),
+            content_type: "text/html; charset=utf-8".into(),
+            body: crate::html::page(
+                "MySRB — error",
+                None,
+                None,
+                &format!(
+                    "<p style=\"color:#900\">{} <code>[{}]</code></p><p><a href=\"/\">back</a></p>",
+                    crate::html::escape(&e.to_string()),
+                    e.code(),
+                ),
+            )
+            .into_bytes(),
+            headers: Vec::new(),
+        }
+    }
+
     /// Body as UTF-8 (tests).
     pub fn text(&self) -> String {
         String::from_utf8_lossy(&self.body).into_owned()
@@ -139,9 +162,31 @@ impl<'g> MySrb<'g> {
         &self.sessions
     }
 
-    /// Route a request to a handler.
+    /// Route a request to a handler, recording per-route request, status
+    /// and error metrics when the grid has observability on.
     pub fn handle(&self, req: &Request) -> Response {
+        let resp = self.route(req);
+        if let Some(obs) = self.grid.obs() {
+            obs.metrics.counter("web.requests", &req.path).inc();
+            obs.metrics
+                .counter("web.status", &resp.status.to_string())
+                .inc();
+            if resp.status >= 400 {
+                obs.metrics.counter("web.errors", &req.path).inc();
+            }
+        }
+        resp
+    }
+
+    fn route(&self, req: &Request) -> Response {
         match (req.method.as_str(), req.path.as_str()) {
+            ("GET", "/metrics") => Response {
+                status: 200,
+                content_type: "text/plain; charset=utf-8".into(),
+                body: self.grid.metrics_snapshot().render_text().into_bytes(),
+                headers: Vec::new(),
+            },
+            ("GET", "/grid-status") => Response::html(pages::grid_status(self.grid)),
             ("GET", "/") | ("GET", "/login") => Response::html(pages::login_page(None)),
             ("POST", "/login") => self.login(req),
             ("GET", "/logout") => {
@@ -208,8 +253,8 @@ impl<'g> MySrb<'g> {
             ("GET", "/admin") => self.with_conn(req, |conn| Ok(pages::admin_page(conn))),
             ("GET", "/api/summary") => self
                 .with_conn(req, |conn| {
-                    Ok(serde_json::to_string_pretty(&conn.grid().mcat.summary())
-                        .expect("summary serializes"))
+                    serde_json::to_string_pretty(&conn.grid().mcat.summary())
+                        .map_err(|e| SrbError::Internal(format!("summary serialization: {e}")))
                 })
                 .into_json(),
             _ => Response::error(404, &format!("no such page: {}", req.path)),
@@ -223,9 +268,27 @@ impl<'g> MySrb<'g> {
         let Some(key) = &req.session else {
             return Response::redirect("/");
         };
-        match self.sessions.with_session(key, |s| f(&s.conn)) {
-            Ok(Ok(html)) => Response::html(html),
-            Ok(Err(e)) => Response::error(status_for(&e), &e.to_string()),
+        let out = self.sessions.with_session(key, |s| {
+            let result = f(&s.conn);
+            (result, s.conn.take_op_ns())
+        });
+        match out {
+            Ok((result, op_ns)) => {
+                if let Some(obs) = self.grid.obs() {
+                    obs.metrics
+                        .histogram("web.request_ns", &req.path)
+                        .observe(op_ns);
+                }
+                match result {
+                    Ok(html) => Response::html(html),
+                    Err(e) => {
+                        if let Some(obs) = self.grid.obs() {
+                            obs.metrics.counter("web.error_codes", e.code()).inc();
+                        }
+                        Response::grid_error(&e)
+                    }
+                }
+            }
             Err(_) => Response::redirect("/"),
         }
     }

@@ -552,3 +552,77 @@ pub fn admin_page(conn: &SrbConnection) -> String {
     ));
     page("MySRB — admin", Some(""), None, &body)
 }
+
+/// The operator dashboard (`/grid-status`): per-resource breaker health
+/// and fault counters, grid-wide fan-out/repair totals, and the slowest
+/// operations the grid has executed, each with its receipt leg breakdown.
+pub fn grid_status(grid: &srb_core::Grid) -> String {
+    let snap = grid.metrics_snapshot();
+    let mut body = String::new();
+    body.push_str("<h3>Resource health</h3>\n");
+    let rows: Vec<Vec<String>> = grid
+        .mcat
+        .resources
+        .list()
+        .into_iter()
+        .map(|r| {
+            let state = match grid.health.state(r.id) {
+                srb_core::BreakerState::Closed => "closed",
+                srb_core::BreakerState::Open => "OPEN",
+                srb_core::BreakerState::HalfOpen => "half-open",
+            };
+            vec![
+                escape(&r.name),
+                state.to_string(),
+                snap.counter("faults.injected", &r.name).to_string(),
+                snap.counter("health.fast_fails", &r.name).to_string(),
+                snap.counter("health.breaker_trips", &r.name).to_string(),
+            ]
+        })
+        .collect();
+    body.push_str(&table(
+        &[
+            "resource",
+            "breaker",
+            "faults injected",
+            "fast fails",
+            "trips",
+        ],
+        &rows,
+    ));
+    body.push_str(&format!(
+        "<p>{} fan-out legs dispatched · {} failed · {} went stale · {} repaired · \
+         {} retries · {} scope-cache hits / {} misses</p>\n",
+        snap.counter_total("fanout.legs_dispatched"),
+        snap.counter_total("fanout.legs_failed"),
+        snap.counter_total("fanout.legs_stale"),
+        snap.counter_total("health.repairs"),
+        snap.counter_total("health.retries"),
+        snap.counter_total("query.scope_cache_hits"),
+        snap.counter_total("query.scope_cache_misses"),
+    ));
+    body.push_str("<h3>Slowest operations</h3>\n");
+    let slow: Vec<Vec<String>> = snap
+        .slow_ops
+        .iter()
+        .map(|op| {
+            let c = &op.cost;
+            let mut legs = vec![format!("{:.2}ms", c.sim_ns as f64 / 1e6)];
+            if c.bytes > 0 {
+                legs.push(format!("{}B", c.bytes));
+            }
+            if c.retries > 0 {
+                legs.push(format!("{} retries", c.retries));
+            }
+            if c.replicas_tried > 1 {
+                legs.push(format!("{} replicas tried", c.replicas_tried));
+            }
+            if c.served_stale {
+                legs.push("stale".to_string());
+            }
+            vec![escape(&op.op), escape(&op.subject), legs.join(" · ")]
+        })
+        .collect();
+    body.push_str(&table(&["op", "subject", "cost"], &slow));
+    page("MySRB — grid status", Some(""), None, &body)
+}

@@ -544,3 +544,97 @@ fn mkcoll_via_form() {
     assert_eq!(resp.status, 200, "{}", resp.text());
     assert!(resp.text().contains("new coll"));
 }
+
+#[test]
+fn grid_errors_keep_the_error_kind_in_the_body() {
+    let fx = fixture();
+    let conn = SrbConnection::connect(&fx.grid, fx.srv, "sekar", "sdsc", "pw").unwrap();
+    conn.ingest(
+        "/home/sekar/solo",
+        b"x",
+        IngestOptions::to_resource("unix-sdsc"),
+    )
+    .unwrap();
+    let app = MySrb::new(&fx.grid, fx.srv, 1);
+    let key = login(&app);
+    // Take the only replica's resource down: the 503 page must say *which*
+    // kind of failure it folded into that status, not just the message.
+    let rid = fx.grid.resource_id("unix-sdsc").unwrap();
+    fx.grid.faults.fail_resource(rid);
+    let resp = app.handle(&Request::get(
+        "/view?path=%2Fhome%2Fsekar%2Fsolo",
+        Some(&key),
+    ));
+    assert_eq!(resp.status, 503, "{}", resp.text());
+    assert!(
+        resp.text().contains("RESOURCE_UNAVAILABLE"),
+        "error kind lost: {}",
+        resp.text()
+    );
+    fx.grid.faults.restore_resource(rid);
+    // A timeout maps to 504, again with its kind in the body.
+    fx.grid
+        .faults
+        .set_mode(rid, srb_core::FaultMode::FailNext(1));
+    let resp = app.handle(&Request::get(
+        "/view?path=%2Fhome%2Fsekar%2Fsolo",
+        Some(&key),
+    ));
+    if resp.status != 200 {
+        // The retry budget may absorb the injected failure; when it does
+        // not, the status and body must stay faithful to the kind.
+        assert_eq!(resp.status, 504);
+        assert!(resp.text().contains("TIMEOUT"));
+    }
+}
+
+#[test]
+fn metrics_and_grid_status_endpoints() {
+    let fx = fixture();
+    let conn = SrbConnection::connect(&fx.grid, fx.srv, "sekar", "sdsc", "pw").unwrap();
+    conn.ingest(
+        "/home/sekar/obs.txt",
+        b"observable",
+        IngestOptions::to_resource("unix-sdsc"),
+    )
+    .unwrap();
+    let app = MySrb::new(&fx.grid, fx.srv, 1);
+    let key = login(&app);
+    let resp = app.handle(&Request::get(
+        "/view?path=%2Fhome%2Fsekar%2Fobs.txt",
+        Some(&key),
+    ));
+    assert_eq!(resp.status, 200);
+    // Route metrics recorded against the grid's registry.
+    let snap = fx.grid.metrics_snapshot();
+    assert_eq!(snap.counter("web.requests", "/view"), 1);
+    assert_eq!(snap.counter("web.status", "200"), 1);
+    assert!(snap.counter("storage.ops", "file-system") >= 1);
+    // /metrics needs no session and renders the text exposition.
+    let resp = app.handle(&Request::get("/metrics", None));
+    assert_eq!(resp.status, 200);
+    assert_eq!(resp.content_type, "text/plain; charset=utf-8");
+    let text = resp.text();
+    assert!(text.contains("web.requests{/view} 1"), "{text}");
+    assert!(text.contains("web.request_ns{/view}"), "{text}");
+    // /grid-status shows per-resource health and the slow-op table.
+    let resp = app.handle(&Request::get("/grid-status", None));
+    assert_eq!(resp.status, 200);
+    let html = resp.text();
+    assert!(html.contains("unix-sdsc"));
+    assert!(html.contains("closed"));
+    assert!(html.contains("Slowest operations"));
+    assert!(
+        html.contains("open"),
+        "slow-op table lists the read: {html}"
+    );
+    // Errors feed both the per-route and the per-code counters.
+    let resp = app.handle(&Request::get(
+        "/view?path=%2Fhome%2Fsekar%2Fmissing",
+        Some(&key),
+    ));
+    assert_eq!(resp.status, 404);
+    let snap = fx.grid.metrics_snapshot();
+    assert_eq!(snap.counter("web.errors", "/view"), 1);
+    assert_eq!(snap.counter("web.error_codes", "NOT_FOUND"), 1);
+}

@@ -23,6 +23,7 @@ use srb_storage::sql::QueryResult;
 use srb_types::{
     DatasetId, LogicalPath, Permission, ServerId, SiteId, SrbError, SrbResult, Timestamp, UserId,
 };
+use std::sync::atomic::{AtomicU64, Ordering};
 
 /// What an `open` returned, depending on the object's type.
 #[derive(Debug, Clone)]
@@ -73,6 +74,11 @@ pub struct SrbConnection<'g> {
     pub(crate) fanout: FanoutMode,
     pub(crate) retry: RetryBudget,
     pub(crate) allow_stale: bool,
+    pub(crate) trace: bool,
+    /// Simulated nanoseconds accumulated by ops on this connection since
+    /// the last [`take_op_ns`](Self::take_op_ns) — MySRB drains this to
+    /// attribute grid cost to the route that incurred it.
+    pub(crate) op_ns: AtomicU64,
 }
 
 impl<'g> SrbConnection<'g> {
@@ -127,6 +133,8 @@ impl<'g> SrbConnection<'g> {
             fanout: FanoutMode::default(),
             retry: RetryBudget::default(),
             allow_stale: false,
+            trace: false,
+            op_ns: AtomicU64::new(0),
         })
     }
 
@@ -185,6 +193,23 @@ impl<'g> SrbConnection<'g> {
         self.allow_stale
     }
 
+    /// Record a span in the grid's trace ring for every finished op on
+    /// this connection (no-op when grid observability is off).
+    pub fn set_tracing(&mut self, on: bool) {
+        self.trace = on;
+    }
+
+    /// Whether this connection records spans.
+    pub fn tracing(&self) -> bool {
+        self.trace
+    }
+
+    /// Drain the simulated nanoseconds charged by this connection's ops
+    /// since the previous call (resets the accumulator to zero).
+    pub fn take_op_ns(&self) -> u64 {
+        self.op_ns.swap(0, Ordering::Relaxed)
+    }
+
     /// End the session.
     pub fn logout(self) {
         self.grid.auth.logout(&self.session.ticket);
@@ -215,6 +240,20 @@ impl<'g> SrbConnection<'g> {
             r.hops = 1;
         }
         Ok(r)
+    }
+
+    /// Feed a completed top-level op into the observability subsystem:
+    /// the per-op latency histogram, the slow-op log, the connection's
+    /// route-cost accumulator, and — when tracing is on — a span
+    /// covering the whole op.
+    pub(crate) fn finish_op(&self, op: &str, subject: &str, start: Timestamp, receipt: &Receipt) {
+        self.op_ns.fetch_add(receipt.sim_ns, Ordering::Relaxed);
+        if let Some(obs) = self.grid.core_obs() {
+            obs.finish_op(op, subject, receipt);
+            if self.trace {
+                obs.span(op, subject, None, start, receipt.sim_ns);
+            }
+        }
     }
 
     pub(crate) fn audit(&self, action: AuditAction, subject: &str, outcome: &str) {
@@ -272,6 +311,7 @@ impl<'g> SrbConnection<'g> {
     /// objects.
     pub fn open(&self, path: &str, args: &[String]) -> SrbResult<(ObjectContent, Receipt)> {
         let user = self.check_session()?;
+        let start = self.now();
         let mut receipt = self.mcat_rpc()?;
         let result = (|| {
             let lp = self.parse(path)?;
@@ -288,6 +328,7 @@ impl<'g> SrbConnection<'g> {
             Err(e) => self.audit(AuditAction::Read, path, e.code()),
         }
         let content = result?;
+        self.finish_op("open", path, start, &receipt);
         Ok((content, receipt))
     }
 
@@ -432,7 +473,18 @@ impl<'g> SrbConnection<'g> {
         let injected_ns = self.grid.faults.inject(resource, site)?;
         let driver = self.grid.driver(resource)?;
         let _inflight = self.grid.load.begin(resource);
-        let (data, storage_ns) = driver.driver().read(phys_path)?;
+        let (data, storage_ns) = match driver.driver().read(phys_path) {
+            Ok(ok) => ok,
+            Err(e) => {
+                if let Some(obs) = self.grid.core_obs() {
+                    obs.storage_error(driver.kind(), e.code());
+                }
+                return Err(e);
+            }
+        };
+        if let Some(obs) = self.grid.core_obs() {
+            obs.storage_op(driver.kind(), storage_ns);
+        }
         let busy_ns = storage_ns + injected_ns;
         self.grid.load.charge(resource, busy_ns);
         receipt.absorb(&Receipt::time(busy_ns));
@@ -456,7 +508,18 @@ impl<'g> SrbConnection<'g> {
             .as_db()
             .ok_or_else(|| SrbError::Unsupported("SQL object on non-database resource".into()))?;
         let _inflight = self.grid.load.begin(resource);
-        let (result, ns) = db.query(sql)?;
+        let (result, ns) = match db.query(sql) {
+            Ok(ok) => ok,
+            Err(e) => {
+                if let Some(obs) = self.grid.core_obs() {
+                    obs.storage_error(driver.kind(), e.code());
+                }
+                return Err(e);
+            }
+        };
+        if let Some(obs) = self.grid.core_obs() {
+            obs.storage_op(driver.kind(), ns);
+        }
         self.grid.load.charge(resource, ns);
         receipt.absorb(&Receipt::time(ns));
         let rendered = match template {

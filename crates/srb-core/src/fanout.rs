@@ -164,21 +164,43 @@ where
 /// (summing within a lane) and the lanes max-compose. With at most
 /// `VIRTUAL_LANES` legs — every replica fan-out in practice — this reduces
 /// to an exact max over the legs.
+#[cfg(test)]
 pub(crate) fn compose(mode: FanoutMode, legs: &[Receipt]) -> Receipt {
+    compose_with_wait(mode, legs).0
+}
+
+/// [`compose`], additionally reporting the total simulated time legs
+/// spent queued behind earlier work before their own transfer began:
+/// under [`FanoutMode::Sequential`] every leg waits for all of its
+/// predecessors; under [`FanoutMode::Parallel`] a leg waits only for the
+/// work already dealt onto its lane (zero while legs ≤ lanes). The
+/// `fanout.queue_wait_ns` histogram observes this per fan-out.
+pub(crate) fn compose_with_wait(mode: FanoutMode, legs: &[Receipt]) -> (Receipt, u64) {
     match mode {
-        FanoutMode::Sequential => legs.iter().fold(Receipt::free(), |acc, r| acc.then(r)),
+        FanoutMode::Sequential => {
+            let mut acc = Receipt::free();
+            let mut wait = 0u64;
+            for r in legs {
+                wait += acc.sim_ns;
+                acc.absorb(r);
+            }
+            (acc, wait)
+        }
         FanoutMode::Parallel => {
             let lanes = legs.len().clamp(1, VIRTUAL_LANES);
             let mut lane_cost = vec![Receipt::free(); lanes];
+            let mut wait = 0u64;
             for (i, r) in legs.iter().enumerate() {
+                wait += lane_cost[i % lanes].sim_ns;
                 lane_cost[i % lanes].absorb(r);
             }
             let mut it = lane_cost.into_iter();
             let first = it.next().unwrap_or_default();
-            it.fold(first, |mut acc, r| {
+            let receipt = it.fold(first, |mut acc, r| {
                 acc.join_parallel(&r);
                 acc
-            })
+            });
+            (receipt, wait)
         }
     }
 }
@@ -255,8 +277,13 @@ impl SrbConnection<'_> {
             match attempt_fn(receipt) {
                 Ok(v) => break Ok(v),
                 Err(e) if e.is_transient() && attempt < budget.max_attempts => {
-                    receipt.absorb(&Receipt::time(budget.backoff_ns(resource.raw(), attempt)));
+                    let wait = budget.backoff_ns(resource.raw(), attempt);
+                    receipt.absorb(&Receipt::time(wait));
                     receipt.retries += 1;
+                    if let Some(obs) = self.grid.core_obs() {
+                        obs.retries.inc();
+                        obs.backoff_ns.add(wait);
+                    }
                     attempt += 1;
                 }
                 Err(e) => break Err(e),
@@ -306,10 +333,13 @@ impl SrbConnection<'_> {
             self.store_bytes_retry(leg.resource, &leg.phys_path, data, leg.overwrite)
         });
         let ok: Vec<Receipt> = results.iter().filter_map(|r| r.clone().ok()).collect();
-        FanoutOutcome {
-            receipt: compose(mode, &ok),
-            results,
+        let (receipt, wait_ns) = compose_with_wait(mode, &ok);
+        if let Some(obs) = self.grid.core_obs() {
+            obs.legs_dispatched.add(legs.len() as u64);
+            obs.legs_failed.add((results.len() - ok.len()) as u64);
+            obs.queue_wait.observe(wait_ns);
         }
+        FanoutOutcome { receipt, results }
     }
 
     /// Best-effort removal of bytes stored by legs that succeeded, used
@@ -362,6 +392,25 @@ mod tests {
         let legs = vec![Receipt::time(100); 16];
         let r = compose(FanoutMode::Parallel, &legs);
         assert_eq!(r.sim_ns, 200);
+    }
+
+    #[test]
+    fn compose_wait_sequential_accumulates_predecessors() {
+        let legs: Vec<Receipt> = (1..=4).map(|i| Receipt::time(i * 100)).collect();
+        let (_, wait) = compose_with_wait(FanoutMode::Sequential, &legs);
+        // Leg waits: 0, 100, 300, 600.
+        assert_eq!(wait, 1000);
+    }
+
+    #[test]
+    fn compose_wait_parallel_zero_until_lanes_full() {
+        let legs = vec![Receipt::time(100); VIRTUAL_LANES];
+        let (_, wait) = compose_with_wait(FanoutMode::Parallel, &legs);
+        assert_eq!(wait, 0);
+        // One extra leg queues behind lane 0's first leg.
+        let legs = vec![Receipt::time(100); VIRTUAL_LANES + 1];
+        let (_, wait) = compose_with_wait(FanoutMode::Parallel, &legs);
+        assert_eq!(wait, 100);
     }
 
     #[test]

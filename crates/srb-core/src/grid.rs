@@ -6,12 +6,14 @@
 //! hosts the MCAT. [`GridBuilder`] wires it all together.
 
 use crate::auth::AuthService;
+use crate::obs::CoreObs;
 use crate::proxy::ProxyRegistry;
 use srb_mcat::Mcat;
 use srb_net::{
     BreakerConfig, FaultMode, FaultPlan, HealthRegistry, LinkSpec, LoadTracker, Network,
     NetworkBuilder,
 };
+use srb_obs::{MetricsSnapshot, Obs, ResourceLabels};
 use srb_storage::{
     ArchiveDriver, CacheDriver, DbDriver, DriverKind, FsDriver, StorageDriver, UrlDriver,
 };
@@ -134,6 +136,7 @@ pub struct GridBuilder {
     admin_password: String,
     auth_seed: u64,
     breakers: BreakerConfig,
+    observability: bool,
 }
 
 impl Default for GridBuilder {
@@ -155,7 +158,16 @@ impl GridBuilder {
             admin_password: "srb-admin".to_string(),
             auth_seed: 0x5eed,
             breakers: BreakerConfig::default(),
+            observability: true,
         }
+    }
+
+    /// Enable or disable observability (metrics, tracing, slow-op log).
+    /// On by default; the overhead benchmark builds a disabled twin to
+    /// measure instrumentation cost pairwise in one process.
+    pub fn observability(&mut self, on: bool) -> &mut Self {
+        self.observability = on;
+        self
     }
 
     /// Configure (or disable, via [`BreakerConfig::disabled`]) the
@@ -303,6 +315,7 @@ impl GridBuilder {
         }
 
         let mut resource_home = HashMap::new();
+        let mut resource_names: HashMap<ResourceId, String> = HashMap::new();
         for (name, server_idx, spec) in self.resources {
             let server = servers.get(&ServerId(server_idx as u64)).ok_or_else(|| {
                 SrbError::Invalid(format!(
@@ -336,6 +349,7 @@ impl GridBuilder {
                 .register(&mcat.ids, &name, kind, server.site)?;
             server.resources.write().insert(rid, Arc::new(driver));
             resource_home.insert(rid, server.id);
+            resource_names.insert(rid, name);
         }
 
         for (name, members) in self.logical {
@@ -352,11 +366,25 @@ impl GridBuilder {
             mcat.resources.create_logical(&mcat.ids, &name, &ids)?;
         }
 
+        let mut health = HealthRegistry::new(clock.clone(), self.breakers);
+        let mut faults = FaultPlan::new();
+        let mut mcat = mcat;
+        let obs = if self.observability {
+            let obs = Obs::new(clock.clone());
+            let labels = ResourceLabels::new(resource_names);
+            health = health.with_metrics(obs.metrics.clone(), labels.clone());
+            faults = faults.with_metrics(obs.metrics.clone(), labels);
+            mcat = mcat.with_metrics(&obs.metrics);
+            Some(CoreObs::new(obs))
+        } else {
+            None
+        };
+
         Ok(Grid {
-            health: HealthRegistry::new(clock.clone(), self.breakers),
+            health,
             clock,
             network,
-            faults: FaultPlan::new(),
+            faults,
             load: LoadTracker::new(),
             mcat,
             auth,
@@ -364,6 +392,7 @@ impl GridBuilder {
             servers,
             resource_home: RwLock::new(LockRank::CoreState, "core.resource_home", resource_home),
             mcat_server: ServerId(self.mcat_server as u64),
+            obs,
         })
     }
 }
@@ -389,12 +418,33 @@ pub struct Grid {
     servers: HashMap<ServerId, SrbServer>,
     resource_home: RwLock<HashMap<ResourceId, ServerId>>,
     mcat_server: ServerId,
+    obs: Option<CoreObs>,
 }
 
 impl Grid {
     /// The server hosting the MCAT.
     pub fn mcat_server(&self) -> ServerId {
         self.mcat_server
+    }
+
+    /// The observability domain, when enabled (the default).
+    pub fn obs(&self) -> Option<&Obs> {
+        self.obs.as_ref().map(|c| &c.obs)
+    }
+
+    /// The broker's cached metric handles, when observability is enabled.
+    pub(crate) fn core_obs(&self) -> Option<&CoreObs> {
+        self.obs.as_ref()
+    }
+
+    /// Deterministic snapshot of every metric plus the slow-op log.
+    /// Returns an empty snapshot when observability is disabled, so
+    /// callers need not branch.
+    pub fn metrics_snapshot(&self) -> MetricsSnapshot {
+        self.obs
+            .as_ref()
+            .map(|c| c.obs.snapshot())
+            .unwrap_or_default()
     }
 
     /// Look up a server.

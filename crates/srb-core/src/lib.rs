@@ -35,6 +35,7 @@ pub mod auth;
 pub mod conn;
 pub mod fanout;
 pub mod grid;
+pub mod obs;
 pub mod ops_container;
 pub mod ops_lock;
 pub mod ops_maintenance;
@@ -51,6 +52,7 @@ pub use auth::{AuthService, Session};
 pub use conn::{ObjectContent, SrbConnection};
 pub use fanout::{FanoutMode, RetryBudget};
 pub use grid::{Grid, GridBuilder, SrbServer};
+pub use obs::CoreObs;
 pub use ops_maintenance::{ChecksumStatus, RepairOutcome, RepairReport};
 pub use ops_write::{IngestOptions, RegisterSpec};
 pub use proxy::ProxyRegistry;

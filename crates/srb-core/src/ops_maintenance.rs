@@ -127,6 +127,11 @@ impl SrbConnection<'_> {
             .map(|(n, _)| *n)
             .collect();
         let repaired = repaired_nums.len();
+        if repaired > 0 {
+            if let Some(obs) = self.grid.core_obs() {
+                obs.repairs.add(repaired as u64);
+            }
+        }
         if !repaired_nums.is_empty() {
             let now = self.now();
             self.grid.mcat.datasets.update(ds.id, |d| {

@@ -198,6 +198,7 @@ impl SrbConnection<'_> {
     ) -> SrbResult<Receipt> {
         let data: Bytes = data.into();
         let user = self.check_session()?;
+        let start = self.now();
         let lp = self.parse(path)?;
         let name = lp
             .name()
@@ -248,6 +249,7 @@ impl SrbConnection<'_> {
         )?;
         self.attach_ingest_metadata(ds, &opts.metadata);
         self.audit(AuditAction::Ingest, path, "ok");
+        self.finish_op("ingest", path, start, &receipt);
         Ok(receipt)
     }
 
@@ -313,6 +315,9 @@ impl SrbConnection<'_> {
                 }
                 Ok(())
             })?;
+            if let Some(obs) = self.grid.core_obs() {
+                obs.legs_stale.add(stale_nums.len() as u64);
+            }
         }
         Ok(ds)
     }
@@ -327,6 +332,7 @@ impl SrbConnection<'_> {
     pub fn write(&self, path: &str, data: impl Into<Bytes>) -> SrbResult<Receipt> {
         let data: Bytes = data.into();
         let user = self.check_session()?;
+        let start = self.now();
         let lp = self.parse(path)?;
         let mut receipt = self.mcat_rpc()?;
         let ds_id = self.grid.mcat.resolve_dataset(&lp)?;
@@ -412,11 +418,35 @@ impl SrbConnection<'_> {
             d.modified = now;
             Ok(())
         })?;
+        // Accounting invariant (the chaos oracle asserts it): legs_stale
+        // counts transitions *into* Stale and repairs counts transitions
+        // *out* (a write landing on a previously-stale replica repairs it),
+        // so legs_stale − repairs equals the catalog's live stale count.
+        if let Some(obs) = self.grid.core_obs() {
+            let mut went_stale = 0u64;
+            let mut repaired = 0u64;
+            for (num, status) in &staleness {
+                let was_stale = ds
+                    .replicas
+                    .iter()
+                    .find(|r| r.repl_num == *num)
+                    .map(|r| r.status == ReplicaStatus::Stale)
+                    .unwrap_or(false);
+                match (was_stale, *status == ReplicaStatus::Stale) {
+                    (false, true) => went_stale += 1,
+                    (true, false) => repaired += 1,
+                    _ => {}
+                }
+            }
+            obs.legs_stale.add(went_stale);
+            obs.repairs.add(repaired);
+        }
         if let Some(e) = fan.first_fatal() {
             self.audit(AuditAction::Write, path, e.code());
             return Err(e);
         }
         self.audit(AuditAction::Write, path, "ok");
+        self.finish_op("write", path, start, &receipt);
         Ok(receipt)
     }
 
@@ -521,7 +551,13 @@ impl SrbConnection<'_> {
             }
         });
         let leg_costs: Vec<Receipt> = leg_results.iter().map(|l| l.cost.clone()).collect();
-        receipt.absorb(&fanout::compose(mode, &leg_costs));
+        let (bulk_cost, wait_ns) = fanout::compose_with_wait(mode, &leg_costs);
+        receipt.absorb(&bulk_cost);
+        if let Some(obs) = self.grid.core_obs() {
+            obs.legs_dispatched
+                .add((files.len() * targets.len()) as u64);
+            obs.queue_wait.observe(wait_ns);
+        }
         // A fatal error anywhere, or a file no target accepted, aborts the
         // batch before the catalog is touched.
         let mut abort: Option<SrbError> = leg_results
@@ -578,6 +614,20 @@ impl SrbConnection<'_> {
                     .collect(),
             })
             .collect();
+        if let Some(obs) = self.grid.core_obs() {
+            let stale = rows
+                .iter()
+                .flat_map(|r| r.replicas.iter())
+                .filter(|(_, _, _, s)| *s == ReplicaStatus::Stale)
+                .count();
+            obs.legs_stale.add(stale as u64);
+            let failed = leg_results
+                .iter()
+                .flat_map(|l| l.stores.iter())
+                .filter(|r| r.is_err())
+                .count();
+            obs.legs_failed.add(failed as u64);
+        }
         let ids = self.grid.mcat.datasets.create_batch(
             &self.grid.mcat.ids,
             coll,
@@ -735,6 +785,7 @@ impl SrbConnection<'_> {
     /// inherits all metadata associated with its siblings."
     pub fn replicate(&self, path: &str, resource_name: &str) -> SrbResult<Receipt> {
         let user = self.check_session()?;
+        let start = self.now();
         let lp = self.parse(path)?;
         let mut receipt = self.mcat_rpc()?;
         let ds_id = self.grid.mcat.resolve_dataset(&lp)?;
@@ -768,6 +819,7 @@ impl SrbConnection<'_> {
         receipt.absorb(&fan.receipt);
         self.commit_fanout_replicas(ds.id, &legs, &fan, data.len() as u64, &checksum)?;
         self.audit(AuditAction::Replicate, path, "ok");
+        self.finish_op("replicate", path, start, &receipt);
         Ok(receipt)
     }
 
@@ -817,6 +869,9 @@ impl SrbConnection<'_> {
                         ReplicaStatus::Stale,
                         self.now(),
                     )?;
+                    if let Some(obs) = self.grid.core_obs() {
+                        obs.legs_stale.inc();
+                    }
                 }
                 Err(_) => {} // fatal: no row; error propagates below
             }
@@ -1246,12 +1301,24 @@ impl SrbConnection<'_> {
         let injected_ns = self.grid.faults.inject(resource, site)?;
         let driver = self.grid.driver(resource)?;
         let _inflight = self.grid.load.begin(resource);
-        let storage_ns = injected_ns
-            + if overwrite {
-                driver.driver().write(phys_path, data)?
-            } else {
-                driver.driver().create(phys_path, data)?
-            };
+        let stored = if overwrite {
+            driver.driver().write(phys_path, data)
+        } else {
+            driver.driver().create(phys_path, data)
+        };
+        let ns = match stored {
+            Ok(ns) => ns,
+            Err(e) => {
+                if let Some(obs) = self.grid.core_obs() {
+                    obs.storage_error(driver.kind(), e.code());
+                }
+                return Err(e);
+            }
+        };
+        if let Some(obs) = self.grid.core_obs() {
+            obs.storage_op(driver.kind(), ns);
+        }
+        let storage_ns = injected_ns + ns;
         self.grid.load.charge(resource, storage_ns);
         let net_ns = self
             .grid

@@ -203,3 +203,83 @@ fn parallel_and_sequential_fanout_store_identical_bytes() {
         assert_eq!(da, db, "content mismatch for {path}");
     }
 }
+
+/// Observability oracle, two halves:
+///
+/// 1. **Determinism** — two identically seeded chaos runs (p = 0.3 flaky
+///    faults, parallel fan-out) produce *byte-identical* metric snapshots:
+///    every counter, gauge, histogram quantile, and slow-op entry replays.
+/// 2. **Accounting** — `fanout.legs_stale` counts transitions into
+///    `Stale` and `health.repairs` transitions out, so their difference
+///    must equal the number of stale replica rows the catalog holds, at
+///    any point of the run.
+#[test]
+fn chaos_metrics_snapshot_replays_and_reconciles_with_catalog() {
+    fn stale_rows(grid: &Grid) -> u64 {
+        grid.mcat
+            .datasets
+            .dump()
+            .iter()
+            .flat_map(|d| d.replicas.iter())
+            .filter(|r| r.status == srb_mcat::ReplicaStatus::Stale)
+            .count() as u64
+    }
+    fn check_accounting(grid: &Grid, when: &str) {
+        let snap = grid.metrics_snapshot();
+        let went_stale = snap.counter_total("fanout.legs_stale");
+        let repaired = snap.counter_total("health.repairs");
+        assert_eq!(
+            went_stale - repaired,
+            stale_rows(grid),
+            "stale-replica accounting must reconcile {when} \
+             (legs_stale={went_stale}, repairs={repaired})"
+        );
+    }
+    fn run() -> Fixture {
+        let f = grid3();
+        let mut conn = SrbConnection::connect(&f.grid, f.srv, "u", "lab", "pw").unwrap();
+        conn.set_fanout_mode(FanoutMode::Parallel);
+        // Two attempts: enough for the retry counters to move, scarce
+        // enough that some legs exhaust the budget and go stale.
+        conn.set_retry_budget(srb_core::RetryBudget {
+            max_attempts: 2,
+            ..srb_core::RetryBudget::default()
+        });
+        f.grid.flaky_resource("fs2", 0.3, 42).unwrap();
+        f.grid.flaky_resource("fs3", 0.3, 43).unwrap();
+        for i in 0..24usize {
+            let path = format!("/home/u/chaos{i:02}");
+            let _ = conn.ingest(
+                &path,
+                vec![i as u8; 512 + i],
+                IngestOptions::to_resource("log3"),
+            );
+            if i % 3 == 0 {
+                let _ = conn.write(&path, vec![0xEE; 64 + i]);
+            }
+            f.grid.clock.advance(10_000_000);
+        }
+        check_accounting(&f.grid, "mid-chaos");
+        f.grid.faults.heal_all();
+        f.grid.clock.advance(2_000_000_000);
+        conn.repair_stale().unwrap();
+        check_accounting(&f.grid, "after the repair sweep");
+        f
+    }
+
+    let fa = run();
+    let fb = run();
+    let sa = fa.grid.metrics_snapshot();
+    let sb = fb.grid.metrics_snapshot();
+    assert!(
+        sa.counter_total("fanout.legs_stale") > 0,
+        "chaos schedule produced no staleness; the oracle is vacuous"
+    );
+    assert!(sa.counter_total("health.retries") > 0);
+    assert!(sa.counter_total("faults.injected") > 0);
+    assert_eq!(
+        serde_json::to_string(&sa).unwrap(),
+        serde_json::to_string(&sb).unwrap(),
+        "identically seeded runs must replay byte-identical snapshots"
+    );
+}

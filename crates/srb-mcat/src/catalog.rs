@@ -46,6 +46,19 @@ pub struct Mcat {
     /// Audit trail.
     pub audit: AuditLog,
     admin: UserId,
+    /// Query-planner metric handles, attached when observability is on.
+    obs: Option<QueryObs>,
+}
+
+/// Pre-registered counters for the query planner; kept as handles so the
+/// per-query cost is a few `fetch_add`s, not registry lookups.
+#[derive(Debug, Clone)]
+struct QueryObs {
+    plans_indexed: srb_obs::Counter,
+    plans_scan: srb_obs::Counter,
+    indexes_probed: srb_obs::Counter,
+    candidates_scanned: srb_obs::Counter,
+    candidates_verified: srb_obs::Counter,
 }
 
 impl Mcat {
@@ -71,7 +84,23 @@ impl Mcat {
             annotations: AnnotationTable::new(),
             audit: AuditLog::new(),
             admin,
+            obs: None,
         }
+    }
+
+    /// Attach planner and scope-cache instrumentation (builder-style,
+    /// called once by the grid at construction when observability is
+    /// enabled).
+    pub fn with_metrics(mut self, metrics: &srb_obs::MetricsRegistry) -> Self {
+        self.obs = Some(QueryObs {
+            plans_indexed: metrics.counter("query.plans", "indexed"),
+            plans_scan: metrics.counter("query.plans", "scan"),
+            indexes_probed: metrics.counter("query.indexes_probed", ""),
+            candidates_scanned: metrics.counter("query.candidates_scanned", ""),
+            candidates_verified: metrics.counter("query.candidates_verified", ""),
+        });
+        self.collections.attach_metrics(metrics);
+        self
     }
 
     /// The bootstrap administrator.
@@ -106,6 +135,7 @@ impl Mcat {
             annotations,
             audit,
             admin,
+            obs: None,
         }
     }
 
@@ -617,6 +647,15 @@ impl Mcat {
             .collect();
         sources.sort_by_key(|(cost, _)| *cost);
 
+        if let Some(obs) = &self.obs {
+            if sources.is_empty() {
+                obs.plans_scan.inc();
+            } else {
+                obs.plans_indexed.inc();
+                obs.indexes_probed.add(sources.len() as u64);
+            }
+        }
+
         let candidates: Vec<DatasetId> = if let Some((_, driver)) = sources.first() {
             let mut set = self
                 .metadata
@@ -643,7 +682,12 @@ impl Mcat {
             self.datasets.ids_in_colls(&scope)
         };
 
+        let scanned = candidates.len() as u64;
         let confirmed = self.verify_candidates(q, &scope, &residual, candidates);
+        if let Some(obs) = &self.obs {
+            obs.candidates_scanned.add(scanned);
+            obs.candidates_verified.add(confirmed.len() as u64);
+        }
         let mut hits = self.build_hits(q, &confirmed);
         hits.sort_by(|a, b| a.path.cmp(&b.path));
         if q.limit > 0 {
@@ -856,6 +900,28 @@ mod tests {
             a[0].selected,
             vec![("wingspan".to_string(), "290".to_string())]
         );
+    }
+
+    #[test]
+    fn planner_metrics_track_plan_kind_and_cache() {
+        let metrics = srb_obs::MetricsRegistry::new();
+        let (m, ..) = seeded();
+        let m = m.with_metrics(&metrics);
+        // Indexed plan: one strong source drives it.
+        let q = Query::everywhere().and("wingspan", CompareOp::Gt, 100i64);
+        assert_eq!(m.query(&q).unwrap().len(), 1);
+        assert_eq!(metrics.counter("query.plans", "indexed").get(), 1);
+        assert_eq!(metrics.counter("query.indexes_probed", "").get(), 1);
+        assert_eq!(metrics.counter("query.candidates_scanned", "").get(), 1);
+        assert_eq!(metrics.counter("query.candidates_verified", "").get(), 1);
+        // No index-complete condition: full-scope scan plan.
+        let q_scan = Query::everywhere();
+        let hits = m.query(&q_scan).unwrap();
+        assert_eq!(hits.len(), 3);
+        assert_eq!(metrics.counter("query.plans", "scan").get(), 1);
+        // The second query reused the cached "/" scope set.
+        assert_eq!(metrics.counter("query.scope_cache_misses", "").get(), 1);
+        assert_eq!(metrics.counter("query.scope_cache_hits", "").get(), 1);
     }
 
     #[test]

@@ -93,6 +93,9 @@ pub struct CollectionTable {
     /// [`Self::generation`] are recomputed on next use; queries sharing a
     /// scope between mutations share one `Arc`'d set.
     scope_cache: RwLock<HashMap<CollectionId, CachedScope>>,
+    /// `query.scope_cache_hits` / `query.scope_cache_misses`, attached by
+    /// the grid when observability is on.
+    cache_obs: Option<(srb_obs::Counter, srb_obs::Counter)>,
 }
 
 impl Default for CollectionTable {
@@ -105,6 +108,7 @@ impl Default for CollectionTable {
                 "mcat.collections.scope_cache",
                 HashMap::new(),
             ),
+            cache_obs: None,
         }
     }
 }
@@ -321,14 +325,29 @@ impl CollectionTable {
         let gen_before = self.generation.current();
         if let Some((stamp, set)) = self.scope_cache.read().get(&root) {
             if *stamp == gen_before {
+                if let Some((hits, _)) = &self.cache_obs {
+                    hits.inc();
+                }
                 return Arc::clone(set);
             }
+        }
+        if let Some((_, misses)) = &self.cache_obs {
+            misses.inc();
         }
         let set = Arc::new(self.compute_subtree(root));
         self.scope_cache
             .write()
             .insert(root, (gen_before, Arc::clone(&set)));
         set
+    }
+
+    /// Attach the scope-cache hit/miss counters (called once by the grid
+    /// at construction when observability is enabled).
+    pub fn attach_metrics(&mut self, metrics: &srb_obs::MetricsRegistry) {
+        self.cache_obs = Some((
+            metrics.counter("query.scope_cache_hits", ""),
+            metrics.counter("query.scope_cache_misses", ""),
+        ));
     }
 
     fn compute_subtree(&self, root: CollectionId) -> HashSet<CollectionId> {

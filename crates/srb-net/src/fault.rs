@@ -24,6 +24,7 @@
 //! surface as [`SrbError::SiteUnavailable`], distinct from a single broken
 //! resource.
 
+use srb_obs::{MetricsRegistry, ResourceLabels};
 use srb_types::sync::{LockRank, RwLock};
 use srb_types::{ResourceId, SiteId, SrbError, SrbResult};
 use std::collections::{HashMap, HashSet};
@@ -61,12 +62,22 @@ struct FaultState {
 #[derive(Debug)]
 pub struct FaultPlan {
     inner: RwLock<Inner>,
+    obs: Option<FaultObs>,
+}
+
+/// Metric handles for injected faults; attached by the grid when
+/// observability is on.
+#[derive(Debug, Clone)]
+struct FaultObs {
+    metrics: MetricsRegistry,
+    labels: ResourceLabels,
 }
 
 impl Default for FaultPlan {
     fn default() -> Self {
         FaultPlan {
             inner: RwLock::new(LockRank::Topology, "net.fault.inner", Inner::default()),
+            obs: None,
         }
     }
 }
@@ -92,6 +103,25 @@ impl FaultPlan {
     /// Everything healthy.
     pub fn new() -> Self {
         FaultPlan::default()
+    }
+
+    /// Attach metric instrumentation (builder-style, called once by the
+    /// grid at construction when observability is enabled). Every injected
+    /// *failure* counts against `faults.injected{resource}`; injected
+    /// latency is visible in receipts instead.
+    pub fn with_metrics(mut self, metrics: MetricsRegistry, labels: ResourceLabels) -> Self {
+        self.obs = Some(FaultObs { metrics, labels });
+        self
+    }
+
+    /// Count one injected failure against `r` (site faults count against
+    /// every resource they block, as they surface per-access too).
+    fn count_injected(&self, r: ResourceId) {
+        if let Some(obs) = &self.obs {
+            obs.metrics
+                .counter("faults.injected", &obs.labels.get(r))
+                .inc();
+        }
     }
 
     /// Install a fault mode on a resource, replacing any existing one
@@ -154,6 +184,14 @@ impl FaultPlan {
     /// of its budget, `FailWithProb` advances the seeded stream — so call
     /// exactly once per storage access.
     pub fn inject(&self, r: ResourceId, site: SiteId) -> SrbResult<u64> {
+        let result = self.inject_inner(r, site);
+        if result.is_err() {
+            self.count_injected(r);
+        }
+        result
+    }
+
+    fn inject_inner(&self, r: ResourceId, site: SiteId) -> SrbResult<u64> {
         let mut g = self.inner.write();
         if g.down_sites.contains(&site) {
             return Err(SrbError::SiteUnavailable(format!(
@@ -223,6 +261,23 @@ impl FaultPlan {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn injected_failures_feed_metrics() {
+        let metrics = MetricsRegistry::new();
+        let labels =
+            ResourceLabels::new([(ResourceId(1), "fs1".to_string())].into_iter().collect());
+        let f = FaultPlan::new().with_metrics(metrics.clone(), labels);
+        f.set_mode(ResourceId(1), FaultMode::FailNext(2));
+        assert!(f.inject(ResourceId(1), SiteId(0)).is_err());
+        assert!(f.inject(ResourceId(1), SiteId(0)).is_err());
+        assert!(f.inject(ResourceId(1), SiteId(0)).is_ok(), "burst healed");
+        assert_eq!(metrics.counter("faults.injected", "fs1").get(), 2);
+        // Added latency is not a failure: it must not count.
+        f.set_mode(ResourceId(1), FaultMode::AddedLatency(5));
+        assert_eq!(f.inject(ResourceId(1), SiteId(0)).unwrap(), 5);
+        assert_eq!(metrics.counter("faults.injected", "fs1").get(), 2);
+    }
 
     #[test]
     fn resources_start_up() {

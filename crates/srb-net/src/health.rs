@@ -23,6 +23,7 @@
 //! advances the clock, which means a breaker can only half-open after the
 //! caller has charged enough simulated work.
 
+use srb_obs::{MetricsRegistry, ResourceLabels};
 use srb_types::sync::{LockRank, RwLock};
 use srb_types::{ResourceId, SimClock, Timestamp};
 use std::collections::HashMap;
@@ -146,6 +147,31 @@ impl Cell {
     }
 }
 
+/// Metric handles for breaker activity; attached by the grid when
+/// observability is on, `None` otherwise (a pure branch on the hot path).
+#[derive(Debug, Clone)]
+struct HealthObs {
+    metrics: MetricsRegistry,
+    labels: ResourceLabels,
+}
+
+impl HealthObs {
+    /// Record a state transition: bump `counter` for `r` and move the
+    /// per-resource `health.breaker_state` gauge (0 closed, 1 half-open,
+    /// 2 open).
+    fn transition(&self, r: ResourceId, counter: &str, state: BreakerState) {
+        let label = self.labels.get(r);
+        self.metrics.counter(counter, &label).inc();
+        self.metrics
+            .gauge("health.breaker_state", &label)
+            .set(match state {
+                BreakerState::Closed => 0,
+                BreakerState::HalfOpen => 1,
+                BreakerState::Open => 2,
+            });
+    }
+}
+
 /// All breakers for one grid, keyed by resource.
 ///
 /// Shared the same way as [`crate::FaultPlan`]: one registry per grid,
@@ -156,6 +182,7 @@ pub struct HealthRegistry {
     clock: SimClock,
     config: BreakerConfig,
     cells: RwLock<HashMap<ResourceId, Cell>>,
+    obs: Option<HealthObs>,
 }
 
 impl HealthRegistry {
@@ -165,7 +192,15 @@ impl HealthRegistry {
             clock,
             config,
             cells: RwLock::new(LockRank::Topology, "net.health.cells", HashMap::new()),
+            obs: None,
         }
+    }
+
+    /// Attach metric instrumentation (builder-style, called once by the
+    /// grid at construction when observability is enabled).
+    pub fn with_metrics(mut self, metrics: MetricsRegistry, labels: ResourceLabels) -> Self {
+        self.obs = Some(HealthObs { metrics, labels });
+        self
     }
 
     /// The registry's configuration.
@@ -194,8 +229,16 @@ impl HealthRegistry {
                 if now.since(cell.opened_at) >= self.config.cooldown_ns {
                     cell.state = BreakerState::HalfOpen;
                     cell.probe_successes = 0;
+                    if let Some(obs) = &self.obs {
+                        obs.transition(r, "health.breaker_half_opens", BreakerState::HalfOpen);
+                    }
                     Admission::Probe
                 } else {
+                    if let Some(obs) = &self.obs {
+                        obs.metrics
+                            .counter("health.fast_fails", &obs.labels.get(r))
+                            .inc();
+                    }
                     Admission::FastFail
                 }
             }
@@ -219,6 +262,9 @@ impl HealthRegistry {
                 cell.push_outcome(!ok, self.config.window);
                 if cell.failures() >= self.config.failure_threshold {
                     cell.trip(now);
+                    if let Some(obs) = &self.obs {
+                        obs.transition(r, "health.breaker_trips", BreakerState::Open);
+                    }
                 }
             }
             BreakerState::HalfOpen => {
@@ -226,10 +272,16 @@ impl HealthRegistry {
                     cell.probe_successes += 1;
                     if cell.probe_successes >= self.config.halfopen_successes {
                         cell.close();
+                        if let Some(obs) = &self.obs {
+                            obs.transition(r, "health.breaker_closes", BreakerState::Closed);
+                        }
                     }
                 } else {
                     // Probe failed: reopen and restart the cool-down.
                     cell.trip(now);
+                    if let Some(obs) = &self.obs {
+                        obs.transition(r, "health.breaker_trips", BreakerState::Open);
+                    }
                 }
             }
             // Straggler outcome from an access admitted before the trip;
@@ -424,6 +476,31 @@ mod tests {
         assert_eq!(h.state(r), BreakerState::Closed);
         assert_eq!(h.admit(r), Admission::Allow);
         assert!(h.unhealthy().is_empty());
+    }
+
+    #[test]
+    fn transitions_feed_metrics() {
+        let clock = SimClock::new();
+        let metrics = MetricsRegistry::new();
+        let labels =
+            ResourceLabels::new([(ResourceId(1), "fs1".to_string())].into_iter().collect());
+        let h = registry(&clock).with_metrics(metrics.clone(), labels);
+        let r = ResourceId(1);
+        for _ in 0..4 {
+            h.record(r, false);
+        }
+        assert_eq!(metrics.counter("health.breaker_trips", "fs1").get(), 1);
+        assert_eq!(metrics.gauge("health.breaker_state", "fs1").get(), 2);
+        assert_eq!(h.admit(r), Admission::FastFail);
+        assert_eq!(metrics.counter("health.fast_fails", "fs1").get(), 1);
+        clock.advance(1_000);
+        assert_eq!(h.admit(r), Admission::Probe);
+        assert_eq!(metrics.counter("health.breaker_half_opens", "fs1").get(), 1);
+        assert_eq!(metrics.gauge("health.breaker_state", "fs1").get(), 1);
+        h.record(r, true);
+        h.record(r, true);
+        assert_eq!(metrics.counter("health.breaker_closes", "fs1").get(), 1);
+        assert_eq!(metrics.gauge("health.breaker_state", "fs1").get(), 0);
     }
 
     #[test]

@@ -1,0 +1,48 @@
+//! Resource-id → metric-label resolution.
+//!
+//! Subsystems below `srb-core` (breakers, fault injection) key their state
+//! by [`ResourceId`], but operators read metrics by resource *name*. The
+//! grid builds one immutable name map at construction time and hands a
+//! clone to every instrumented subsystem; unknown ids (resources created
+//! after the map was built) fall back to `r<id>` rather than panicking.
+
+use srb_types::ResourceId;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Immutable, cheaply clonable resource-name map.
+#[derive(Debug, Clone, Default)]
+pub struct ResourceLabels {
+    names: Arc<HashMap<ResourceId, String>>,
+}
+
+impl ResourceLabels {
+    /// Wrap a name map built by the grid.
+    pub fn new(names: HashMap<ResourceId, String>) -> ResourceLabels {
+        ResourceLabels {
+            names: Arc::new(names),
+        }
+    }
+
+    /// The metric label for `r`.
+    pub fn get(&self, r: ResourceId) -> String {
+        self.names
+            .get(&r)
+            .cloned()
+            .unwrap_or_else(|| format!("r{}", r.0))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_and_fallback_labels() {
+        let mut m = HashMap::new();
+        m.insert(ResourceId(7), "fs-sdsc".to_string());
+        let labels = ResourceLabels::new(m);
+        assert_eq!(labels.get(ResourceId(7)), "fs-sdsc");
+        assert_eq!(labels.get(ResourceId(9)), "r9");
+    }
+}

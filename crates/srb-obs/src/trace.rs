@@ -1,0 +1,161 @@
+//! Ring-buffered structured spans over the virtual clock.
+//!
+//! Spans are recorded **post hoc**: grid operations charge simulated
+//! costs into a `Receipt` without advancing the shared clock, so a span's
+//! duration is known only when the operation finishes. The caller records
+//! `(start, dur_ns)` after the fact, optionally parented to an enclosing
+//! span, and the tracer keeps the most recent `capacity` spans. Recording
+//! happens from the operation's calling thread (never from fan-out
+//! workers), so span ids and ring contents are deterministic under a
+//! seeded workload.
+
+use serde::{Deserialize, Serialize};
+use srb_types::sync::Mutex;
+use srb_types::{LockRank, SimClock, Timestamp};
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+/// Spans kept per grid before the oldest is evicted.
+pub const DEFAULT_SPAN_CAPACITY: usize = 1024;
+
+/// Identifier of a recorded span, unique within one tracer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct SpanId(pub u64);
+
+/// One completed operation leg.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Span {
+    /// This span's id.
+    pub id: u64,
+    /// Enclosing span, if the operation was nested.
+    pub parent: Option<u64>,
+    /// Operation name (e.g. `open`, `mcat_rpc`, `store_leg`).
+    pub name: String,
+    /// Instance label (a path, a resource, a route).
+    pub label: String,
+    /// Virtual start time, nanoseconds since boot.
+    pub start_ns: u64,
+    /// Simulated duration in nanoseconds.
+    pub dur_ns: u64,
+}
+
+struct State {
+    next_id: u64,
+    spans: VecDeque<Span>,
+}
+
+struct Inner {
+    clock: SimClock,
+    capacity: usize,
+    state: Mutex<State>,
+}
+
+/// The span ring. Cloning shares the buffer.
+#[derive(Clone)]
+pub struct Tracer {
+    inner: Arc<Inner>,
+}
+
+impl std::fmt::Debug for Tracer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Tracer").finish_non_exhaustive()
+    }
+}
+
+impl Tracer {
+    /// A tracer over `clock` keeping at most `capacity` spans.
+    pub fn new(clock: SimClock, capacity: usize) -> Tracer {
+        Tracer {
+            inner: Arc::new(Inner {
+                clock,
+                capacity: capacity.max(1),
+                state: Mutex::new(
+                    LockRank::Topology,
+                    "obs.spans",
+                    State {
+                        next_id: 1,
+                        spans: VecDeque::new(),
+                    },
+                ),
+            }),
+        }
+    }
+
+    /// The virtual clock spans are stamped against.
+    pub fn clock(&self) -> &SimClock {
+        &self.inner.clock
+    }
+
+    /// Record a completed span; returns its id so children can parent to
+    /// it. Evicts the oldest span when the ring is full.
+    pub fn record(
+        &self,
+        name: &str,
+        label: &str,
+        parent: Option<SpanId>,
+        start: Timestamp,
+        dur_ns: u64,
+    ) -> SpanId {
+        let mut st = self.inner.state.lock();
+        let id = st.next_id;
+        st.next_id += 1;
+        if st.spans.len() == self.inner.capacity {
+            st.spans.pop_front();
+        }
+        st.spans.push_back(Span {
+            id,
+            parent: parent.map(|p| p.0),
+            name: name.to_string(),
+            label: label.to_string(),
+            start_ns: start.nanos(),
+            dur_ns,
+        });
+        SpanId(id)
+    }
+
+    /// The buffered spans, oldest first.
+    pub fn spans(&self) -> Vec<Span> {
+        self.inner.state.lock().spans.iter().cloned().collect()
+    }
+
+    /// Number of buffered spans.
+    pub fn len(&self) -> usize {
+        self.inner.state.lock().spans.len()
+    }
+
+    /// True when no span has been recorded (or all were evicted).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_parented_spans() {
+        let clock = SimClock::new();
+        let t = Tracer::new(clock.clone(), 8);
+        let root = t.record("open", "/zoo/a", None, clock.now(), 5_000);
+        clock.advance(5_000);
+        let child = t.record("mcat_rpc", "stat", Some(root), Timestamp(0), 2_000);
+        assert_ne!(root, child);
+        let spans = t.spans();
+        assert_eq!(spans.len(), 2);
+        assert_eq!(spans[0].name, "open");
+        assert_eq!(spans[1].parent, Some(spans[0].id));
+    }
+
+    #[test]
+    fn ring_evicts_oldest() {
+        let t = Tracer::new(SimClock::new(), 3);
+        for i in 0..5u64 {
+            t.record("op", &format!("n{i}"), None, Timestamp(i), 1);
+        }
+        let spans = t.spans();
+        assert_eq!(spans.len(), 3);
+        assert_eq!(spans[0].label, "n2", "oldest two evicted");
+        assert_eq!(spans[2].label, "n4");
+    }
+}

@@ -200,6 +200,47 @@ fn check_e7(root: &Path) -> Result<String, String> {
     ))
 }
 
+/// BENCH_OBS: the observability overhead guard. Each row pairs an
+/// identical workload with observability off (`base`) and on (`obs`);
+/// the instrumented run must stay within 5% wall-clock of the bare one,
+/// and must charge *exactly* the same simulated time — metrics never
+/// touch the virtual clock.
+fn check_obs(root: &Path) -> Result<String, String> {
+    let rows = rows_of(root, "BENCH_OBS.json")?;
+    let mut worst = 0.0f64;
+    for (i, row) in rows.iter().enumerate() {
+        let workload = row.get("workload").and_then(Value::as_str).unwrap_or("?");
+        let base = num(row, "base").ok_or_else(|| format!("row {i}: missing base"))?;
+        let obs = num(row, "obs").ok_or_else(|| format!("row {i}: missing obs"))?;
+        if base <= 0.0 || obs <= 0.0 {
+            return Err(format!("row {i} ({workload}): non-positive timing"));
+        }
+        if obs > base * 1.05 {
+            return Err(format!(
+                "row {i} ({workload}): observability overhead {:.1}% above the 5% gate \
+                 (base {base:.2}, obs {obs:.2})",
+                (obs / base - 1.0) * 100.0
+            ));
+        }
+        let sim_base =
+            num(row, "sim_ms_base").ok_or_else(|| format!("row {i}: missing sim_ms_base"))?;
+        let sim_obs =
+            num(row, "sim_ms_obs").ok_or_else(|| format!("row {i}: missing sim_ms_obs"))?;
+        if (sim_base - sim_obs).abs() > 1e-9 {
+            return Err(format!(
+                "row {i} ({workload}): metrics charged simulated time \
+                 (off {sim_base:.6} ms, on {sim_obs:.6} ms)"
+            ));
+        }
+        worst = worst.max(obs / base - 1.0);
+    }
+    Ok(format!(
+        "{} rows ok, observability overhead <= {:.1}% wall, 0 ns simulated",
+        rows.len(),
+        worst * 100.0
+    ))
+}
+
 pub fn benchcheck(root: &Path) -> ExitCode {
     let mut failed = false;
     for (file, scan_field, scan_scale) in [
@@ -221,6 +262,7 @@ pub fn benchcheck(root: &Path) -> ExitCode {
         ),
         ("BENCH_E6.json", check_e6),
         ("BENCH_E7.json", check_e7),
+        ("BENCH_OBS.json", check_obs),
     ] {
         match checker(root) {
             Ok(msg) => println!("xtask benchcheck: {file}: {msg}"),

@@ -14,6 +14,9 @@
 //!   baseline with `cargo xtask lint --update-baseline` after a burndown.
 //! - `no-panic-ops` — `panic!`/`todo!`/`unimplemented!` are banned in
 //!   `srb-core` op handlers, which execute untrusted client requests.
+//! - `metric-name` — literal metric registrations outside `srb-obs` must
+//!   follow the `subsystem.name` scheme (`srb_obs::SUBSYSTEMS`); literal
+//!   span names must be bare lowercase op idents.
 //!
 //! `vendor/` (offline dependency stand-ins) and `xtask/` itself are out of
 //! scope; everything under `crates/`, `src/`, and `tests/` is linted.
@@ -153,6 +156,7 @@ fn lint(update_baseline: bool) -> ExitCode {
         violations.extend(rules::raw_lock(rel, &masked));
         violations.extend(rules::wall_clock(rel, &masked));
         violations.extend(rules::panic_ops(rel, &masked));
+        violations.extend(rules::metric_names(rel, &src, &masked));
         if in_unwrap_scope(rel) {
             unwrap_counts.insert(rel.clone(), rules::count_unwraps(&masked));
         }

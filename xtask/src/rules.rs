@@ -85,6 +85,82 @@ pub fn count_unwraps(masked: &str) -> usize {
         .sum()
 }
 
+/// Subsystem prefixes of the `subsystem.name` metric scheme — mirrors
+/// `srb_obs::SUBSYSTEMS`, which enforces the same list at registration
+/// time (an ill-formed name panics there).
+const METRIC_SUBSYSTEMS: &[&str] = &[
+    "storage", "health", "faults", "fanout", "query", "web", "core",
+];
+
+/// Mirror of `srb_obs::valid_metric_name` (xtask cannot depend on the
+/// workspace crates it lints).
+fn valid_metric_name(name: &str) -> bool {
+    let Some((subsystem, rest)) = name.split_once('.') else {
+        return false;
+    };
+    METRIC_SUBSYSTEMS.contains(&subsystem)
+        && !rest.is_empty()
+        && rest
+            .bytes()
+            .all(|b| b.is_ascii_lowercase() || b.is_ascii_digit() || b == b'_')
+}
+
+/// Rule `metric-name`: every literal metric registration or lookup
+/// (`.counter("…")` / `.gauge("…")` / `.histogram("…")`) outside
+/// `crates/srb-obs` must follow the documented `subsystem.name` scheme;
+/// literal span names (`.span("…")`) must be bare lowercase op idents.
+/// Non-literal call sites are left to the registry's runtime check.
+///
+/// Masking preserves byte offsets, so call sites are located in the masked
+/// text (never in comments or strings) and the literal itself is read back
+/// from the raw source at the same position.
+pub fn metric_names(path: &str, src: &str, masked: &str) -> Vec<Violation> {
+    if !path.starts_with("crates/") || path.starts_with("crates/srb-obs/") {
+        return Vec::new();
+    }
+    let mut out = Vec::new();
+    for method in ["counter", "gauge", "histogram", "span"] {
+        let needle = format!(".{method}(\"");
+        let mut search = 0;
+        while let Some(pos) = masked[search..].find(&needle) {
+            let at = search + pos;
+            search = at + needle.len();
+            let lit_start = at + needle.len();
+            let Some(len) = src[lit_start..].find('"') else {
+                continue;
+            };
+            let name = &src[lit_start..lit_start + len];
+            let ok = if method == "span" {
+                !name.is_empty()
+                    && name
+                        .bytes()
+                        .all(|b| b.is_ascii_lowercase() || b.is_ascii_digit() || b == b'_')
+            } else {
+                valid_metric_name(name)
+            };
+            if !ok {
+                let line = masked[..at].bytes().filter(|&b| b == b'\n').count() + 1;
+                out.push(Violation {
+                    path: path.to_string(),
+                    line,
+                    rule: "metric-name",
+                    msg: if method == "span" {
+                        format!("span name `{name}` is not a bare lowercase op ident ([a-z0-9_]+)")
+                    } else {
+                        format!(
+                            "metric `{name}` violates the `subsystem.name` scheme \
+                             (subsystem in {METRIC_SUBSYSTEMS:?}, name [a-z0-9_]+; \
+                             see srb_obs::SUBSYSTEMS)"
+                        )
+                    },
+                });
+            }
+        }
+    }
+    out.sort_by_key(|v| v.line);
+    out
+}
+
 /// Rule `no-panic-ops`: `panic!`/`todo!`/`unimplemented!` are banned in
 /// `srb-core` op handlers (`ops_*.rs`). Op handlers run client requests; a
 /// malformed request must surface as an `SrbError` on that request, not
@@ -168,6 +244,45 @@ mod tests {
             count_unwraps(&mask_source("x.unwrap_or(0); y.expect_err(\"\");\n")),
             0
         );
+    }
+
+    #[test]
+    fn metric_names_must_follow_the_scheme() {
+        let bad = "fn f(m: &M) { m.counter(\"requests\", \"\").inc(); }\n";
+        let v = metric_names("crates/mysrb/src/app.rs", bad, &mask_source(bad));
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].line, 1);
+        assert!(v[0].msg.contains("`requests`"));
+        // Unknown subsystems and uppercase names are flagged too.
+        let bad2 = "m.gauge(\"webby.x\", \"\"); m.histogram(\"web.Latency\", \"\");\n";
+        assert_eq!(
+            metric_names("crates/mysrb/src/app.rs", bad2, &mask_source(bad2)).len(),
+            2
+        );
+        // Well-formed names, non-literal call sites, commented-out code,
+        // and srb-obs itself are all fine.
+        let ok = "m.counter(\"web.requests\", p).inc();\n\
+                  m.counter(name, label).inc();\n\
+                  // m.counter(\"nope\", \"\")\n\
+                  obs.span(\"open\", p, None, t, d);\n";
+        assert!(metric_names("crates/mysrb/src/app.rs", ok, &mask_source(ok)).is_empty());
+        assert!(metric_names("crates/srb-obs/src/metrics.rs", bad, &mask_source(bad)).is_empty());
+        // Span names must be bare lowercase op idents.
+        let span = "obs.span(\"Open Dataset\", p, None, t, d);\n";
+        assert_eq!(
+            metric_names("crates/srb-core/src/conn.rs", span, &mask_source(span)).len(),
+            1
+        );
+    }
+
+    #[test]
+    fn srb_obs_is_not_exempt_from_clock_and_lock_bans() {
+        let masked = mask_source("use parking_lot::RwLock;\nlet t = Instant::now();\n");
+        assert_eq!(
+            wall_clock("crates/srb-obs/src/metrics.rs", &masked).len(),
+            1
+        );
+        assert_eq!(raw_lock("crates/srb-obs/src/metrics.rs", &masked).len(), 1);
     }
 
     #[test]
