@@ -168,7 +168,10 @@ impl AnnotationTable {
                 row.author
             )));
         }
-        let row = g.rows.remove(&id).expect("checked above");
+        let row = g
+            .rows
+            .remove(&id)
+            .ok_or_else(|| SrbError::NotFound(format!("annotation {id}")))?;
         if let Some(v) = g.by_subject.get_mut(&row.subject) {
             v.retain(|&a| a != id);
         }

@@ -217,7 +217,10 @@ impl ContainerTable {
                 c.members.len()
             )));
         }
-        let c = g.rows.remove(&id).expect("checked above");
+        let c = g
+            .rows
+            .remove(&id)
+            .ok_or_else(|| SrbError::NotFound(format!("container {id}")))?;
         g.by_name.remove(&c.name);
         Ok(())
     }

@@ -78,8 +78,9 @@ impl Mcat {
     }
 
     /// Capture the whole catalog as a JSON string.
-    pub fn snapshot_json(&self) -> String {
-        serde_json::to_string(&self.snapshot()).expect("snapshot serializes")
+    pub fn snapshot_json(&self) -> SrbResult<String> {
+        serde_json::to_string(&self.snapshot())
+            .map_err(|e| SrbError::Invalid(format!("snapshot serialization: {e}")))
     }
 
     /// Rebuild a catalog from a snapshot, sharing `clock`.
@@ -187,7 +188,7 @@ mod tests {
     #[test]
     fn snapshot_round_trip_preserves_everything() {
         let m = seeded();
-        let json = m.snapshot_json();
+        let json = m.snapshot_json().unwrap();
         let clock = SimClock::new();
         let r = Mcat::restore_json(clock, &json).unwrap();
         // Counts match.
@@ -216,7 +217,7 @@ mod tests {
     fn restored_catalog_keeps_allocating_fresh_ids() {
         let m = seeded();
         let floor = m.ids.allocated();
-        let r = Mcat::restore_json(SimClock::new(), &m.snapshot_json()).unwrap();
+        let r = Mcat::restore_json(SimClock::new(), &m.snapshot_json().unwrap()).unwrap();
         let root = r.collections.root();
         let new_coll = r
             .collections
@@ -243,7 +244,7 @@ mod tests {
     #[test]
     fn mutations_after_restore_do_not_corrupt_indexes() {
         let m = seeded();
-        let r = Mcat::restore_json(SimClock::new(), &m.snapshot_json()).unwrap();
+        let r = Mcat::restore_json(SimClock::new(), &m.snapshot_json().unwrap()).unwrap();
         let path = LogicalPath::parse("/zoo/condor.jpg").unwrap();
         let ds = r.resolve_dataset(&path).unwrap();
         // Move the dataset and delete its metadata — the rebuilt indexes

@@ -169,7 +169,10 @@ impl UserTable {
         if !u.groups.contains(&group) {
             u.groups.push(group);
         }
-        let grp = g.groups.get_mut(&group).expect("checked above");
+        let grp = g
+            .groups
+            .get_mut(&group)
+            .ok_or_else(|| SrbError::NotFound(format!("group {group}")))?;
         if !grp.members.contains(&user) {
             grp.members.push(user);
         }

@@ -13,7 +13,8 @@
 //!
 //! * **Lock-cheap.** Handles returned by the registry are `Arc`s of plain
 //!   atomics; the hot path is a `fetch_add`. The registry's own maps sit
-//!   behind a ranked [`RwLock`] at [`LockRank::Topology`] — the lowest
+//!   behind a ranked [`RwLock`](srb_types::sync::RwLock) at
+//!   [`LockRank::Topology`](srb_types::sync::LockRank::Topology) — the lowest
 //!   rank — so a metric may be recorded while holding *any* other lock in
 //!   the workspace without inverting the hierarchy.
 //! * **Deterministic.** Every observed quantity is a virtual-clock or

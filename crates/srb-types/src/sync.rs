@@ -415,4 +415,72 @@ mod tests {
         .join()
         .unwrap();
     }
+
+    /// The module-doc hierarchy table is documentation of record (and what
+    /// `cargo xtask analyze` points people at), so it must list exactly
+    /// the `LockRank` variants with their actual discriminants.
+    #[test]
+    fn module_doc_table_matches_the_enum() {
+        let src = include_str!("sync.rs");
+
+        // Rows of the doc table: `//! | <rank> | \`<Variant>\` | ... |`.
+        let mut doc_rows = Vec::new();
+        for line in src.lines() {
+            let Some(row) = line.trim().strip_prefix("//! |") else {
+                continue;
+            };
+            let cells: Vec<&str> = row.split('|').map(str::trim).collect();
+            if cells.len() < 2 {
+                continue;
+            }
+            let (Ok(rank), Some(variant)) = (
+                cells[0].parse::<u8>(),
+                cells[1].strip_prefix('`').and_then(|c| c.strip_suffix('`')),
+            ) else {
+                continue; // header / separator rows
+            };
+            doc_rows.push((variant.to_string(), rank));
+        }
+
+        // Variants of the enum itself: `<Variant> = <n>,` inside
+        // `pub enum LockRank { ... }`.
+        let body = src
+            .split_once("pub enum LockRank {")
+            .map(|(_, rest)| rest.split_once('}').map(|(b, _)| b).unwrap_or(rest))
+            .expect("enum LockRank present in sync.rs");
+        let mut enum_rows = Vec::new();
+        for line in body.lines() {
+            let line = line.trim();
+            if line.starts_with("///") {
+                continue;
+            }
+            if let Some((variant, rest)) = line.split_once('=') {
+                let rank: u8 = rest
+                    .trim()
+                    .trim_end_matches(',')
+                    .parse()
+                    .expect("explicit discriminant");
+                enum_rows.push((variant.trim().to_string(), rank));
+            }
+        }
+
+        assert!(!enum_rows.is_empty(), "found no LockRank variants");
+        // The table lists ranks descending (acquired-earlier first); the
+        // enum ascends. Compare as sets of (variant, rank) plus counts, so
+        // a renamed variant, changed discriminant, added rank, or dropped
+        // table row all fail.
+        let mut doc_sorted = doc_rows.clone();
+        doc_sorted.sort();
+        let mut enum_sorted = enum_rows.clone();
+        enum_sorted.sort();
+        assert_eq!(
+            doc_sorted, enum_sorted,
+            "module-doc rank table out of sync with the LockRank enum"
+        );
+        // And the documented order really is descending.
+        let ranks: Vec<u8> = doc_rows.iter().map(|&(_, r)| r).collect();
+        let mut descending = ranks.clone();
+        descending.sort_by(|a, b| b.cmp(a));
+        assert_eq!(ranks, descending, "doc table must list ranks descending");
+    }
 }

@@ -1,7 +1,13 @@
-//! The lint rules. Each rule takes a workspace-relative path plus the
-//! masked source (see [`crate::mask`]) and yields violations.
+//! The lint rules, running on the token stream from [`crate::lexer`].
+//!
+//! Each rule takes a workspace-relative path plus the lexed source and
+//! yields violations. Comments and literals are not tokens, so a banned
+//! identifier in a doc comment or a test fixture string can never trip a
+//! rule; string-literal *values* (for the metric-name rule) come from the
+//! lexer with escapes already resolved, so `"web.a\"b"` is seen as the
+//! eight characters it denotes rather than being cut at the escaped quote.
 
-use crate::mask::{find_ident_lines, test_region_lines};
+use crate::lexer::{Lexed, TokKind};
 
 /// One finding: file, line, rule id, message.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -22,15 +28,39 @@ impl std::fmt::Display for Violation {
     }
 }
 
+impl Violation {
+    /// GitHub Actions workflow-command form: renders as an inline PR
+    /// annotation when printed from CI.
+    pub fn github_annotation(&self) -> String {
+        // Messages are single-line; commas/colons are fine inside the
+        // message part of a workflow command.
+        format!(
+            "::error file={},line={},title={}::{}",
+            self.path, self.line, self.rule, self.msg
+        )
+    }
+
+    /// Machine-readable form for `--json`.
+    pub fn to_json(&self) -> serde_json::Value {
+        serde_json::json!({
+            "path": self.path,
+            "line": self.line,
+            "rule": self.rule,
+            "msg": self.msg,
+        })
+    }
+}
+
 /// Rule `raw-lock`: `parking_lot` may only be named inside the ranked
 /// wrapper module. Everything else must go through `srb_types::sync`, which
 /// is what ties every lock to a `LockRank` and keeps the deadlock
 /// detector complete — one raw lock is a blind spot.
-pub fn raw_lock(path: &str, masked: &str) -> Vec<Violation> {
+pub fn raw_lock(path: &str, lexed: &Lexed) -> Vec<Violation> {
     if path == "crates/srb-types/src/sync.rs" {
         return Vec::new();
     }
-    find_ident_lines(masked, "parking_lot")
+    lexed
+        .ident_lines("parking_lot")
         .into_iter()
         .map(|line| Violation {
             path: path.to_string(),
@@ -47,7 +77,7 @@ pub fn raw_lock(path: &str, masked: &str) -> Vec<Violation> {
 /// crate. The whole grid runs on `SimClock` so experiments replay
 /// identically; one wall-clock read or OS-entropy draw silently breaks
 /// that determinism.
-pub fn wall_clock(path: &str, masked: &str) -> Vec<Violation> {
+pub fn wall_clock(path: &str, lexed: &Lexed) -> Vec<Violation> {
     if path == "crates/srb-types/src/clock.rs" || path.starts_with("crates/bench/") {
         return Vec::new();
     }
@@ -57,7 +87,7 @@ pub fn wall_clock(path: &str, masked: &str) -> Vec<Violation> {
         ("Instant", "wall-clock time"),
         ("thread_rng", "OS entropy"),
     ] {
-        for line in find_ident_lines(masked, word) {
+        for line in lexed.ident_lines(word) {
             out.push(Violation {
                 path: path.to_string(),
                 line,
@@ -75,14 +105,20 @@ pub fn wall_clock(path: &str, masked: &str) -> Vec<Violation> {
 
 /// Count `.unwrap()` / `.expect(` occurrences outside `#[cfg(test)]`
 /// regions. Used by rule `unwrap-budget` (the per-file ratchet).
-pub fn count_unwraps(masked: &str) -> usize {
-    let in_test = test_region_lines(masked);
-    masked
-        .lines()
-        .enumerate()
-        .filter(|(idx, _)| !in_test.get(idx + 1).copied().unwrap_or(false))
-        .map(|(_, line)| line.matches(".unwrap()").count() + line.matches(".expect(").count())
-        .sum()
+pub fn count_unwraps(lexed: &Lexed) -> usize {
+    let toks = &lexed.toks;
+    (0..toks.len())
+        .filter(|&i| {
+            toks[i].is_punct('.')
+                && toks.get(i + 2).is_some_and(|t| t.is_punct('('))
+                && toks.get(i + 1).is_some_and(|t| {
+                    t.is_ident("expect")
+                        || (t.is_ident("unwrap")
+                            && toks.get(i + 3).is_some_and(|t| t.is_punct(')')))
+                })
+                && !lexed.in_test(i)
+        })
+        .count()
 }
 
 /// Subsystem prefixes of the `subsystem.name` metric scheme — mirrors
@@ -111,50 +147,59 @@ fn valid_metric_name(name: &str) -> bool {
 /// literal span names (`.span("…")`) must be bare lowercase op idents.
 /// Non-literal call sites are left to the registry's runtime check.
 ///
-/// Masking preserves byte offsets, so call sites are located in the masked
-/// text (never in comments or strings) and the literal itself is read back
-/// from the raw source at the same position.
-pub fn metric_names(path: &str, src: &str, masked: &str) -> Vec<Violation> {
+/// The literal value comes from the lexer with escapes resolved, so an
+/// escaped quote inside the name (`"web.a\"b"`) is validated as the full
+/// literal rather than being truncated at the `\"`.
+pub fn metric_names(path: &str, lexed: &Lexed) -> Vec<Violation> {
     if !path.starts_with("crates/") || path.starts_with("crates/srb-obs/") {
         return Vec::new();
     }
+    let toks = &lexed.toks;
     let mut out = Vec::new();
-    for method in ["counter", "gauge", "histogram", "span"] {
-        let needle = format!(".{method}(\"");
-        let mut search = 0;
-        while let Some(pos) = masked[search..].find(&needle) {
-            let at = search + pos;
-            search = at + needle.len();
-            let lit_start = at + needle.len();
-            let Some(len) = src[lit_start..].find('"') else {
-                continue;
-            };
-            let name = &src[lit_start..lit_start + len];
-            let ok = if method == "span" {
-                !name.is_empty()
-                    && name
-                        .bytes()
-                        .all(|b| b.is_ascii_lowercase() || b.is_ascii_digit() || b == b'_')
-            } else {
-                valid_metric_name(name)
-            };
-            if !ok {
-                let line = masked[..at].bytes().filter(|&b| b == b'\n').count() + 1;
-                out.push(Violation {
-                    path: path.to_string(),
-                    line,
-                    rule: "metric-name",
-                    msg: if method == "span" {
-                        format!("span name `{name}` is not a bare lowercase op ident ([a-z0-9_]+)")
-                    } else {
-                        format!(
-                            "metric `{name}` violates the `subsystem.name` scheme \
-                             (subsystem in {METRIC_SUBSYSTEMS:?}, name [a-z0-9_]+; \
-                             see srb_obs::SUBSYSTEMS)"
-                        )
-                    },
-                });
-            }
+    for i in 0..toks.len() {
+        // `. method ( "literal"`
+        if !toks[i].is_punct('.') {
+            continue;
+        }
+        let Some(method) = toks.get(i + 1).filter(|t| {
+            t.is_ident("counter")
+                || t.is_ident("gauge")
+                || t.is_ident("histogram")
+                || t.is_ident("span")
+        }) else {
+            continue;
+        };
+        if !toks.get(i + 2).is_some_and(|t| t.is_punct('(')) {
+            continue;
+        }
+        let Some(lit) = toks.get(i + 3).filter(|t| t.kind == TokKind::Str) else {
+            continue;
+        };
+        let name = &lit.text;
+        let is_span = method.is_ident("span");
+        let ok = if is_span {
+            !name.is_empty()
+                && name
+                    .bytes()
+                    .all(|b| b.is_ascii_lowercase() || b.is_ascii_digit() || b == b'_')
+        } else {
+            valid_metric_name(name)
+        };
+        if !ok {
+            out.push(Violation {
+                path: path.to_string(),
+                line: toks[i].line,
+                rule: "metric-name",
+                msg: if is_span {
+                    format!("span name `{name}` is not a bare lowercase op ident ([a-z0-9_]+)")
+                } else {
+                    format!(
+                        "metric `{name}` violates the `subsystem.name` scheme \
+                         (subsystem in {METRIC_SUBSYSTEMS:?}, name [a-z0-9_]+; \
+                         see srb_obs::SUBSYSTEMS)"
+                    )
+                },
+            });
         }
     }
     out.sort_by_key(|v| v.line);
@@ -165,37 +210,37 @@ pub fn metric_names(path: &str, src: &str, masked: &str) -> Vec<Violation> {
 /// `srb-core` op handlers (`ops_*.rs`). Op handlers run client requests; a
 /// malformed request must surface as an `SrbError` on that request, not
 /// take down the server thread.
-pub fn panic_ops(path: &str, masked: &str) -> Vec<Violation> {
+pub fn panic_ops(path: &str, lexed: &Lexed) -> Vec<Violation> {
     let is_op_handler = path
         .strip_prefix("crates/srb-core/src/")
         .is_some_and(|f| f.starts_with("ops_") && f.ends_with(".rs"));
     if !is_op_handler {
         return Vec::new();
     }
-    let in_test = test_region_lines(masked);
+    let toks = &lexed.toks;
     let mut out = Vec::new();
-    for word in ["panic", "todo", "unimplemented"] {
-        for line in find_ident_lines(masked, word) {
-            if in_test.get(line).copied().unwrap_or(false) {
-                continue;
-            }
-            // Only the macro form: identifier immediately followed by `!`.
-            let is_macro = masked
-                .lines()
-                .nth(line - 1)
-                .is_some_and(|l| l.contains(&format!("{word}!")));
-            if is_macro {
-                out.push(Violation {
-                    path: path.to_string(),
-                    line,
-                    rule: "no-panic-ops",
-                    msg: format!(
-                        "`{word}!` in an op handler; return an SrbError so one bad \
-                         request cannot kill the server"
-                    ),
-                });
-            }
+    for i in 0..toks.len() {
+        let word = &toks[i];
+        if !(word.is_ident("panic") || word.is_ident("todo") || word.is_ident("unimplemented")) {
+            continue;
         }
+        // Only the macro form: identifier immediately followed by `!`.
+        if !toks.get(i + 1).is_some_and(|t| t.is_punct('!')) {
+            continue;
+        }
+        if lexed.in_test(i) {
+            continue;
+        }
+        out.push(Violation {
+            path: path.to_string(),
+            line: word.line,
+            rule: "no-panic-ops",
+            msg: format!(
+                "`{}!` in an op handler; return an SrbError so one bad \
+                 request cannot kill the server",
+                word.text
+            ),
+        });
     }
     out.sort_by_key(|v| v.line);
     out
@@ -204,33 +249,32 @@ pub fn panic_ops(path: &str, masked: &str) -> Vec<Violation> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::mask::mask_source;
+    use crate::lexer::Lexed;
 
     #[test]
     fn raw_lock_flags_usage_outside_wrapper() {
-        let masked = mask_source("use parking_lot::RwLock;\n");
-        let v = raw_lock("crates/srb-net/src/load.rs", &masked);
+        let lexed = Lexed::new("use parking_lot::RwLock;\n");
+        let v = raw_lock("crates/srb-net/src/load.rs", &lexed);
         assert_eq!(v.len(), 1);
         assert_eq!(v[0].line, 1);
         // ... but not in the wrapper module itself.
-        assert!(raw_lock("crates/srb-types/src/sync.rs", &masked).is_empty());
+        assert!(raw_lock("crates/srb-types/src/sync.rs", &lexed).is_empty());
         // ... and not in comments.
-        let commented = mask_source("// parking_lot is banned\n");
+        let commented = Lexed::new("// parking_lot is banned\n");
         assert!(raw_lock("crates/srb-net/src/load.rs", &commented).is_empty());
     }
 
     #[test]
     fn wall_clock_flags_time_and_entropy() {
-        let masked =
-            mask_source("let t = std::time::Instant::now();\nlet r = rand::thread_rng();\n");
-        let v = wall_clock("crates/srb-core/src/grid.rs", &masked);
+        let lexed = Lexed::new("let t = std::time::Instant::now();\nlet r = rand::thread_rng();\n");
+        let v = wall_clock("crates/srb-core/src/grid.rs", &lexed);
         assert_eq!(v.len(), 2);
         assert_eq!((v[0].line, v[1].line), (1, 2));
         // Allowed in the virtual clock and the bench crate.
-        assert!(wall_clock("crates/srb-types/src/clock.rs", &masked).is_empty());
-        assert!(wall_clock("crates/bench/src/fixtures.rs", &masked).is_empty());
+        assert!(wall_clock("crates/srb-types/src/clock.rs", &lexed).is_empty());
+        assert!(wall_clock("crates/bench/src/fixtures.rs", &lexed).is_empty());
         // Duration is fine anywhere.
-        let dur = mask_source("use std::time::Duration;\n");
+        let dur = Lexed::new("use std::time::Duration;\n");
         assert!(wall_clock("crates/srb-core/src/grid.rs", &dur).is_empty());
     }
 
@@ -238,66 +282,92 @@ mod tests {
     fn unwrap_counting_skips_test_modules() {
         let src = "fn a() { x.unwrap(); y.expect(\"m\"); }\n\
                    #[cfg(test)]\nmod tests {\n    fn t() { z.unwrap(); }\n}\n";
-        assert_eq!(count_unwraps(&mask_source(src)), 2);
+        assert_eq!(count_unwraps(&Lexed::new(src)), 2);
         // unwrap_or / expect_err are not unwraps.
         assert_eq!(
-            count_unwraps(&mask_source("x.unwrap_or(0); y.expect_err(\"\");\n")),
+            count_unwraps(&Lexed::new("x.unwrap_or(0); y.expect_err(\"\");\n")),
             0
         );
     }
 
     #[test]
     fn metric_names_must_follow_the_scheme() {
-        let bad = "fn f(m: &M) { m.counter(\"requests\", \"\").inc(); }\n";
-        let v = metric_names("crates/mysrb/src/app.rs", bad, &mask_source(bad));
+        let bad = Lexed::new("fn f(m: &M) { m.counter(\"requests\", \"\").inc(); }\n");
+        let v = metric_names("crates/mysrb/src/app.rs", &bad);
         assert_eq!(v.len(), 1);
         assert_eq!(v[0].line, 1);
         assert!(v[0].msg.contains("`requests`"));
         // Unknown subsystems and uppercase names are flagged too.
-        let bad2 = "m.gauge(\"webby.x\", \"\"); m.histogram(\"web.Latency\", \"\");\n";
-        assert_eq!(
-            metric_names("crates/mysrb/src/app.rs", bad2, &mask_source(bad2)).len(),
-            2
-        );
+        let bad2 = Lexed::new("m.gauge(\"webby.x\", \"\"); m.histogram(\"web.Latency\", \"\");\n");
+        assert_eq!(metric_names("crates/mysrb/src/app.rs", &bad2).len(), 2);
         // Well-formed names, non-literal call sites, commented-out code,
         // and srb-obs itself are all fine.
-        let ok = "m.counter(\"web.requests\", p).inc();\n\
-                  m.counter(name, label).inc();\n\
-                  // m.counter(\"nope\", \"\")\n\
-                  obs.span(\"open\", p, None, t, d);\n";
-        assert!(metric_names("crates/mysrb/src/app.rs", ok, &mask_source(ok)).is_empty());
-        assert!(metric_names("crates/srb-obs/src/metrics.rs", bad, &mask_source(bad)).is_empty());
-        // Span names must be bare lowercase op idents.
-        let span = "obs.span(\"Open Dataset\", p, None, t, d);\n";
-        assert_eq!(
-            metric_names("crates/srb-core/src/conn.rs", span, &mask_source(span)).len(),
-            1
+        let ok = Lexed::new(
+            "m.counter(\"web.requests\", p).inc();\n\
+             m.counter(name, label).inc();\n\
+             // m.counter(\"nope\", \"\")\n\
+             obs.span(\"open\", p, None, t, d);\n",
         );
+        assert!(metric_names("crates/mysrb/src/app.rs", &ok).is_empty());
+        assert!(metric_names("crates/srb-obs/src/metrics.rs", &bad).is_empty());
+        // Span names must be bare lowercase op idents.
+        let span = Lexed::new("obs.span(\"Open Dataset\", p, None, t, d);\n");
+        assert_eq!(metric_names("crates/srb-core/src/conn.rs", &span).len(), 1);
+    }
+
+    #[test]
+    fn metric_name_escaped_quote_is_not_truncated() {
+        // Regression: the old string extraction used `find('"')` on the
+        // raw source, so an escaped quote inside the literal cut the name
+        // short (`web.a\"b` parsed as `web.a\`). The lexer resolves
+        // escapes, so the full name is validated — and rejected, because
+        // `"` is not in [a-z0-9_].
+        let src = "m.counter(\"web.a\\\"b\", \"\").inc();\n";
+        let v = metric_names("crates/mysrb/src/app.rs", &Lexed::new(src));
+        assert_eq!(v.len(), 1);
+        assert!(v[0].msg.contains("web.a\"b"), "{}", v[0].msg);
+        // And a well-formed name containing an escape elsewhere in the
+        // line is still accepted.
+        let ok = "m.counter(\"web.requests\", \"count of \\\"hits\\\"\").inc();\n";
+        assert!(metric_names("crates/mysrb/src/app.rs", &Lexed::new(ok)).is_empty());
     }
 
     #[test]
     fn srb_obs_is_not_exempt_from_clock_and_lock_bans() {
-        let masked = mask_source("use parking_lot::RwLock;\nlet t = Instant::now();\n");
-        assert_eq!(
-            wall_clock("crates/srb-obs/src/metrics.rs", &masked).len(),
-            1
-        );
-        assert_eq!(raw_lock("crates/srb-obs/src/metrics.rs", &masked).len(), 1);
+        let lexed = Lexed::new("use parking_lot::RwLock;\nlet t = Instant::now();\n");
+        assert_eq!(wall_clock("crates/srb-obs/src/metrics.rs", &lexed).len(), 1);
+        assert_eq!(raw_lock("crates/srb-obs/src/metrics.rs", &lexed).len(), 1);
     }
 
     #[test]
     fn panic_ops_only_in_op_handlers() {
-        let masked = mask_source("fn f() { panic!(\"boom\"); }\n");
+        let lexed = Lexed::new("fn f() { panic!(\"boom\"); }\n");
         assert_eq!(
-            panic_ops("crates/srb-core/src/ops_write.rs", &masked).len(),
+            panic_ops("crates/srb-core/src/ops_write.rs", &lexed).len(),
             1
         );
-        assert!(panic_ops("crates/srb-core/src/grid.rs", &masked).is_empty());
-        assert!(panic_ops("crates/srb-net/src/load.rs", &masked).is_empty());
+        assert!(panic_ops("crates/srb-core/src/grid.rs", &lexed).is_empty());
+        assert!(panic_ops("crates/srb-net/src/load.rs", &lexed).is_empty());
         // assert!/debug_assert! and test-module panics are fine.
-        let ok = mask_source(
+        let ok = Lexed::new(
             "fn f() { assert!(true); }\n#[cfg(test)]\nmod tests {\n    fn t() { panic!(); }\n}\n",
         );
         assert!(panic_ops("crates/srb-core/src/ops_write.rs", &ok).is_empty());
+    }
+
+    #[test]
+    fn github_annotation_and_json_forms() {
+        let v = Violation {
+            path: "crates/x/src/a.rs".into(),
+            line: 7,
+            rule: "raw-lock",
+            msg: "nope".into(),
+        };
+        assert_eq!(
+            v.github_annotation(),
+            "::error file=crates/x/src/a.rs,line=7,title=raw-lock::nope"
+        );
+        let j = serde_json::to_string(&v.to_json()).unwrap();
+        assert!(j.contains("\"rule\":\"raw-lock\""), "{j}");
     }
 }

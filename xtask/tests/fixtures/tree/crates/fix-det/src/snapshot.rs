@@ -1,0 +1,48 @@
+//! Seeded hash-iteration determinism fixtures: two leaks plus four
+//! patterns the analyzer must accept (sorted-later, order-insensitive
+//! terminal, ordered container, non-sensitive function).
+
+use std::collections::{BTreeMap, HashMap};
+
+pub struct Catalog {
+    rows: HashMap<u32, String>,
+    sorted_rows: BTreeMap<u32, String>,
+}
+
+impl Catalog {
+    /// HashMap values straight into snapshot output: violation.
+    pub fn snapshot(&self) -> Vec<String> {
+        self.rows.values().cloned().collect()
+    }
+
+    /// For-loop over the map in an export function: violation.
+    pub fn export(&self) -> String {
+        let mut out = String::new();
+        for pair in &self.rows {
+            out.push_str(pair.1);
+        }
+        out
+    }
+
+    /// Collected then sorted: fine.
+    pub fn snapshot_sorted(&self) -> Vec<String> {
+        let mut v: Vec<String> = self.rows.values().cloned().collect();
+        v.sort();
+        v
+    }
+
+    /// Order-insensitive terminal: fine.
+    pub fn digest(&self) -> usize {
+        self.rows.values().count()
+    }
+
+    /// Ordered container: fine.
+    pub fn render(&self) -> Vec<String> {
+        self.sorted_rows.values().cloned().collect()
+    }
+
+    /// Not a determinism-sensitive function name: fine.
+    pub fn all(&self) -> Vec<String> {
+        self.rows.values().cloned().collect()
+    }
+}

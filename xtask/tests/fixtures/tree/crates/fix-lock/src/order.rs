@@ -1,0 +1,53 @@
+//! Seeded lock-order fixtures. `inverted` acquires up-rank while a
+//! Storage guard is live; `ab`/`ba` nest the two McatTable locks in
+//! opposite orders (an equal-rank cycle). `layered` nests strictly
+//! downward and must NOT be flagged.
+
+use srb_types::sync::{LockRank, Mutex};
+
+pub struct State {
+    store: Mutex<u32>,
+    core: Mutex<u32>,
+    table_a: Mutex<u32>,
+    table_b: Mutex<u32>,
+}
+
+impl State {
+    pub fn new() -> State {
+        State {
+            store: Mutex::new(LockRank::Storage, "fix.store", 0),
+            core: Mutex::new(LockRank::CoreState, "fix.core", 0),
+            table_a: Mutex::new(LockRank::McatTable, "fix.table_a", 0),
+            table_b: Mutex::new(LockRank::McatTable, "fix.table_b", 0),
+        }
+    }
+
+    /// Down-rank nesting: fine.
+    pub fn layered(&self) -> u32 {
+        let c = self.core.lock();
+        let s = self.store.lock();
+        *c + *s
+    }
+
+    /// Acquires `fix.core` (CoreState) while the `fix.store` (Storage)
+    /// guard is live: lock-order violation.
+    pub fn inverted(&self) -> u32 {
+        let s = self.store.lock();
+        let c = self.core.lock();
+        *s + *c
+    }
+
+    /// One half of an equal-rank cycle…
+    pub fn ab(&self) -> u32 {
+        let a = self.table_a.lock();
+        let b = self.table_b.lock();
+        *a + *b
+    }
+
+    /// …and the opposite order: lock-cycle violation.
+    pub fn ba(&self) -> u32 {
+        let b = self.table_b.lock();
+        let a = self.table_a.lock();
+        *a + *b
+    }
+}

@@ -1,0 +1,35 @@
+//! Seeded guard-across-storage fixture: `flush` holds a ranked guard
+//! across a simulated storage dispatch; `flush_ok` drops it first.
+
+use srb_types::sync::{LockRank, Mutex};
+
+pub struct Flusher {
+    state: Mutex<u32>,
+}
+
+pub fn retry_storage(n: u32) -> u32 {
+    n
+}
+
+impl Flusher {
+    pub fn new() -> Flusher {
+        Flusher {
+            state: Mutex::new(LockRank::CoreState, "fix.flusher", 0),
+        }
+    }
+
+    /// `fix.flusher` is live across the storage call: violation.
+    pub fn flush(&self) -> u32 {
+        let g = self.state.lock();
+        retry_storage(*g)
+    }
+
+    /// Guard scoped to the inner block, dropped before dispatch: fine.
+    pub fn flush_ok(&self) -> u32 {
+        let n = {
+            let g = self.state.lock();
+            *g
+        };
+        retry_storage(n)
+    }
+}

@@ -1,0 +1,10 @@
+//! Seeded metric-name fixtures, including the escaped-quote regression:
+//! the literal on line 6 must be validated as the full unescaped value
+//! `web.a"b`, not truncated at the `\"`.
+
+pub fn register(m: &Metrics) {
+    m.counter("requests", "total").inc();
+    m.gauge("web.a\"b", "escaped").set(0);
+    m.counter("web.requests", "total").inc();
+    m.histogram("query.latency_ms", "histo");
+}

@@ -1,0 +1,8 @@
+//! Seeded op-handler fixture: a panic on a malformed client request.
+
+pub fn handle(req: u32) -> u32 {
+    if req == 0 {
+        panic!("bad request");
+    }
+    req
+}

@@ -1,0 +1,11 @@
+//! Fixture mirror of the ranked-lock wrapper: just enough source for
+//! `LockRegistry::parse_ranks` to recover the hierarchy, so the analyzer
+//! exercises its self-syncing path instead of the built-in fallback.
+
+pub enum LockRank {
+    Topology = 0,
+    Storage = 1,
+    McatTable = 2,
+    CoreState = 3,
+    Session = 4,
+}
