@@ -1,0 +1,38 @@
+fn main() {
+    let json = std::env::args().any(|a| a == "--json");
+    let mut params = bench::experiments::load::LoadParams::default();
+    if let Some(v) = std::env::var("SRB_LOAD_SESSIONS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+    {
+        params.max_sessions = v;
+    }
+    if let Some(v) = std::env::var("SRB_LOAD_REQUESTS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+    {
+        params.requests = v;
+    }
+    if let Some(v) = std::env::var("SRB_LOAD_WORKERS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+    {
+        params.workers = v;
+    }
+    if json {
+        let v = bench::experiments::load::run_json(&params);
+        let text = serde_json::to_string_pretty(&v).unwrap_or_default();
+        if let Err(e) = std::fs::write("BENCH_LOAD.json", text) {
+            eprintln!("failed to write BENCH_LOAD.json: {e}");
+            std::process::exit(1);
+        }
+        println!(
+            "wrote BENCH_LOAD.json (max {} sessions, {} requests, {} workers)",
+            params.max_sessions, params.requests, params.workers
+        );
+    } else {
+        for t in bench::experiments::load::run_tables(&params) {
+            t.print();
+        }
+    }
+}

@@ -17,6 +17,14 @@ fn main() {
     bench::experiments::e8_auth::run().print();
     bench::experiments::e9_migration::run().print();
     bench::experiments::e10_cache::run().print();
+    let load = bench::experiments::load::LoadParams {
+        max_sessions: 10_000,
+        requests: 5_000,
+        ..Default::default()
+    };
+    for t in bench::experiments::load::run_tables(&load) {
+        t.print();
+    }
     bench::experiments::figures::figure1().print();
     bench::experiments::figures::figure2().print();
 }

@@ -11,4 +11,5 @@ pub mod e7_sync_repl;
 pub mod e8_auth;
 pub mod e9_migration;
 pub mod figures;
+pub mod load;
 pub mod obs_overhead;

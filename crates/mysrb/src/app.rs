@@ -140,20 +140,51 @@ impl Response {
     }
 }
 
+/// Front-end tuning knobs.
+#[derive(Clone, Copy, Debug)]
+pub struct MySrbConfig {
+    /// Session-store sharding / sweep budget.
+    pub session: crate::session::SessionConfig,
+    /// Reuse pooled auth state on login instead of a full handshake per
+    /// sign-on. Off is the unpooled ablation.
+    pub pooled_login: bool,
+}
+
+impl Default for MySrbConfig {
+    fn default() -> Self {
+        MySrbConfig {
+            session: crate::session::SessionConfig::default(),
+            pooled_login: true,
+        }
+    }
+}
+
 /// The MySRB web application bound to one grid.
 pub struct MySrb<'g> {
     grid: &'g Grid,
     contact: ServerId,
     sessions: SessionStore<'g>,
+    pooled_login: bool,
 }
 
 impl<'g> MySrb<'g> {
     /// Create the app; browser sessions will connect through `contact`.
     pub fn new(grid: &'g Grid, contact: ServerId, seed: u64) -> Self {
+        Self::with_config(grid, contact, seed, MySrbConfig::default())
+    }
+
+    /// Create the app with explicit front-end knobs (the load harness's
+    /// ablation switch).
+    pub fn with_config(grid: &'g Grid, contact: ServerId, seed: u64, config: MySrbConfig) -> Self {
+        let mut sessions = SessionStore::with_config(grid.clock.clone(), seed, config.session);
+        if let Some(obs) = grid.obs() {
+            sessions = sessions.with_metrics(&obs.metrics);
+        }
         MySrb {
             grid,
             contact,
-            sessions: SessionStore::new(grid.clock.clone(), seed),
+            sessions,
+            pooled_login: config.pooled_login,
         }
     }
 
@@ -332,7 +363,12 @@ impl<'g> MySrb<'g> {
         let user = req.param("user");
         let domain = req.param("domain");
         let password = req.param("password");
-        match SrbConnection::connect(self.grid, self.contact, user, domain, password) {
+        let connected = if self.pooled_login {
+            SrbConnection::connect_pooled(self.grid, self.contact, user, domain, password)
+        } else {
+            SrbConnection::connect(self.grid, self.contact, user, domain, password)
+        };
+        match connected {
             Ok(conn) => {
                 let key = self.sessions.create(conn, &format!("{user}@{domain}"));
                 let mut resp = Response::redirect("/browse?path=%2F");

@@ -109,9 +109,11 @@ fn handle_client(app: &MySrb<'_>, stream: TcpStream) {
 /// shutdown is observed (a final dummy connection may be needed to unblock
 /// `accept`, which `shutdown_poke` sends).
 pub fn serve(app: &MySrb<'_>, listener: TcpListener, shutdown: &AtomicBool) {
-    listener
-        .set_nonblocking(false)
-        .expect("listener configuration");
+    if listener.set_nonblocking(false).is_err() {
+        // Can't arrange blocking accepts: a spinning non-blocking accept
+        // loop would peg a core, so refuse to serve on this listener.
+        return;
+    }
     std::thread::scope(|scope| {
         for stream in listener.incoming() {
             if shutdown.load(Ordering::Acquire) {

@@ -26,5 +26,5 @@ pub mod pages;
 pub mod session;
 pub mod urlenc;
 
-pub use app::{MySrb, Request, Response};
-pub use session::{SessionStore, WEB_SESSION_TTL_SECS};
+pub use app::{MySrb, MySrbConfig, Request, Response};
+pub use session::{SessionConfig, SessionStore, WEB_SESSION_TTL_SECS};

@@ -36,7 +36,10 @@ fn breadcrumbs(path: &str) -> String {
     let mut out = link("/browse?path=%2F", "/");
     let mut acc = LogicalPath::root();
     for c in lp.components() {
-        acc = acc.child(c).expect("component already validated");
+        let Ok(next) = acc.child(c) else {
+            return escape(path);
+        };
+        acc = next;
         out.push_str(" &rsaquo; ");
         out.push_str(&link(
             &format!("/browse?path={}", encode(&acc.to_string())),
@@ -528,7 +531,8 @@ pub fn admin_page(conn: &SrbConnection) -> String {
     body.push_str(&table(&["name", "groups", "role"], &users));
     body.push_str("<h3>Catalog</h3>\n<pre>");
     body.push_str(&escape(
-        &serde_json::to_string_pretty(&grid.mcat.summary()).expect("summary serializes"),
+        &serde_json::to_string_pretty(&grid.mcat.summary())
+            .unwrap_or_else(|e| format!("catalog summary unavailable: {e}")),
     ));
     body.push_str("</pre>\n<h3>Recent audit rows</h3>\n");
     let audit: Vec<Vec<String>> = grid

@@ -7,9 +7,8 @@
 //! `HMAC(verifier, nonce)`, and receives a *ticket* every server in the
 //! federation honours. Tickets expire; expired tickets fail validation.
 
-use rand::{RngCore, SeedableRng};
-use srb_types::sync::{LockRank, Mutex, RwLock};
-use srb_types::{ct_eq, hmac_sha256, SimClock, SrbError, SrbResult, Timestamp, UserId};
+use srb_types::sync::{LockRank, RwLock};
+use srb_types::{ct_eq, hmac_sha256, splitmix64, SimClock, SrbError, SrbResult, Timestamp, UserId};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 
@@ -27,16 +26,37 @@ pub struct Session {
 /// Default session lifetime: 12 hours of virtual time.
 pub const SESSION_TTL_SECS: u64 = 12 * 3600;
 
+/// Ticket/challenge table shards. Every brokered request validates a
+/// ticket, so the session table is the hottest lock in the core; shards
+/// keep concurrent validations from contending.
+const AUTH_SHARDS: usize = 16;
+
+/// Expand the `n`-th draw of a splitmix64 stream to 32 bytes.
+fn draw32(seed: u64, n: u64) -> [u8; 32] {
+    let mut out = [0u8; 32];
+    for (i, chunk) in out.chunks_exact_mut(8).enumerate() {
+        chunk.copy_from_slice(&splitmix64(seed, n * 4 + i as u64).to_le_bytes());
+    }
+    out
+}
+
+type SessionShard = RwLock<HashMap<[u8; 32], Session>>;
+type PendingShard = RwLock<HashMap<u64, [u8; 32]>>;
+
 /// Challenge–response authenticator + session table.
 ///
 /// One instance serves the whole federation (conceptually replicated to
-/// every server; the paper's single sign-on).
+/// every server; the paper's single sign-on). Nonces and tickets come
+/// from counter-indexed splitmix64 streams — deterministic per seed and
+/// lock-free, replacing the global RNG mutex — and the session/pending
+/// tables are sharded so `validate` on different tickets never contends.
 pub struct AuthService {
     clock: SimClock,
-    sessions: RwLock<HashMap<[u8; 32], Session>>,
-    pending: RwLock<HashMap<u64, [u8; 32]>>,
+    seed: u64,
+    sessions: Box<[SessionShard]>,
+    pending: Box<[PendingShard]>,
     challenge_seq: AtomicU64,
-    rng: Mutex<rand::rngs::StdRng>,
+    ticket_seq: AtomicU64,
     auth_failures: AtomicU64,
 }
 
@@ -45,25 +65,46 @@ impl AuthService {
     pub fn new(clock: SimClock, seed: u64) -> Self {
         AuthService {
             clock,
-            sessions: RwLock::new(LockRank::CoreState, "core.auth.sessions", HashMap::new()),
-            pending: RwLock::new(LockRank::CoreState, "core.auth.pending", HashMap::new()),
+            seed,
+            sessions: (0..AUTH_SHARDS)
+                .map(|_| {
+                    RwLock::new(
+                        LockRank::CoreState,
+                        "core.auth.session_shard",
+                        HashMap::new(),
+                    )
+                })
+                .collect(),
+            pending: (0..AUTH_SHARDS)
+                .map(|_| {
+                    RwLock::new(
+                        LockRank::CoreState,
+                        "core.auth.pending_shard",
+                        HashMap::new(),
+                    )
+                })
+                .collect(),
             challenge_seq: AtomicU64::new(1),
-            rng: Mutex::new(
-                LockRank::CoreState,
-                "core.auth.rng",
-                rand::rngs::StdRng::seed_from_u64(seed),
-            ),
+            ticket_seq: AtomicU64::new(0),
             auth_failures: AtomicU64::new(0),
         }
+    }
+
+    fn session_shard(&self, ticket: &[u8; 32]) -> &SessionShard {
+        // Tickets are splitmix64 output: the first byte is uniform.
+        &self.sessions[ticket[0] as usize % AUTH_SHARDS]
+    }
+
+    fn pending_shard(&self, challenge_id: u64) -> &PendingShard {
+        &self.pending[(challenge_id as usize) % AUTH_SHARDS]
     }
 
     /// Step 1 (server): issue a challenge nonce. Returns (challenge id,
     /// nonce).
     pub fn challenge(&self) -> (u64, [u8; 32]) {
-        let mut nonce = [0u8; 32];
-        self.rng.lock().fill_bytes(&mut nonce);
         let id = self.challenge_seq.fetch_add(1, Ordering::Relaxed);
-        self.pending.write().insert(id, nonce);
+        let nonce = draw32(self.seed ^ 0x006e_6f6e_6365, id);
+        self.pending_shard(id).write().insert(id, nonce);
         (id, nonce)
     }
 
@@ -83,7 +124,7 @@ impl AuthService {
         stored_verifier: &[u8; 32],
     ) -> SrbResult<Session> {
         let nonce = self
-            .pending
+            .pending_shard(challenge_id)
             .write()
             .remove(&challenge_id)
             .ok_or_else(|| SrbError::AuthFailed("unknown or replayed challenge".into()))?;
@@ -92,20 +133,24 @@ impl AuthService {
             self.auth_failures.fetch_add(1, Ordering::Relaxed);
             return Err(SrbError::AuthFailed("bad credentials".into()));
         }
-        let mut ticket = [0u8; 32];
-        self.rng.lock().fill_bytes(&mut ticket);
+        let ticket = draw32(
+            self.seed ^ 0x7469_636b_6574,
+            self.ticket_seq.fetch_add(1, Ordering::Relaxed),
+        );
         let session = Session {
             user,
             ticket,
             expires: self.clock.now().plus_secs(SESSION_TTL_SECS),
         };
-        self.sessions.write().insert(ticket, session.clone());
+        self.session_shard(&ticket)
+            .write()
+            .insert(ticket, session.clone());
         Ok(session)
     }
 
     /// Validate a ticket (every brokered request does this).
     pub fn validate(&self, ticket: &[u8; 32]) -> SrbResult<UserId> {
-        let g = self.sessions.read();
+        let g = self.session_shard(ticket).read();
         match g.get(ticket) {
             Some(s) if s.expires > self.clock.now() => Ok(s.user),
             Some(_) => Err(SrbError::AuthFailed("session expired".into())),
@@ -115,7 +160,7 @@ impl AuthService {
 
     /// Explicitly end a session.
     pub fn logout(&self, ticket: &[u8; 32]) {
-        self.sessions.write().remove(ticket);
+        self.session_shard(ticket).write().remove(ticket);
     }
 
     /// Failed authentication attempts (for the audit page).
@@ -125,7 +170,7 @@ impl AuthService {
 
     /// Live session count.
     pub fn session_count(&self) -> usize {
-        self.sessions.read().len()
+        self.sessions.iter().map(|s| s.read().len()).sum()
     }
 }
 

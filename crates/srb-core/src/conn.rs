@@ -138,6 +138,29 @@ impl<'g> SrbConnection<'g> {
         })
     }
 
+    /// Build a connection directly from an already-valid [`Session`] —
+    /// the pooled fast path ([`SrbConnection::connect_pooled`]) that
+    /// skips the handshake entirely.
+    pub(crate) fn from_session(
+        grid: &'g Grid,
+        server: ServerId,
+        site: SiteId,
+        session: Session,
+    ) -> Self {
+        SrbConnection {
+            grid,
+            server,
+            site,
+            session,
+            policy: ReplicaPolicy::default(),
+            fanout: FanoutMode::default(),
+            retry: RetryBudget::default(),
+            allow_stale: false,
+            trace: false,
+            op_ns: AtomicU64::new(0),
+        }
+    }
+
     /// The authenticated user.
     pub fn user(&self) -> UserId {
         self.session.user

@@ -7,6 +7,7 @@
 
 use crate::auth::AuthService;
 use crate::obs::CoreObs;
+use crate::pool::ConnPool;
 use crate::proxy::ProxyRegistry;
 use srb_mcat::Mcat;
 use srb_net::{
@@ -388,6 +389,7 @@ impl GridBuilder {
             load: LoadTracker::new(),
             mcat,
             auth,
+            pool: ConnPool::new(),
             web: UrlDriver::new(),
             servers,
             resource_home: RwLock::new(LockRank::CoreState, "core.resource_home", resource_home),
@@ -413,6 +415,8 @@ pub struct Grid {
     pub mcat: Mcat,
     /// Federation-wide authenticator.
     pub auth: AuthService,
+    /// Cached per-user auth state for pooled connects.
+    pub pool: ConnPool,
     /// The simulated web (registered URLs live here).
     pub web: UrlDriver,
     servers: HashMap<ServerId, SrbServer>,

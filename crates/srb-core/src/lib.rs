@@ -41,6 +41,7 @@ pub mod ops_lock;
 pub mod ops_maintenance;
 pub mod ops_meta;
 pub mod ops_write;
+pub mod pool;
 pub mod proxy;
 pub mod replication;
 pub mod state;
@@ -55,6 +56,7 @@ pub use grid::{Grid, GridBuilder, SrbServer};
 pub use obs::CoreObs;
 pub use ops_maintenance::{ChecksumStatus, RepairOutcome, RepairReport};
 pub use ops_write::{IngestOptions, RegisterSpec};
+pub use pool::ConnPool;
 pub use proxy::ProxyRegistry;
 pub use replication::{OrderedReplicas, ReplicaPolicy};
 pub use srb_net::{Admission, BreakerConfig, BreakerState, FaultMode, HealthRegistry, Receipt};

@@ -51,6 +51,10 @@ pub struct CoreObs {
     /// `health.repairs`: stale replica rows brought back up to date by
     /// resync.
     pub repairs: Counter,
+    /// `core.pool_hits`: pooled connects served from cached auth state.
+    pub pool_hits: Counter,
+    /// `core.pool_misses`: pooled connects that ran the full handshake.
+    pub pool_misses: Counter,
 }
 
 impl CoreObs {
@@ -65,6 +69,8 @@ impl CoreObs {
             retries: m.counter("health.retries", ""),
             backoff_ns: m.counter("health.backoff_ns", ""),
             repairs: m.counter("health.repairs", ""),
+            pool_hits: m.counter("core.pool_hits", ""),
+            pool_misses: m.counter("core.pool_misses", ""),
             obs,
         }
     }

@@ -204,6 +204,21 @@ pub fn from_hex(s: &str) -> Option<Vec<u8>> {
     Some(out)
 }
 
+/// The `n`-th draw of a seeded splitmix64 stream.
+///
+/// The same scheme the fault engine uses for coin flips: stateless, so
+/// concurrent callers only need an atomic counter for `n`, and any draw
+/// can be replayed on any host from `(seed, n)` alone. Used for session
+/// ids, auth nonces/tickets, and workload-driver choices.
+pub fn splitmix64(seed: u64, n: u64) -> u64 {
+    let mut z = seed
+        .wrapping_add(0x9e3779b97f4a7c15)
+        .wrapping_add(n.wrapping_mul(0xbf58476d1ce4e5b9));
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+    z ^ (z >> 31)
+}
+
 /// Constant-time equality for MACs and session keys.
 pub fn ct_eq(a: &[u8], b: &[u8]) -> bool {
     if a.len() != b.len() {

@@ -22,7 +22,7 @@ pub use acl::{AccessMatrix, Permission, Role};
 pub use clock::{SimClock, Timestamp};
 pub use error::{SrbError, SrbResult};
 pub use gen::{GenCounter, Generation};
-pub use hash::{ct_eq, from_hex, hmac_sha256, sha256, sha256_hex, to_hex, Sha256};
+pub use hash::{ct_eq, from_hex, hmac_sha256, sha256, sha256_hex, splitmix64, to_hex, Sha256};
 pub use id::*;
 pub use path::LogicalPath;
 pub use sync::LockRank;

@@ -241,6 +241,149 @@ fn check_obs(root: &Path) -> Result<String, String> {
     ))
 }
 
+/// BENCH_LOAD: the million-session front-end under the seeded open
+/// workload. Simulated results are gated strictly (they are
+/// host-independent): per-route latency must stay flat-ish as the
+/// session count scales, the pooled connect counters must be exactly
+/// deterministic, the double-run digest must match, and the amortized
+/// sweep must reclaim every abandoned session. The sharded-vs-single-lock
+/// wall-clock speedup is gated only where the recording host had worker
+/// threads to contend on.
+fn check_load(root: &Path) -> Result<String, String> {
+    let path = root.join("BENCH_LOAD.json");
+    let text = std::fs::read_to_string(&path)
+        .map_err(|e| format!("unreadable ({e}); run the exp binary with --json first"))?;
+    let v: Value = serde_json::from_str(&text).map_err(|e| format!("invalid JSON: {e}"))?;
+    let rows = v
+        .get("rows")
+        .and_then(Value::as_array)
+        .ok_or("missing `rows` array")?;
+    if rows.is_empty() {
+        return Err("`rows` array is empty".into());
+    }
+
+    // Scaling rows: sharded + pooled, standard mix (no churn).
+    let mut first_p95: Vec<(String, f64)> = Vec::new();
+    for (i, row) in rows.iter().enumerate() {
+        let sessions = num(row, "sessions").ok_or_else(|| format!("row {i}: missing sessions"))?;
+        let requests = num(row, "requests").ok_or_else(|| format!("row {i}: missing requests"))?;
+        if sessions <= 0.0 || requests <= 0.0 {
+            return Err(format!("row {i}: non-positive sessions/requests"));
+        }
+        let routes = row
+            .get("routes")
+            .and_then(Value::as_map_slice)
+            .ok_or_else(|| format!("row {i}: missing routes"))?;
+        let served: f64 = routes
+            .iter()
+            .map(|(_, r)| num(r, "count").unwrap_or(0.0))
+            .sum();
+        if served != requests {
+            return Err(format!(
+                "row {i}: route counts sum to {served}, expected {requests}"
+            ));
+        }
+        // Pooled logins are exactly deterministic: the fixture pre-warms
+        // every account, so the measured phase never misses.
+        let hits = num(row, "pool_hits").unwrap_or(-1.0);
+        let misses = num(row, "pool_misses").unwrap_or(-1.0);
+        let logins = num(row, "logins_total").unwrap_or(-2.0);
+        if misses != 0.0 || hits != logins {
+            return Err(format!(
+                "row {i}: pooled connect counters not deterministic \
+                 (hits {hits}, misses {misses}, logins {logins})"
+            ));
+        }
+        if num(row, "live_end") != Some(sessions) {
+            return Err(format!(
+                "row {i}: live sessions after a churn-free run != sessions created"
+            ));
+        }
+        // Flat-ish p95: each simulated route percentile may grow at most
+        // 2x from the smallest session count to the largest.
+        for (route, r) in routes {
+            let p95 = num(r, "sim_p95_ns").unwrap_or(0.0);
+            if i == 0 {
+                if p95 > 0.0 {
+                    first_p95.push((route.clone(), p95));
+                }
+            } else if let Some((_, base)) = first_p95.iter().find(|(n, _)| n == route) {
+                if p95 > base * 2.0 {
+                    return Err(format!(
+                        "row {i} ({route}): sim p95 {p95:.0} ns more than 2x the \
+                         {sessions:.0}-session baseline {base:.0} ns — latency not flat"
+                    ));
+                }
+            }
+        }
+    }
+
+    // Ablation: sharded + pooled vs the single-lock, unpooled front-end.
+    let ab = v.get("ablation").ok_or("missing `ablation` block")?;
+    let workers = num(ab, "workers").ok_or("ablation: missing workers")?;
+    let sharded = ab.get("sharded").ok_or("ablation: missing sharded arm")?;
+    let single = ab
+        .get("single_lock")
+        .ok_or("ablation: missing single_lock arm")?;
+    if num(single, "pool_hits") != Some(0.0) || num(single, "pool_misses") != Some(0.0) {
+        return Err("ablation: unpooled arm touched the connection pool".into());
+    }
+    if num(sharded, "pool_hits") != num(sharded, "logins_total") {
+        return Err("ablation: pooled arm missed the connection pool".into());
+    }
+    let speedup = num(ab, "wall_speedup").ok_or("ablation: missing wall_speedup")?;
+    let wall_note = if workers >= 8.0 {
+        if speedup < 4.0 {
+            return Err(format!(
+                "ablation: sharded+pooled wall speedup {speedup:.2}x below the 4x \
+                 gate at {workers} workers"
+            ));
+        }
+        format!("wall speedup {speedup:.2}x (gated >= 4x)")
+    } else if workers >= 2.0 {
+        if speedup < 1.2 {
+            return Err(format!(
+                "ablation: sharded+pooled wall speedup {speedup:.2}x below the 1.2x \
+                 gate at {workers} workers"
+            ));
+        }
+        format!("wall speedup {speedup:.2}x (gated >= 1.2x)")
+    } else {
+        format!("wall speedup {speedup:.2}x (ungated: 1 worker)")
+    };
+
+    // Determinism: two identical seeded runs must hash identically.
+    let det = v.get("determinism").ok_or("missing `determinism` block")?;
+    if det.get("identical").and_then(Value::as_bool) != Some(true) {
+        return Err(format!(
+            "determinism: seeded replay diverged (digest_a {:?}, digest_b {:?})",
+            det.get("digest_a").and_then(Value::as_str).unwrap_or("?"),
+            det.get("digest_b").and_then(Value::as_str).unwrap_or("?"),
+        ));
+    }
+
+    // Sweep: every abandoned session reclaimed, gauge balanced at zero.
+    let sweep = v.get("sweep").ok_or("missing `sweep` block")?;
+    let created = num(sweep, "sessions").ok_or("sweep: missing sessions")?;
+    if num(sweep, "reclaimed") != Some(created)
+        || num(sweep, "live_after") != Some(0.0)
+        || num(sweep, "live_gauge_after") != Some(0.0)
+    {
+        return Err(format!(
+            "sweep: abandoned sessions leaked (created {created}, reclaimed {:?}, \
+             live_after {:?}, gauge {:?})",
+            num(sweep, "reclaimed"),
+            num(sweep, "live_after"),
+            num(sweep, "live_gauge_after"),
+        ));
+    }
+
+    Ok(format!(
+        "{} rows ok, p95 flat, pool + digest + sweep deterministic, {wall_note}",
+        rows.len()
+    ))
+}
+
 pub fn benchcheck(root: &Path) -> ExitCode {
     let mut failed = false;
     for (file, scan_field, scan_scale) in [
@@ -263,6 +406,7 @@ pub fn benchcheck(root: &Path) -> ExitCode {
         ("BENCH_E6.json", check_e6),
         ("BENCH_E7.json", check_e7),
         ("BENCH_OBS.json", check_obs),
+        ("BENCH_LOAD.json", check_load),
     ] {
         match checker(root) {
             Ok(msg) => println!("xtask benchcheck: {file}: {msg}"),
