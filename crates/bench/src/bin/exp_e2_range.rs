@@ -1,0 +1,19 @@
+fn main() {
+    let json = std::env::args().any(|a| a == "--json");
+    let n = std::env::var("SRB_E2_N")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(if json { 1_000_000 } else { 100_000 });
+    if json {
+        let v = bench::experiments::e2_range::run_json(n);
+        let text = serde_json::to_string_pretty(&v).unwrap_or_default();
+        if let Err(e) = std::fs::write("BENCH_E2.json", text) {
+            eprintln!("failed to write BENCH_E2.json: {e}");
+            std::process::exit(1);
+        }
+        println!("wrote BENCH_E2.json (up to {n} datasets)");
+    } else {
+        bench::experiments::e2_range::run(n).print();
+        bench::experiments::e2_range::run_paging(n.min(100_000)).print();
+    }
+}

@@ -6,6 +6,8 @@ fn main() {
         .unwrap_or(100_000);
     bench::experiments::e1_catalog_scale::run(e1_max).print();
     bench::experiments::e2_containers::run(50).print();
+    bench::experiments::e2_range::run(50_000).print();
+    bench::experiments::e2_range::run_paging(50_000).print();
     bench::experiments::e3_failover::run().print();
     bench::experiments::e4_federation::run().print();
     bench::experiments::e5_query::run(20_000).print();

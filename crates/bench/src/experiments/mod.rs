@@ -3,6 +3,7 @@
 pub mod e10_cache;
 pub mod e1_catalog_scale;
 pub mod e2_containers;
+pub mod e2_range;
 pub mod e3_failover;
 pub mod e4_federation;
 pub mod e5_query;

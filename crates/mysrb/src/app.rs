@@ -227,7 +227,18 @@ impl<'g> MySrb<'g> {
                 Response::redirect("/")
             }
             ("GET", "/browse") => self.with_conn(req, |conn| {
-                pages::browse_page(conn, default_path(req.param("path")))
+                let path = default_path(req.param("path"));
+                let n: usize = req.param("n").parse().unwrap_or(0);
+                let cursor = req.param("cursor");
+                let cursor = (!cursor.is_empty()).then_some(cursor);
+                match pages::browse_page(conn, path, cursor, n) {
+                    // A stale or tampered cursor restarts the walk from
+                    // page one instead of erroring the browser window.
+                    Err(SrbError::Invalid(_)) if cursor.is_some() => {
+                        pages::browse_page(conn, path, None, n)
+                    }
+                    other => other,
+                }
             }),
             ("GET", "/view") => self.with_conn(req, |conn| {
                 let args: Vec<String> = req
@@ -441,7 +452,7 @@ impl<'g> MySrb<'g> {
             opts.metadata = Self::collect_metadata(req);
             let path = format!("{}/{}", coll.trim_end_matches('/'), name);
             conn.ingest(&path, req.param("content").as_bytes(), opts)?;
-            pages::browse_page(conn, coll)
+            pages::browse_page(conn, coll, None, 0)
         })
     }
 
@@ -451,7 +462,7 @@ impl<'g> MySrb<'g> {
             let name = req.param("name");
             let path = format!("{}/{}", parent.trim_end_matches('/'), name);
             conn.make_collection(&path)?;
-            pages::browse_page(conn, parent)
+            pages::browse_page(conn, parent, None, 0)
         })
     }
 
@@ -500,7 +511,7 @@ impl<'g> MySrb<'g> {
             let path = req.param("path");
             let repl = req.param("replica").parse::<u32>().ok();
             conn.delete(path, repl)?;
-            pages::browse_page(conn, parent_of(path))
+            pages::browse_page(conn, parent_of(path), None, 0)
         })
     }
 

@@ -139,10 +139,24 @@ pub fn meta_page(conn: &SrbConnection, path: &str) -> SrbResult<String> {
     ))
 }
 
+/// Rows per browse page when the request names no `n` — large enough that
+/// small collections stay single-page, bounded so Digital-Sky-scale ones
+/// cost O(page) per window.
+const BROWSE_PAGE_ROWS: usize = 500;
+
 /// Figure 1: the main collection page — metadata pane on top, the
-/// collection listing with per-object operations below.
-pub fn browse_page(conn: &SrbConnection, path: &str) -> SrbResult<String> {
-    let (subs, datasets, _) = conn.list_collection(path)?;
+/// collection listing with per-object operations below. Listing windows
+/// are served by cursor (`cursor`/`n` request params): each page costs
+/// O(page) in the catalog and ends with a stable `[next page]` link
+/// carrying the opaque continuation token.
+pub fn browse_page(
+    conn: &SrbConnection,
+    path: &str,
+    cursor: Option<&str>,
+    n: usize,
+) -> SrbResult<String> {
+    let n = if n == 0 { BROWSE_PAGE_ROWS } else { n };
+    let ((subs, datasets, _), next) = conn.list_collection_page(path, cursor, n)?;
     let top = metadata_pane(conn, path);
     let mut bottom = String::new();
     let enc = |p: &str| encode(p);
@@ -181,10 +195,21 @@ pub fn browse_page(conn: &SrbConnection, path: &str) -> SrbResult<String> {
             ops,
         ]);
     }
-    if rows.is_empty() {
+    if rows.is_empty() && cursor.is_none() {
         bottom.push_str("<i>empty collection</i>\n");
     } else {
         bottom.push_str(&table(&["name", "type", "size", "operations"], &rows));
+    }
+    if let Some(token) = next {
+        // The continuation token is opaque and self-validating; the link
+        // stays stable for a given page until the collection mutates.
+        bottom.push_str(&format!(
+            "<p class=\"pager\">{}</p>\n",
+            link(
+                &format!("/browse?path={}&n={n}&cursor={}", enc(path), enc(&token)),
+                "[next page]"
+            ),
+        ));
     }
     Ok(page(
         &format!("MySRB — {path}"),

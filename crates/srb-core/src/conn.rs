@@ -672,6 +672,37 @@ impl<'g> SrbConnection<'g> {
         Ok((subs, datasets, receipt))
     }
 
+    /// One page of a collection listing through the catalog's resumable
+    /// cursor: sub-collection names first, then dataset summaries, at most
+    /// `limit` rows per page. `token` is the opaque continuation token the
+    /// previous page returned (`None` starts over); the returned token is
+    /// `None` once the listing is exhausted. A stale or tampered token
+    /// fails with `SrbError::Invalid` — callers restart from page one.
+    pub fn list_collection_page(
+        &self,
+        path: &str,
+        token: Option<&str>,
+        limit: usize,
+    ) -> SrbResult<(CollectionListing, Option<String>)> {
+        let user = self.check_session()?;
+        let lp = self.parse(path)?;
+        let receipt = self.mcat_rpc()?;
+        let coll = self.grid.mcat.collections.resolve(&lp)?;
+        self.grid
+            .mcat
+            .require_collection(Some(user), coll, Permission::Discover)?;
+        let (subcolls, datasets, next) = self.grid.mcat.list_page(coll, token, limit)?;
+        let subs = subcolls
+            .into_iter()
+            .filter_map(|c| c.path.name().map(|n| n.to_string()))
+            .collect();
+        let rows = datasets
+            .into_iter()
+            .map(|d| (d.name.clone(), d.data_type.clone(), d.size()))
+            .collect();
+        Ok(((subs, rows, receipt), next))
+    }
+
     /// Stat a dataset: (data type, size, replica count, version). For
     /// datasets ingested without an explicit type the data type equals the
     /// structural label ("file", "url", …).

@@ -142,7 +142,9 @@ impl SrbConnection<'_> {
                 .replicas
                 .iter_mut()
                 .find(|r| r.repl_num == repl_num)
-                .expect("replica just added");
+                .ok_or_else(|| {
+                    SrbError::NotFound(format!("replica #{repl_num} vanished during ingest"))
+                })?;
             r.in_container = Some(slice);
             Ok(())
         })?;

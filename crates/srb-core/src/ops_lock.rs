@@ -104,7 +104,7 @@ impl SrbConnection<'_> {
                 .replicas
                 .iter_mut()
                 .find(|r| r.repl_num == repl_num)
-                .expect("replica existed above");
+                .ok_or_else(|| SrbError::NotFound(format!("replica #{repl_num} of '{path}'")))?;
             r.pinned_until = Some(expiry);
             Ok(())
         })?;
@@ -142,7 +142,7 @@ impl SrbConnection<'_> {
                 .replicas
                 .iter_mut()
                 .find(|r| r.repl_num == repl_num)
-                .expect("replica existed above");
+                .ok_or_else(|| SrbError::NotFound(format!("replica #{repl_num} of '{path}'")))?;
             r.pinned_until = None;
             Ok(())
         })?;

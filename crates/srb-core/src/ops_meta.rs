@@ -303,6 +303,36 @@ impl SrbConnection<'_> {
         self.query(&q)
     }
 
+    /// One ordered page of query results through the catalog's resumable
+    /// cursor (`token` from the previous page, `None` to start). Pages
+    /// are in path order and cost O(page) verification regardless of how
+    /// deep the cursor is; a catalog mutation in between invalidates the
+    /// token with `SrbError::Invalid` and the caller restarts. Hits the
+    /// user may not Read are filtered *after* paging, so a page may come
+    /// back short while more pages remain.
+    pub fn query_page(
+        &self,
+        q: &Query,
+        token: Option<&str>,
+        page: usize,
+    ) -> SrbResult<(Vec<QueryHit>, Option<String>, Receipt)> {
+        let user = self.check_session()?;
+        let receipt = self.mcat_rpc()?;
+        let (hits, next) = self.grid.mcat.query_page(q, token, page)?;
+        let visible = hits
+            .into_iter()
+            .filter(|h| {
+                self.grid
+                    .mcat
+                    .effective_on_dataset(Some(user), h.dataset)
+                    .map(|p| p.allows(Permission::Read))
+                    .unwrap_or(false)
+            })
+            .collect();
+        self.audit(AuditAction::Query, &q.scope.to_string(), "ok");
+        Ok((visible, next, receipt))
+    }
+
     /// The scan-path baseline of the same query (ablation A1).
     pub fn query_scan(&self, q: &Query) -> SrbResult<(Vec<QueryHit>, Receipt)> {
         let user = self.check_session()?;

@@ -112,7 +112,7 @@ impl Grid {
                 .mcat
                 .resources
                 .find(&rs.name)
-                .expect("verified above")
+                .ok_or_else(|| SrbError::NotFound(format!("resource '{}'", rs.name)))?
                 .id;
             let driver = self.driver(rid)?;
             for (path, hexed) in rs.objects {

@@ -5,19 +5,24 @@
 
 use crate::annotation::AnnotationTable;
 use crate::audit::AuditLog;
-use crate::collection::{AttrRequirement, CollectionTable};
+use crate::collection::{AttrRequirement, Collection, CollectionTable};
 use crate::container::ContainerTable;
-use crate::dataset::DatasetTable;
+use crate::dataset::{Dataset, DatasetTable};
 use crate::metadata::{MetaKind, MetaStore, Subject, DUBLIN_CORE};
 use crate::query::{Query, QueryCondition, QueryHit};
 use crate::resource::ResourceTable;
 use crate::user::UserTable;
 use srb_types::{
-    CollectionId, CompareOp, DatasetId, IdGen, LogicalPath, MetaValue, Permission, SimClock,
-    SrbError, SrbResult, Triplet, UserId,
+    like_scan_prefix, CollectionId, CompareOp, CursorCodec, DatasetId, IdGen, LogicalPath,
+    MetaValue, PageToken, Permission, SimClock, SrbError, SrbResult, Triplet, UserId,
 };
 use std::collections::HashSet;
 use std::sync::Arc;
+
+/// Seed for the catalog's cursor-signing key. Fixed so two seeded
+/// simulation runs emit byte-identical tokens; clients still cannot mint
+/// tokens, since they never see the derived key.
+const CURSOR_KEY_SEED: u64 = 0x5352_425f_4355_5253; // "SRB_CURS"
 
 /// The Metadata Catalog.
 ///
@@ -46,6 +51,9 @@ pub struct Mcat {
     /// Audit trail.
     pub audit: AuditLog,
     admin: UserId,
+    /// Signs/verifies the opaque continuation tokens of `query_page` and
+    /// `list_page`.
+    cursors: CursorCodec,
     /// Query-planner metric handles, attached when observability is on.
     obs: Option<QueryObs>,
 }
@@ -59,6 +67,9 @@ struct QueryObs {
     indexes_probed: srb_obs::Counter,
     candidates_scanned: srb_obs::Counter,
     candidates_verified: srb_obs::Counter,
+    range_scans: srb_obs::Counter,
+    cursor_pages: srb_obs::Counter,
+    cursor_invalidated: srb_obs::Counter,
 }
 
 impl Mcat {
@@ -84,6 +95,7 @@ impl Mcat {
             annotations: AnnotationTable::new(),
             audit: AuditLog::new(),
             admin,
+            cursors: CursorCodec::new(CURSOR_KEY_SEED),
             obs: None,
         }
     }
@@ -98,6 +110,9 @@ impl Mcat {
             indexes_probed: metrics.counter("query.indexes_probed", ""),
             candidates_scanned: metrics.counter("query.candidates_scanned", ""),
             candidates_verified: metrics.counter("query.candidates_verified", ""),
+            range_scans: metrics.counter("mcat.range_scan", ""),
+            cursor_pages: metrics.counter("mcat.cursor_pages", ""),
+            cursor_invalidated: metrics.counter("mcat.cursor_invalidated", ""),
         });
         self.collections.attach_metrics(metrics);
         self
@@ -135,6 +150,7 @@ impl Mcat {
             annotations,
             audit,
             admin,
+            cursors: CursorCodec::new(CURSOR_KEY_SEED),
             obs: None,
         }
     }
@@ -624,13 +640,47 @@ impl Mcat {
     ///    (`build_hits`).
     pub fn query(&self, q: &Query) -> SrbResult<Vec<QueryHit>> {
         let scope = self.scope_set(&q.scope)?;
+        let (candidates, residual) = self.plan(q, &scope);
+        let scanned = candidates.len() as u64;
+        let confirmed = self.verify_candidates(q, &scope, &residual, candidates);
+        if let Some(obs) = &self.obs {
+            obs.candidates_scanned.add(scanned);
+            obs.candidates_verified.add(confirmed.len() as u64);
+        }
+        let mut hits = self.build_hits(q, &confirmed);
+        hits.sort_by(|a, b| a.path.cmp(&b.path));
+        if q.limit > 0 {
+            hits.truncate(q.limit);
+        }
+        Ok(hits)
+    }
+
+    /// The shared front half of [`query`](Self::query) and
+    /// [`query_page`](Self::query_page): classify conditions, pick index
+    /// sources, and materialize the candidate set.
+    ///
+    /// Classification: index-incomplete conditions go straight to the
+    /// verification sweep; `Like` patterns with a scannable literal prefix
+    /// (`foo%`) are *strong* sources — the ordered index serves them as a
+    /// bounded prefix range — while other patterns drive the plan only
+    /// when no point/range source exists. When even the best source's
+    /// estimated cost exceeds the number of datasets in scope, the full
+    /// scan is cheaper: every indexed condition then moves to the residual
+    /// sweep, which checks any condition kind correctly.
+    fn plan<'q>(
+        &self,
+        q: &'q Query,
+        scope: &HashSet<CollectionId>,
+    ) -> (Vec<DatasetId>, Vec<&'q QueryCondition>) {
         let mut strong: Vec<&QueryCondition> = Vec::new();
         let mut patterns: Vec<&QueryCondition> = Vec::new();
         let mut residual: Vec<&QueryCondition> = Vec::new();
         for c in &q.conditions {
+            let prefix_scan =
+                c.op == CompareOp::Like && like_scan_prefix(&c.value.lexical()).is_some();
             if !Self::index_complete(q, c) {
                 residual.push(c);
-            } else if matches!(c.op, CompareOp::Like | CompareOp::NotLike) {
+            } else if matches!(c.op, CompareOp::Like | CompareOp::NotLike) && !prefix_scan {
                 patterns.push(c);
             } else {
                 strong.push(c);
@@ -646,6 +696,11 @@ impl Mcat {
             .map(|c| (self.metadata.selectivity(&c.attr, c.op, &c.value), c))
             .collect();
         sources.sort_by_key(|(cost, _)| *cost);
+        if let Some((best, _)) = sources.first() {
+            if *best > self.datasets.count_in_colls(scope) {
+                residual.extend(sources.drain(..).map(|(_, c)| c));
+            }
+        }
 
         if let Some(obs) = &self.obs {
             if sources.is_empty() {
@@ -653,6 +708,17 @@ impl Mcat {
             } else {
                 obs.plans_indexed.inc();
                 obs.indexes_probed.add(sources.len() as u64);
+                let ranges = sources
+                    .iter()
+                    .filter(|(_, c)| {
+                        matches!(
+                            c.op,
+                            CompareOp::Gt | CompareOp::Ge | CompareOp::Lt | CompareOp::Le
+                        ) || (c.op == CompareOp::Like
+                            && like_scan_prefix(&c.value.lexical()).is_some())
+                    })
+                    .count();
+                obs.range_scans.add(ranges as u64);
             }
         }
 
@@ -672,28 +738,189 @@ impl Mcat {
                     set.retain(|d| other.contains(d));
                 }
             }
-            if set.is_empty() {
-                return Ok(Vec::new());
-            }
             let mut v: Vec<DatasetId> = set.into_iter().collect();
             v.sort_unstable();
             v
         } else {
-            self.datasets.ids_in_colls(&scope)
+            self.datasets.ids_in_colls(scope)
         };
+        (candidates, residual)
+    }
 
-        let scanned = candidates.len() as u64;
-        let confirmed = self.verify_candidates(q, &scope, &residual, candidates);
+    // ---------------------------------------------------------- cursors --
+
+    /// Decode a continuation token against the current generation stamps,
+    /// counting a `mcat.cursor_invalidated` tick on any rejection.
+    fn decode_cursor(&self, token: &str, gens: &[u64]) -> SrbResult<PageToken> {
+        match self.cursors.decode_fresh(token, gens) {
+            Ok(t) => Ok(t),
+            Err(e) => {
+                if let Some(obs) = &self.obs {
+                    obs.cursor_invalidated.inc();
+                }
+                Err(e)
+            }
+        }
+    }
+
+    /// One page of query results in path order, resuming from an opaque
+    /// continuation token.
+    ///
+    /// The first call passes `token = None`; each page returns the token
+    /// for the next one, or `None` when the listing is exhausted. Tokens
+    /// embed the collection/dataset/metadata generation stamps current
+    /// when they were issued — any catalog mutation in between makes the
+    /// next call fail cleanly with `SrbError::Invalid` (never silently
+    /// wrong pages), and the client restarts from the first page.
+    ///
+    /// `q.limit` and `q.ordered` are ignored: the page size is `page` and
+    /// pages are always served in path order. Candidate ordering is
+    /// computed per call, but residual verification — the expensive half —
+    /// only touches the candidates actually served (plus one look-ahead
+    /// for the more-pages flag).
+    pub fn query_page(
+        &self,
+        q: &Query,
+        token: Option<&str>,
+        page: usize,
+    ) -> SrbResult<(Vec<QueryHit>, Option<String>)> {
+        let gens = vec![
+            self.collections.generation().raw(),
+            self.datasets.generation().raw(),
+            self.metadata.generation().raw(),
+        ];
+        let last = match token {
+            Some(t) => Some(self.decode_cursor(t, &gens)?.last),
+            None => None,
+        };
+        let scope = self.scope_set(&q.scope)?;
+        let (candidates, residual) = self.plan(q, &scope);
+        let mut ordered: Vec<(String, DatasetId)> = {
+            let ds = self.datasets.batch();
+            let paths = self.collections.path_batch();
+            candidates
+                .into_iter()
+                .filter_map(|d| {
+                    let row = ds.get_ref(d)?;
+                    if !scope.contains(&row.coll) {
+                        return None;
+                    }
+                    let path = paths.path_of(row.coll)?.child(&row.name).ok()?.to_string();
+                    Some((path, d))
+                })
+                .collect()
+        };
+        ordered.sort_unstable();
+        // Binary-search the resume point: everything at or before the
+        // cursor's last-served path is done, however deep the cursor.
+        let start = match &last {
+            Some(l) => ordered.partition_point(|(p, _)| p.as_str() <= l.as_str()),
+            None => 0,
+        };
+        let mut page_ids: Vec<DatasetId> = Vec::with_capacity(page.min(1024));
+        let mut last_path = String::new();
+        let mut more = false;
+        {
+            let meta = self.metadata.batch();
+            let ds = self.datasets.batch();
+            for (path, d) in ordered.drain(start..) {
+                let Some(row) = ds.get_ref(d) else { continue };
+                if residual
+                    .iter()
+                    .all(|c| self.residual_matches(q, &meta, row, c))
+                {
+                    if page_ids.len() == page {
+                        more = true;
+                        break;
+                    }
+                    last_path = path;
+                    page_ids.push(d);
+                }
+            }
+        }
+        let hits = self.build_hits(q, &page_ids);
         if let Some(obs) = &self.obs {
-            obs.candidates_scanned.add(scanned);
-            obs.candidates_verified.add(confirmed.len() as u64);
+            obs.cursor_pages.inc();
         }
-        let mut hits = self.build_hits(q, &confirmed);
-        hits.sort_by(|a, b| a.path.cmp(&b.path));
-        if q.limit > 0 {
-            hits.truncate(q.limit);
+        let next = more.then(|| {
+            self.cursors.encode(&PageToken {
+                section: 0,
+                gens,
+                last: last_path,
+            })
+        });
+        Ok((hits, next))
+    }
+
+    /// One page of a collection listing — sub-collections first (name
+    /// order), then datasets (name order) — resuming from an opaque
+    /// continuation token. Returns the sub-collection rows, the dataset
+    /// rows, and the next token (`None` when exhausted). Each page is one
+    /// bounded range read per section: O(page) however deep the cursor.
+    ///
+    /// Tokens carry the collection/dataset generation stamps; any
+    /// structural mutation (create/move/delete, not in-place row updates)
+    /// invalidates outstanding tokens with `SrbError::Invalid`.
+    pub fn list_page(
+        &self,
+        coll: CollectionId,
+        token: Option<&str>,
+        limit: usize,
+    ) -> SrbResult<(Vec<Collection>, Vec<Dataset>, Option<String>)> {
+        let gens = vec![
+            self.collections.generation().raw(),
+            self.datasets.generation().raw(),
+        ];
+        let (section, last) = match token {
+            Some(t) => {
+                let tok = self.decode_cursor(t, &gens)?;
+                (tok.section, Some(tok.last))
+            }
+            None => (0, None),
+        };
+        self.collections.get(coll)?;
+        let mut subcolls = Vec::new();
+        let mut remaining = limit;
+        let mut after = last;
+        if section == 0 {
+            let (page, more) = self
+                .collections
+                .children_page(coll, after.as_deref(), remaining);
+            remaining -= page.len();
+            subcolls = page;
+            if more {
+                let last_name = subcolls
+                    .last()
+                    .and_then(|c| c.path.name())
+                    .unwrap_or_default()
+                    .to_string();
+                if let Some(obs) = &self.obs {
+                    obs.cursor_pages.inc();
+                }
+                let next = self.cursors.encode(&PageToken {
+                    section: 0,
+                    gens,
+                    last: last_name,
+                });
+                return Ok((subcolls, Vec::new(), Some(next)));
+            }
+            // Sub-collections exhausted: the dataset section starts fresh.
+            // (Dataset names are non-empty, so resuming strictly after ""
+            // is the same as starting at the beginning.)
+            after = None;
         }
-        Ok(hits)
+        let (ds_page, more) = self.datasets.list_page(coll, after.as_deref(), remaining);
+        let next = more.then(|| {
+            self.cursors.encode(&PageToken {
+                section: 1,
+                gens,
+                last: ds_page.last().map(|d| d.name.clone()).unwrap_or_default(),
+            })
+        });
+        if let Some(obs) = &self.obs {
+            obs.cursor_pages.inc();
+        }
+        Ok((subcolls, ds_page, next))
     }
 
     /// The pre-overhaul engine, kept as an ablation baseline so the
@@ -1174,6 +1401,144 @@ mod tests {
         assert_eq!(s["datasets"], 3);
         assert_eq!(s["collections"], 4); // root + zoo + birds + mammals
         assert_eq!(s["metadata_rows"], 3);
+    }
+
+    #[test]
+    fn prefix_like_is_planned_as_indexed_range_scan() {
+        let metrics = srb_obs::MetricsRegistry::new();
+        let (m, _, _, lion) = seeded();
+        let m = m.with_metrics(&metrics);
+        let q = Query::everywhere().and("habitat", CompareOp::Like, "sav%");
+        let hits = m.query(&q).unwrap();
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].dataset, lion);
+        assert_eq!(hits, m.query_scan(&q).unwrap());
+        // Prefix patterns are strong sources now: indexed plan, one range
+        // scan, one candidate pulled instead of a partition sweep.
+        assert_eq!(metrics.counter("query.plans", "indexed").get(), 1);
+        assert_eq!(metrics.counter("mcat.range_scan", "").get(), 1);
+        assert_eq!(metrics.counter("query.candidates_scanned", "").get(), 1);
+        // Non-prefix patterns still demote to pattern/residual handling.
+        let q2 = Query::everywhere().and("habitat", CompareOp::Like, "%anna");
+        assert_eq!(m.query(&q2).unwrap().len(), 1);
+        assert_eq!(metrics.counter("mcat.range_scan", "").get(), 1);
+    }
+
+    #[test]
+    fn wide_index_demotes_to_scan_and_matches_baselines() {
+        let metrics = srb_obs::MetricsRegistry::new();
+        let (m, ..) = seeded();
+        let m = m.with_metrics(&metrics);
+        // wingspan > 0 matches 2 rows, but /zoo/mammals holds only 1
+        // dataset: the scan is cheaper, and the demoted condition must
+        // still be enforced by the verification sweep.
+        let q = Query::everywhere()
+            .under(p("/zoo/mammals"))
+            .and("wingspan", CompareOp::Gt, 0i64);
+        let hits = m.query(&q).unwrap();
+        assert!(hits.is_empty());
+        assert_eq!(hits, m.query_scan(&q).unwrap());
+        assert_eq!(hits, m.query_single_driver(&q).unwrap());
+        assert_eq!(metrics.counter("query.plans", "scan").get(), 1);
+        // Same condition over the birds scope stays indexed.
+        let q2 = Query::everywhere()
+            .under(p("/zoo/birds"))
+            .and("wingspan", CompareOp::Gt, 0i64);
+        assert_eq!(m.query(&q2).unwrap().len(), 2);
+        assert_eq!(metrics.counter("query.plans", "indexed").get(), 1);
+    }
+
+    #[test]
+    fn list_page_walks_sections_without_skips() {
+        let (m, ..) = seeded();
+        let zoo = m.collections.resolve(&p("/zoo")).unwrap();
+        let admin = m.admin();
+        let now = m.clock.now();
+        for name in ["za", "zb", "zc"] {
+            m.datasets
+                .create(&m.ids, zoo, name, "generic", admin, vec![], now)
+                .unwrap();
+        }
+        // Page size 2 over {birds, mammals} + {za, zb, zc}: the walk must
+        // cross the section boundary mid-page without skip or duplicate.
+        let mut colls = Vec::new();
+        let mut names = Vec::new();
+        let mut token: Option<String> = None;
+        let mut pages = 0;
+        loop {
+            let (cs, ds, next) = m.list_page(zoo, token.as_deref(), 2).unwrap();
+            assert!(cs.len() + ds.len() <= 2);
+            colls.extend(cs.iter().filter_map(|c| c.path.name().map(String::from)));
+            names.extend(ds.iter().map(|d| d.name.clone()));
+            pages += 1;
+            match next {
+                Some(t) => token = Some(t),
+                None => break,
+            }
+        }
+        assert_eq!(colls, vec!["birds", "mammals"]);
+        assert_eq!(names, vec!["za", "zb", "zc"]);
+        assert!(pages >= 3);
+        // Unknown collections error instead of paging empty.
+        assert!(m.list_page(CollectionId(9999), None, 2).is_err());
+    }
+
+    #[test]
+    fn list_page_token_invalidated_by_mutation() {
+        let (m, ..) = seeded();
+        let zoo = m.collections.resolve(&p("/zoo")).unwrap();
+        let (_, _, next) = m.list_page(zoo, None, 1).unwrap();
+        let token = next.unwrap();
+        // In-place updates don't invalidate...
+        let (_, _, _) = m.list_page(zoo, Some(&token), 1).unwrap();
+        // ...but a membership change does, cleanly.
+        let admin = m.admin();
+        m.datasets
+            .create(&m.ids, zoo, "new", "generic", admin, vec![], m.clock.now())
+            .unwrap();
+        let err = m.list_page(zoo, Some(&token), 1).unwrap_err();
+        assert!(matches!(err, SrbError::Invalid(_)));
+        // Garbage tokens are rejected the same way.
+        assert!(matches!(
+            m.list_page(zoo, Some("garbage"), 1).unwrap_err(),
+            SrbError::Invalid(_)
+        ));
+    }
+
+    #[test]
+    fn query_page_concatenates_to_one_shot_query() {
+        let (m, ..) = seeded();
+        let q = Query::everywhere()
+            .under(p("/zoo"))
+            .and("wingspan", CompareOp::Gt, 0i64)
+            .show("wingspan");
+        let one_shot = m.query(&q).unwrap();
+        assert_eq!(one_shot.len(), 2);
+        let mut walked = Vec::new();
+        let mut token: Option<String> = None;
+        loop {
+            let (hits, next) = m.query_page(&q, token.as_deref(), 1).unwrap();
+            assert!(hits.len() <= 1);
+            walked.extend(hits);
+            match next {
+                Some(t) => token = Some(t),
+                None => break,
+            }
+        }
+        assert_eq!(walked, one_shot);
+        // Metadata mutations invalidate outstanding query cursors.
+        let (_, next) = m.query_page(&q, None, 1).unwrap();
+        let token = next.unwrap();
+        m.metadata.add(
+            &m.ids,
+            Subject::Dataset(DatasetId(999)),
+            Triplet::new("wingspan", 7, "cm"),
+            MetaKind::UserDefined,
+        );
+        assert!(matches!(
+            m.query_page(&q, Some(&token), 1).unwrap_err(),
+            SrbError::Invalid(_)
+        ));
     }
 
     #[test]

@@ -12,7 +12,8 @@ use srb_types::{
     AccessMatrix, CollectionId, GenCounter, Generation, IdGen, LogicalPath, SrbError, SrbResult,
     Timestamp, UserId,
 };
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeMap, HashMap, HashSet};
+use std::ops::Bound;
 use std::sync::Arc;
 
 /// A structural-metadata requirement on a collection.
@@ -117,7 +118,9 @@ impl Default for CollectionTable {
 struct Inner {
     nodes: HashMap<CollectionId, Collection>,
     by_path: HashMap<String, CollectionId>,
-    children: HashMap<CollectionId, Vec<CollectionId>>,
+    /// Per-parent children keyed by child name — already in listing order,
+    /// so `children`/`children_page` are bounded range reads, not sorts.
+    children: HashMap<CollectionId, BTreeMap<String, CollectionId>>,
 }
 
 impl CollectionTable {
@@ -142,7 +145,7 @@ impl CollectionTable {
             },
         );
         g.by_path.insert("/".to_string(), root_id);
-        g.children.insert(root_id, Vec::new());
+        g.children.insert(root_id, BTreeMap::new());
         drop(g);
         t
     }
@@ -195,8 +198,11 @@ impl CollectionTable {
             },
         );
         g.by_path.insert(key, id);
-        g.children.entry(parent).or_default().push(id);
-        g.children.insert(id, Vec::new());
+        g.children
+            .entry(parent)
+            .or_default()
+            .insert(name.to_string(), id);
+        g.children.insert(id, BTreeMap::new());
         drop(g);
         self.generation.bump();
         Ok(id)
@@ -245,7 +251,10 @@ impl CollectionTable {
             },
         );
         g.by_path.insert(key, id);
-        g.children.entry(parent).or_default().push(id);
+        g.children
+            .entry(parent)
+            .or_default()
+            .insert(name.to_string(), id);
         drop(g);
         self.generation.bump();
         Ok(id)
@@ -283,16 +292,43 @@ impl CollectionTable {
             .ok_or_else(|| SrbError::NotFound(format!("collection '{path}'")))
     }
 
-    /// Direct children, sorted by name.
+    /// Direct children, sorted by name (the child index's native order).
     pub fn children(&self, id: CollectionId) -> Vec<Collection> {
         let g = self.inner.read();
-        let mut v: Vec<Collection> = g
-            .children
+        g.children
             .get(&id)
-            .map(|c| c.iter().filter_map(|i| g.nodes.get(i)).cloned().collect())
-            .unwrap_or_default();
-        v.sort_by(|a, b| a.path.cmp(&b.path));
-        v
+            .map(|c| c.values().filter_map(|i| g.nodes.get(i)).cloned().collect())
+            .unwrap_or_default()
+    }
+
+    /// One page of direct children in name order, resuming strictly after
+    /// `after`. Returns up to `limit` rows plus whether more remain —
+    /// O(page) however deep the cursor is.
+    pub fn children_page(
+        &self,
+        id: CollectionId,
+        after: Option<&str>,
+        limit: usize,
+    ) -> (Vec<Collection>, bool) {
+        let g = self.inner.read();
+        let Some(kids) = g.children.get(&id) else {
+            return (Vec::new(), false);
+        };
+        let start = match after {
+            Some(name) => Bound::Excluded(name.to_string()),
+            None => Bound::Unbounded,
+        };
+        let mut iter = kids
+            .range((start, Bound::Unbounded))
+            .filter_map(|(_, i)| g.nodes.get(i));
+        let mut page = Vec::with_capacity(limit.min(1024));
+        for c in iter.by_ref() {
+            if page.len() == limit {
+                return (page, true);
+            }
+            page.push(c.clone());
+        }
+        (page, false)
     }
 
     /// All descendant collection ids (not including `id`), link nodes not
@@ -303,7 +339,7 @@ impl CollectionTable {
         let mut stack = vec![id];
         while let Some(cur) = stack.pop() {
             if let Some(kids) = g.children.get(&cur) {
-                for &k in kids {
+                for &k in kids.values() {
                     out.push(k);
                     stack.push(k);
                 }
@@ -357,7 +393,7 @@ impl CollectionTable {
         let mut stack = vec![root];
         while let Some(cur) = stack.pop() {
             if let Some(kids) = g.children.get(&cur) {
-                for &k in kids {
+                for &k in kids.values() {
                     if set.insert(k) {
                         stack.push(k);
                     }
@@ -375,7 +411,7 @@ impl CollectionTable {
                 let mut stack = vec![t];
                 while let Some(cur) = stack.pop() {
                     if let Some(kids) = g.children.get(&cur) {
-                        for &k in kids {
+                        for &k in kids.values() {
                             if set.insert(k) {
                                 stack.push(k);
                             }
@@ -466,15 +502,20 @@ impl CollectionTable {
             return Err(SrbError::Invalid("cannot move the root collection".into()));
         };
         if let Some(kids) = g.children.get_mut(&old_parent) {
-            kids.retain(|&k| k != id);
+            if let Some(old_name) = old_path.name() {
+                kids.remove(old_name);
+            }
         }
-        g.children.entry(new_parent).or_default().push(id);
+        g.children
+            .entry(new_parent)
+            .or_default()
+            .insert(new_name.to_string(), id);
         // Rebase this node and every descendant.
         let mut affected = vec![id];
         let mut stack = vec![id];
         while let Some(cur) = stack.pop() {
             if let Some(kids) = g.children.get(&cur) {
-                for &k in kids {
+                for &k in kids.values() {
                     affected.push(k);
                     stack.push(k);
                 }
@@ -525,7 +566,9 @@ impl CollectionTable {
         g.children.remove(&id);
         if let Some(p) = node.parent {
             if let Some(kids) = g.children.get_mut(&p) {
-                kids.retain(|&k| k != id);
+                if let Some(name) = node.path.name() {
+                    kids.remove(name);
+                }
             }
         }
         drop(g);
@@ -549,8 +592,11 @@ impl CollectionTable {
             for c in &rows {
                 g.by_path.insert(c.path.to_string(), c.id);
                 g.children.entry(c.id).or_default();
-                if let Some(p) = c.parent {
-                    g.children.entry(p).or_default().push(c.id);
+                if let (Some(p), Some(name)) = (c.parent, c.path.name()) {
+                    g.children
+                        .entry(p)
+                        .or_default()
+                        .insert(name.to_string(), c.id);
                 }
             }
             for c in rows {
@@ -685,6 +731,42 @@ mod tests {
         assert_eq!(t.get(lnk2).unwrap().link_target, Some(real));
         // No children under a link node.
         assert!(t.create(&ids, lnk, "x", UserId(1), Timestamp(0)).is_err());
+    }
+
+    #[test]
+    fn children_page_walks_name_order_across_moves() {
+        let (t, ids) = table();
+        let root = t.root();
+        for name in ["delta", "alpha", "echo", "bravo", "charlie"] {
+            t.create(&ids, root, name, UserId(1), Timestamp(0)).unwrap();
+        }
+        let mut walked = Vec::new();
+        let mut after: Option<String> = None;
+        loop {
+            let (page, more) = t.children_page(root, after.as_deref(), 2);
+            walked.extend(page.iter().filter_map(|c| c.path.name().map(String::from)));
+            if !more {
+                break;
+            }
+            after = page.last().and_then(|c| c.path.name().map(String::from));
+        }
+        assert_eq!(walked, vec!["alpha", "bravo", "charlie", "delta", "echo"]);
+        // Moving a child away updates the ordered index under its old name.
+        let delta = t.resolve(&path("/delta")).unwrap();
+        let alpha = t.resolve(&path("/alpha")).unwrap();
+        t.move_collection(delta, alpha, "renamed").unwrap();
+        let names: Vec<String> = t
+            .children(root)
+            .into_iter()
+            .filter_map(|c| c.path.name().map(String::from))
+            .collect();
+        assert_eq!(names, vec!["alpha", "bravo", "charlie", "echo"]);
+        let (page, more) = t.children_page(alpha, None, 10);
+        assert!(!more);
+        assert_eq!(page.len(), 1);
+        assert_eq!(page[0].path, path("/alpha/renamed"));
+        // Unknown parents page as empty, not as an error.
+        assert_eq!(t.children_page(CollectionId(999), None, 5).0.len(), 0);
     }
 
     #[test]

@@ -11,10 +11,11 @@
 use serde::{Deserialize, Serialize};
 use srb_types::sync::{LockRank, RwLock, RwLockReadGuard};
 use srb_types::{
-    AccessMatrix, CollectionId, ContainerId, DatasetId, IdGen, ReplicaId, ResourceId, SrbError,
-    SrbResult, Timestamp, UserId,
+    AccessMatrix, CollectionId, ContainerId, DatasetId, GenCounter, Generation, IdGen, ReplicaId,
+    ResourceId, SrbError, SrbResult, Timestamp, UserId,
 };
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeMap, HashMap, HashSet};
+use std::ops::Bound;
 
 /// Rendering template for registered SQL objects (paper: `HTMLREL`,
 /// `HTMLNEST`, `XMLREL`, or a user style-sheet held in SRB).
@@ -333,12 +334,18 @@ pub struct NewDataset {
 #[derive(Debug)]
 pub struct DatasetTable {
     inner: RwLock<Inner>,
+    /// Bumped on any change to collection membership or naming (create,
+    /// link, move, delete) — the stamp paged listings embed in cursor
+    /// tokens. In-place row updates (replicas, locks, ACLs) do not bump
+    /// it: they cannot change which names a page serves or their order.
+    generation: GenCounter,
 }
 
 impl Default for DatasetTable {
     fn default() -> Self {
         DatasetTable {
             inner: RwLock::new(LockRank::McatTable, "mcat.datasets", Inner::default()),
+            generation: GenCounter::new(),
         }
     }
 }
@@ -346,7 +353,9 @@ impl Default for DatasetTable {
 #[derive(Debug, Default)]
 struct Inner {
     rows: HashMap<DatasetId, Dataset>,
-    by_name: HashMap<(CollectionId, String), DatasetId>,
+    /// Ordered by (collection, name): one bounded range serves both name
+    /// lookup and the O(page) listing scans behind resumable cursors.
+    by_name: BTreeMap<(CollectionId, String), DatasetId>,
     by_coll: HashMap<CollectionId, Vec<DatasetId>>,
 }
 
@@ -412,6 +421,8 @@ impl DatasetTable {
         );
         g.by_name.insert(key, id);
         g.by_coll.entry(coll).or_default().push(id);
+        drop(g);
+        self.generation.bump();
         Ok(id)
     }
 
@@ -481,6 +492,8 @@ impl DatasetTable {
             g.by_coll.entry(coll).or_default().push(id);
             out.push(id);
         }
+        drop(g);
+        self.generation.bump();
         Ok(out)
     }
 
@@ -532,6 +545,8 @@ impl DatasetTable {
         );
         g.by_name.insert(key, id);
         g.by_coll.entry(coll).or_default().push(id);
+        drop(g);
+        self.generation.bump();
         Ok(id)
     }
 
@@ -564,16 +579,46 @@ impl DatasetTable {
             .copied()
     }
 
-    /// Datasets directly in a collection, sorted by name.
+    /// Datasets directly in a collection, sorted by name — one bounded
+    /// range over the ordered name index, no per-call sort.
     pub fn list(&self, coll: CollectionId) -> Vec<Dataset> {
         let g = self.inner.read();
-        let mut v: Vec<Dataset> = g
-            .by_coll
-            .get(&coll)
-            .map(|ids| ids.iter().filter_map(|i| g.rows.get(i)).cloned().collect())
-            .unwrap_or_default();
-        v.sort_by(|a, b| a.name.cmp(&b.name));
-        v
+        g.by_name
+            .range((coll, String::new())..)
+            .take_while(|((c, _), _)| *c == coll)
+            .filter_map(|(_, id)| g.rows.get(id))
+            .cloned()
+            .collect()
+    }
+
+    /// One page of a collection listing in name order, resuming strictly
+    /// after `after` (None starts at the beginning). Returns up to `limit`
+    /// rows plus whether more remain — O(page), not O(offset), no matter
+    /// how deep the cursor is.
+    pub fn list_page(
+        &self,
+        coll: CollectionId,
+        after: Option<&str>,
+        limit: usize,
+    ) -> (Vec<Dataset>, bool) {
+        let g = self.inner.read();
+        let start = match after {
+            Some(name) => Bound::Excluded((coll, name.to_string())),
+            None => Bound::Included((coll, String::new())),
+        };
+        let mut iter = g
+            .by_name
+            .range((start, Bound::Unbounded))
+            .take_while(|((c, _), _)| *c == coll)
+            .filter_map(|(_, id)| g.rows.get(id));
+        let mut page = Vec::with_capacity(limit.min(1024));
+        for d in iter.by_ref() {
+            if page.len() == limit {
+                return (page, true);
+            }
+            page.push(d.clone());
+        }
+        (page, false)
     }
 
     /// Mutate a dataset in place under the table lock.
@@ -687,6 +732,8 @@ impl DatasetTable {
             v.retain(|&x| x != id);
         }
         g.by_coll.entry(new_coll).or_default().push(id);
+        drop(g);
+        self.generation.bump();
         Ok(())
     }
 
@@ -701,6 +748,8 @@ impl DatasetTable {
         if let Some(v) = g.by_coll.get_mut(&d.coll) {
             v.retain(|&x| x != id);
         }
+        drop(g);
+        self.generation.bump();
         Ok(d)
     }
 
@@ -785,6 +834,22 @@ impl DatasetTable {
             }
         }
         out
+    }
+
+    /// Number of datasets whose collection is in `colls` — the planner's
+    /// scope size, without materializing any id list.
+    pub fn count_in_colls(&self, colls: &HashSet<CollectionId>) -> usize {
+        let g = self.inner.read();
+        colls
+            .iter()
+            .filter_map(|c| g.by_coll.get(c))
+            .map(Vec::len)
+            .sum()
+    }
+
+    /// Current membership/naming generation (cursor invalidation).
+    pub fn generation(&self) -> Generation {
+        self.generation.current()
     }
 
     /// A read guard over the table for batch verification: one lock
@@ -1075,6 +1140,86 @@ mod tests {
             template: Template::HtmlRel,
         };
         assert_eq!(sql.resource(), Some(ResourceId(2)));
+    }
+
+    #[test]
+    fn list_page_resumes_in_name_order_without_skips() {
+        let (t, ids) = table();
+        // Insert out of order across two collections; only coll 1 pages.
+        for name in ["m", "a", "z", "q", "b"] {
+            t.create(
+                &ids,
+                CollectionId(1),
+                name,
+                "generic",
+                UserId(1),
+                vec![],
+                Timestamp(0),
+            )
+            .unwrap();
+        }
+        t.create(
+            &ids,
+            CollectionId(2),
+            "aa",
+            "generic",
+            UserId(1),
+            vec![],
+            Timestamp(0),
+        )
+        .unwrap();
+        let mut walked = Vec::new();
+        let mut after: Option<String> = None;
+        loop {
+            let (page, more) = t.list_page(CollectionId(1), after.as_deref(), 2);
+            assert!(page.len() <= 2);
+            walked.extend(page.iter().map(|d| d.name.clone()));
+            if !more {
+                break;
+            }
+            after = page.last().map(|d| d.name.clone());
+        }
+        assert_eq!(walked, vec!["a", "b", "m", "q", "z"]);
+        let full: Vec<String> = t
+            .list(CollectionId(1))
+            .into_iter()
+            .map(|d| d.name)
+            .collect();
+        assert_eq!(walked, full);
+        // Generation moves with membership, not with in-place updates.
+        let g0 = t.generation();
+        let id = t.find(CollectionId(1), "a").unwrap();
+        t.update(id, |d| {
+            d.modified = Timestamp(9);
+            Ok(())
+        })
+        .unwrap();
+        assert_eq!(g0, t.generation());
+        t.move_dataset(id, CollectionId(2), "a").unwrap();
+        assert_ne!(g0, t.generation());
+    }
+
+    #[test]
+    fn count_in_colls_matches_listing_sizes() {
+        let (t, ids) = table();
+        for (coll, n) in [(CollectionId(1), 3u64), (CollectionId(2), 2)] {
+            for i in 0..n {
+                t.create(
+                    &ids,
+                    coll,
+                    &format!("d{i}"),
+                    "generic",
+                    UserId(1),
+                    vec![],
+                    Timestamp(0),
+                )
+                .unwrap();
+            }
+        }
+        let scope: HashSet<CollectionId> = [CollectionId(1), CollectionId(2)].into();
+        assert_eq!(t.count_in_colls(&scope), 5);
+        let one: HashSet<CollectionId> = [CollectionId(2), CollectionId(9)].into();
+        assert_eq!(t.count_in_colls(&one), 2);
     }
 
     #[test]

@@ -10,10 +10,12 @@
 use serde::{Deserialize, Serialize};
 use srb_types::sync::{LockRank, RwLock, RwLockReadGuard};
 use srb_types::{
-    CollectionId, CompareOp, DatasetId, IdGen, MetaId, MetaValue, SrbError, SrbResult, Triplet,
+    like_scan_prefix, CollectionId, CompareOp, DatasetId, GenCounter, Generation, IdGen, MetaId,
+    MetaValue, SrbError, SrbResult, Triplet,
 };
 use std::cmp::Ordering;
 use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
+use std::ops::Bound;
 
 /// What a metadata row is attached to.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -79,10 +81,63 @@ pub const DUBLIN_CORE: [&str; 15] = [
     "Rights",
 ];
 
-/// Ordered wrapper so `MetaValue`s can key a BTreeMap (numbers before text,
-/// numeric order then lexicographic — see `MetaValue::index_cmp`).
-#[derive(Debug, Clone, PartialEq, Eq)]
-struct IndexKey(MetaValue);
+/// Ordered wrapper so `MetaValue`s can key a BTreeMap: numbers first (by
+/// numeric value), then text in case-folded order with a raw tie-break —
+/// the same total order as `MetaValue::index_cmp`, but with the numeric
+/// view and the case fold computed **once** at insertion instead of on
+/// every comparison (a B-tree insert at 10⁶ keys performs ~20 of them).
+#[derive(Debug, Clone)]
+struct IndexKey {
+    v: MetaValue,
+    /// Cached numeric view (`MetaValue::as_f64`); `None` for pure text.
+    num: Option<f64>,
+    /// Cached lowercase fold of the lexical form; populated only for pure
+    /// text (numeric keys order by value, never by fold).
+    fold: Option<String>,
+}
+
+impl IndexKey {
+    fn new(v: MetaValue) -> Self {
+        let num = v.as_f64();
+        let fold = if num.is_none() {
+            Some(v.lexical().to_lowercase())
+        } else {
+            None
+        };
+        IndexKey { v, num, fold }
+    }
+
+    /// A synthetic lower bound for the case-folded text region starting at
+    /// `fold`: it sorts after every numeric key, and at-or-before every
+    /// text key whose fold is ≥ `fold` (its raw form is empty, the minimum
+    /// tie-break). Used only as a range-scan probe, never stored.
+    fn text_probe(fold: String) -> Self {
+        IndexKey {
+            v: MetaValue::Text(String::new()),
+            num: None,
+            fold: Some(fold),
+        }
+    }
+
+    /// Raw lexical form of a text key, borrowed. Text keys are always the
+    /// `Text` variant: any `Int`/`Float` (or numeric-looking text) has
+    /// `num = Some(_)` and never reaches the text comparison leg.
+    fn raw(&self) -> &str {
+        match &self.v {
+            MetaValue::Text(s) => s.as_str(),
+            // Unreachable for keys in the text region; harmless fallback.
+            _ => "",
+        }
+    }
+}
+
+impl PartialEq for IndexKey {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == Ordering::Equal
+    }
+}
+
+impl Eq for IndexKey {}
 
 impl PartialOrd for IndexKey {
     fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
@@ -92,7 +147,18 @@ impl PartialOrd for IndexKey {
 
 impl Ord for IndexKey {
     fn cmp(&self, other: &Self) -> Ordering {
-        self.0.index_cmp(&other.0)
+        match (self.num, other.num) {
+            (Some(a), Some(b)) => a.partial_cmp(&b).unwrap_or(Ordering::Equal),
+            (Some(_), None) => Ordering::Less,
+            (None, Some(_)) => Ordering::Greater,
+            (None, None) => {
+                let (fa, fb) = (self.fold.as_deref(), other.fold.as_deref());
+                match fa.cmp(&fb) {
+                    Ordering::Equal => self.raw().cmp(other.raw()),
+                    o => o,
+                }
+            }
+        }
     }
 }
 
@@ -102,6 +168,10 @@ struct Inner {
     by_subject: HashMap<Subject, Vec<MetaId>>,
     /// attribute name → ordered value → row ids.
     index: HashMap<String, BTreeMap<IndexKey, Vec<MetaId>>>,
+    /// attribute name → total row count, maintained incrementally so the
+    /// planner's partition-wide selectivity estimate is O(1) instead of a
+    /// walk over every distinct value.
+    attr_counts: HashMap<String, usize>,
     /// file-based metadata associations: subject → carrying datasets.
     meta_files: HashMap<Subject, Vec<DatasetId>>,
 }
@@ -110,12 +180,17 @@ struct Inner {
 #[derive(Debug)]
 pub struct MetaStore {
     inner: RwLock<Inner>,
+    /// Bumped by every row mutation; paging cursors over query results
+    /// stamp themselves with this counter (plus the dataset and collection
+    /// ones) and are rejected once it moves.
+    generation: GenCounter,
 }
 
 impl Default for MetaStore {
     fn default() -> Self {
         MetaStore {
             inner: RwLock::new(LockRank::McatTable, "mcat.metadata", Inner::default()),
+            generation: GenCounter::new(),
         }
     }
 }
@@ -133,6 +208,8 @@ impl MetaStore {
         let id: MetaId = ids.next();
         let mut g = self.inner.write();
         Self::insert_locked(&mut g, id, subject, triplet, kind);
+        drop(g);
+        self.generation.bump();
         id
     }
 
@@ -143,13 +220,17 @@ impl MetaStore {
         I: IntoIterator<Item = (Subject, Triplet, MetaKind)>,
     {
         let mut g = self.inner.write();
-        rows.into_iter()
+        let out = rows
+            .into_iter()
             .map(|(subject, triplet, kind)| {
                 let id: MetaId = ids.next();
                 Self::insert_locked(&mut g, id, subject, triplet, kind);
                 id
             })
-            .collect()
+            .collect();
+        drop(g);
+        self.generation.bump();
+        out
     }
 
     fn insert_locked(
@@ -163,9 +244,10 @@ impl MetaStore {
         g.index
             .entry(triplet.name.clone())
             .or_default()
-            .entry(IndexKey(triplet.value.clone()))
+            .entry(IndexKey::new(triplet.value.clone()))
             .or_default()
             .push(id);
+        *g.attr_counts.entry(triplet.name.clone()).or_default() += 1;
         g.rows.insert(
             id,
             MetaRow {
@@ -185,25 +267,29 @@ impl MetaStore {
             .get(&id)
             .cloned()
             .ok_or_else(|| SrbError::NotFound(format!("metadata {id}")))?;
-        // Re-index under the new value.
+        // Re-index under the new value (the attribute name is unchanged, so
+        // the per-attribute row count is too).
         if let Some(vals) = g.index.get_mut(&row.triplet.name) {
-            if let Some(v) = vals.get_mut(&IndexKey(row.triplet.value.clone())) {
+            let old_key = IndexKey::new(row.triplet.value.clone());
+            if let Some(v) = vals.get_mut(&old_key) {
                 v.retain(|&m| m != id);
                 if v.is_empty() {
-                    vals.remove(&IndexKey(row.triplet.value.clone()));
+                    vals.remove(&old_key);
                 }
             }
         }
         g.index
             .entry(row.triplet.name.clone())
             .or_default()
-            .entry(IndexKey(value.clone()))
+            .entry(IndexKey::new(value.clone()))
             .or_default()
             .push(id);
         if let Some(row) = g.rows.get_mut(&id) {
             row.triplet.value = value;
             row.triplet.units = units;
         }
+        drop(g);
+        self.generation.bump();
         Ok(())
     }
 
@@ -218,13 +304,19 @@ impl MetaStore {
             v.retain(|&m| m != id);
         }
         if let Some(vals) = g.index.get_mut(&row.triplet.name) {
-            if let Some(v) = vals.get_mut(&IndexKey(row.triplet.value.clone())) {
+            let key = IndexKey::new(row.triplet.value);
+            if let Some(v) = vals.get_mut(&key) {
                 v.retain(|&m| m != id);
                 if v.is_empty() {
-                    vals.remove(&IndexKey(row.triplet.value));
+                    vals.remove(&key);
                 }
             }
         }
+        if let Some(n) = g.attr_counts.get_mut(&row.triplet.name) {
+            *n = n.saturating_sub(1);
+        }
+        drop(g);
+        self.generation.bump();
         Ok(())
     }
 
@@ -335,21 +427,74 @@ impl MetaStore {
         set.retain(|d| subject_matches_locked(&g, Subject::Dataset(*d), name, op, value));
     }
 
+    /// Keys examined before a range-selectivity estimate gives up and
+    /// reports "at least this many". Keeps the estimate O(1)-ish while
+    /// still separating a 10-row range from a 10⁶-row one.
+    const RANGE_SELECTIVITY_CAP: usize = 4096;
+
     /// Estimated number of matches for a condition, used by the planner to
-    /// pick the most selective condition first.
+    /// pick the most selective condition first and to decide between an
+    /// index plan and a full scan. `Eq` is exact; range and prefix-`Like`
+    /// conditions walk their index range up to
+    /// [`Self::RANGE_SELECTIVITY_CAP`] rows (a lower bound past the cap);
+    /// other patterns fall back to the O(1) whole-partition count.
     pub fn selectivity(&self, name: &str, op: CompareOp, value: &MetaValue) -> usize {
         let g = self.inner.read();
         let Some(vals) = g.index.get(name) else {
             return 0;
         };
+        let partition = g.attr_counts.get(name).copied().unwrap_or(0);
+        let capped_count = |it: &mut dyn Iterator<Item = usize>| -> usize {
+            let mut n = 0usize;
+            for len in it {
+                n += len;
+                if n >= Self::RANGE_SELECTIVITY_CAP {
+                    break;
+                }
+            }
+            n.min(partition)
+        };
         match op {
             CompareOp::Eq => vals
-                .get(&IndexKey(value.clone()))
+                .get(&IndexKey::new(value.clone()))
                 .map(|v| v.len())
                 .unwrap_or(0),
-            // Cheap upper bound for non-point conditions: the whole
-            // attribute partition.
-            _ => vals.values().map(|v| v.len()).sum(),
+            CompareOp::Gt => {
+                let key = IndexKey::new(value.clone());
+                capped_count(
+                    &mut vals
+                        .range((Bound::Excluded(key), Bound::Unbounded))
+                        .map(|(_, v)| v.len()),
+                )
+            }
+            CompareOp::Ge => {
+                let key = IndexKey::new(value.clone());
+                capped_count(&mut vals.range(key..).map(|(_, v)| v.len()))
+            }
+            CompareOp::Lt => {
+                let key = IndexKey::new(value.clone());
+                capped_count(&mut vals.range(..key).map(|(_, v)| v.len()))
+            }
+            CompareOp::Le => {
+                let key = IndexKey::new(value.clone());
+                capped_count(&mut vals.range(..=key).map(|(_, v)| v.len()))
+            }
+            CompareOp::Like => match like_scan_prefix(&value.lexical()) {
+                Some(prefix) => {
+                    let probe = IndexKey::text_probe(prefix.clone());
+                    capped_count(
+                        &mut vals
+                            .range(probe..)
+                            .take_while(|(k, _)| {
+                                k.fold.as_deref().is_some_and(|f| f.starts_with(&prefix))
+                            })
+                            .map(|(_, v)| v.len()),
+                    )
+                }
+                None => partition,
+            },
+            // `Ne`/`NotLike` scan the whole partition.
+            _ => partition,
         }
     }
 
@@ -464,9 +609,10 @@ impl MetaStore {
                 g.index
                     .entry(r.triplet.name.clone())
                     .or_default()
-                    .entry(IndexKey(r.triplet.value.clone()))
+                    .entry(IndexKey::new(r.triplet.value.clone()))
                     .or_default()
                     .push(r.id);
+                *g.attr_counts.entry(r.triplet.name.clone()).or_default() += 1;
                 g.rows.insert(r.id, r);
             }
             for (s, v) in meta_files {
@@ -479,6 +625,11 @@ impl MetaStore {
     /// Total number of rows.
     pub fn count(&self) -> usize {
         self.inner.read().rows.len()
+    }
+
+    /// Current mutation generation (cursor invalidation and tests).
+    pub fn generation(&self) -> Generation {
+        self.generation.current()
     }
 }
 
@@ -545,7 +696,7 @@ fn walk_index(
     let Some(vals) = g.index.get(name) else {
         return;
     };
-    let key = IndexKey(value.clone());
+    let key = IndexKey::new(value.clone());
     match op {
         CompareOp::Eq => {
             if let Some(v) = vals.get(&key) {
@@ -553,36 +704,64 @@ fn walk_index(
             }
         }
         CompareOp::Gt => {
-            for (k, v) in vals.range((std::ops::Bound::Excluded(key), std::ops::Bound::Unbounded)) {
-                if op_applies(op, &k.0, value) {
+            for (k, v) in vals.range((Bound::Excluded(key), Bound::Unbounded)) {
+                if op_applies(op, &k.v, value) {
                     emit(v);
                 }
             }
         }
         CompareOp::Ge => {
             for (k, v) in vals.range(key..) {
-                if op_applies(op, &k.0, value) {
+                if op_applies(op, &k.v, value) {
                     emit(v);
                 }
             }
         }
         CompareOp::Lt => {
             for (k, v) in vals.range(..key) {
-                if op_applies(op, &k.0, value) {
+                if op_applies(op, &k.v, value) {
                     emit(v);
                 }
             }
         }
         CompareOp::Le => {
             for (k, v) in vals.range(..=key) {
-                if op_applies(op, &k.0, value) {
+                if op_applies(op, &k.v, value) {
                     emit(v);
                 }
             }
         }
-        CompareOp::Ne | CompareOp::Like | CompareOp::NotLike => {
+        // A pattern with a usable literal prefix is a bounded range scan
+        // over the case-folded text region: every `LIKE` match must start
+        // (case-insensitively) with the prefix, folds are contiguous in the
+        // index order, and numeric keys are excluded by `like_scan_prefix`
+        // — so the scan starts at the prefix probe and stops at the first
+        // fold that no longer extends it. The full pattern is still
+        // evaluated per key (it may carry further wildcards).
+        CompareOp::Like => {
+            if let Some(prefix) = like_scan_prefix(&value.lexical()) {
+                let probe = IndexKey::text_probe(prefix.clone());
+                for (k, v) in vals.range(probe..) {
+                    match k.fold.as_deref() {
+                        Some(f) if f.starts_with(&prefix) => {
+                            if op.eval(&k.v, value) {
+                                emit(v);
+                            }
+                        }
+                        _ => break,
+                    }
+                }
+            } else {
+                for (k, v) in vals.iter() {
+                    if op.eval(&k.v, value) {
+                        emit(v);
+                    }
+                }
+            }
+        }
+        CompareOp::Ne | CompareOp::NotLike => {
             for (k, v) in vals.iter() {
-                if op.eval(&k.0, value) {
+                if op.eval(&k.v, value) {
                     emit(v);
                 }
             }
@@ -818,6 +997,104 @@ mod tests {
             s.selectivity("absent", CompareOp::Eq, &MetaValue::Int(1)),
             0
         );
+    }
+
+    /// Regression: `foo%` patterns are answered by a bounded prefix range
+    /// scan over the case-folded text region, and that scan agrees with
+    /// direct evaluation — including mixed case, multi-wildcard suffixes,
+    /// and numeric keys sitting in the same partition.
+    #[test]
+    fn prefix_like_range_scan_matches_eval() {
+        let (s, ids) = store();
+        let values = [
+            "condor",
+            "Condor Andino",
+            "CONDUIT",
+            "con",
+            "sparrow",
+            "Sparrow",
+            "-cond",
+            "12cond",
+        ];
+        for (i, v) in values.iter().enumerate() {
+            s.add(
+                &ids,
+                ds(i as u64),
+                Triplet::new("species", MetaValue::Text(v.to_string()), ""),
+                MetaKind::UserDefined,
+            );
+        }
+        // Numeric rows share the partition but must never satisfy `con%`.
+        s.add(
+            &ids,
+            ds(100),
+            Triplet::new("species", 42, ""),
+            MetaKind::UserDefined,
+        );
+        for pattern in ["con%", "Con%", "con%o%", "co_d%", "sparrow", "%cond%", "1%"] {
+            let pat = MetaValue::Text(pattern.to_string());
+            let mut got: Vec<Subject> =
+                s.subjects_of(&s.candidates("species", CompareOp::Like, &pat));
+            got.sort_by_key(|x| format!("{x}"));
+            let mut want: Vec<Subject> = values
+                .iter()
+                .enumerate()
+                .filter(|(_, v)| CompareOp::Like.eval(&MetaValue::Text(v.to_string()), &pat))
+                .map(|(i, _)| ds(i as u64))
+                .chain(
+                    CompareOp::Like
+                        .eval(&MetaValue::Int(42), &pat)
+                        .then_some(ds(100)),
+                )
+                .collect();
+            want.sort_by_key(|x| format!("{x}"));
+            assert_eq!(got, want, "pattern {pattern}");
+        }
+    }
+
+    #[test]
+    fn range_selectivity_is_capped_but_ordering_preserved() {
+        let (s, ids) = store();
+        for i in 0..10_000u64 {
+            s.add(
+                &ids,
+                ds(i),
+                Triplet::new("n", i as i64, ""),
+                MetaKind::UserDefined,
+            );
+        }
+        // A narrow range reports its true count.
+        assert_eq!(s.selectivity("n", CompareOp::Lt, &MetaValue::Int(10)), 10);
+        // A huge range stops at the cap instead of walking 10⁴ keys…
+        let wide = s.selectivity("n", CompareOp::Gt, &MetaValue::Int(-1));
+        assert!((MetaStore::RANGE_SELECTIVITY_CAP..10_000).contains(&wide));
+        // …and still estimates below the whole-partition patterns.
+        assert!(wide <= s.selectivity("n", CompareOp::Ne, &MetaValue::Int(0)));
+        // Prefix-like estimates walk only the prefix region.
+        s.add(
+            &ids,
+            ds(20_000),
+            Triplet::new("n", "xyz", ""),
+            MetaKind::UserDefined,
+        );
+        assert_eq!(
+            s.selectivity("n", CompareOp::Like, &MetaValue::Text("xy%".into())),
+            1
+        );
+    }
+
+    #[test]
+    fn generation_bumps_on_every_mutation() {
+        let (s, ids) = store();
+        let g0 = s.generation();
+        let id = s.add(&ids, ds(1), Triplet::new("x", 1, ""), MetaKind::UserDefined);
+        let g1 = s.generation();
+        assert_ne!(g0, g1);
+        s.update(id, MetaValue::Int(2), "".into()).unwrap();
+        let g2 = s.generation();
+        assert_ne!(g1, g2);
+        s.remove(id).unwrap();
+        assert_ne!(g2, s.generation());
     }
 
     #[test]

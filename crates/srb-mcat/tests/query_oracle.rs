@@ -28,7 +28,11 @@ const OPS: [CompareOp; 8] = [
     CompareOp::Like,
     CompareOp::NotLike,
 ];
-const PATTERNS: [&str; 3] = ["%e%", "%r%", "%1%"];
+/// Substring patterns (partition sweeps) plus literal prefixes — the
+/// latter now plan as ordered-index range scans, so both classification
+/// arms stay under the oracle. `gr%`/`re%` hit text values, `1%`/`2%`
+/// exercise the numeric-lexical guard in `like_scan_prefix`.
+const PATTERNS: [&str; 6] = ["%e%", "%r%", "%1%", "re%", "gr%", "1%"];
 
 fn value_for(idx: u8) -> MetaValue {
     match idx % 6 {
@@ -181,6 +185,26 @@ proptest! {
         prop_assert_eq!(&planned, &scanned);
         prop_assert_eq!(&planned, &legacy);
 
+        // Cursor pagination: concatenated pages must equal the one-shot
+        // ordered, unlimited query — no skips, no duplicates, any page
+        // size, however the planner served each page.
+        let full_ordered = f.m.query(&q.clone().limit(0)).unwrap();
+        let mut paged = Vec::new();
+        let mut token: Option<String> = None;
+        loop {
+            let (hits, next) = f.m.query_page(&q, token.as_deref(), 2).unwrap();
+            prop_assert!(hits.len() <= 2);
+            paged.extend(hits);
+            match next {
+                Some(t) => token = Some(t),
+                None => break,
+            }
+        }
+        prop_assert_eq!(&paged, &full_ordered);
+        // Keep a mid-pagination token to check invalidation after the
+        // mutation below.
+        let (_, outstanding) = f.m.query_page(&q, None, 1).unwrap();
+
         // Unordered limit push-down: every hit is a real match and the
         // count equals min(limit, total matches).
         if limit > 0 {
@@ -236,6 +260,15 @@ proptest! {
         let scanned = f.m.query_scan(&q).unwrap();
         prop_assert_eq!(&planned, &scanned);
         prop_assert!(f.datasets.len() < f.m.datasets.count());
+
+        // The mutation invalidated every outstanding cursor: resuming is
+        // a clean `Invalid` error (client restarts), never a wrong page.
+        if let Some(t) = outstanding {
+            prop_assert!(matches!(
+                f.m.query_page(&q, Some(&t), 1),
+                Err(srb_types::SrbError::Invalid(_))
+            ));
+        }
     }
 }
 

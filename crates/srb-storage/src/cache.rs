@@ -101,9 +101,8 @@ impl CacheDriver {
                 .filter(|(_, e)| e.pinned_until.map(|t| t <= now).unwrap_or(true))
                 .min_by_key(|(_, e)| e.last_used)
                 .map(|(k, _)| k.clone());
-            match victim {
-                Some(k) => {
-                    let e = g.remove(&k).expect("victim vanished");
+            match victim.and_then(|k| g.remove(&k)) {
+                Some(e) => {
                     self.used.fetch_sub(e.data.len() as u64, Ordering::Relaxed);
                     self.evictions.fetch_add(1, Ordering::Relaxed);
                 }

@@ -74,19 +74,17 @@ impl MemStore {
     pub fn write(&self, path: &str, data: &[u8]) {
         let now = self.clock.now();
         let mut shard = self.shards[shard_of(path)].write();
-        let old = shard.insert(
+        let old_len = shard.get(path).map(|o| o.data.len() as u64).unwrap_or(0);
+        // Preserve the original creation time across overwrites.
+        let created = shard.get(path).map(|o| o.created).unwrap_or(now);
+        shard.insert(
             path.to_string(),
             Object {
                 data: Bytes::copy_from_slice(data),
-                created: now,
+                created,
                 modified: now,
             },
         );
-        let old_len = old.as_ref().map(|o| o.data.len() as u64).unwrap_or(0);
-        if let Some(o) = old {
-            // Preserve the original creation time across overwrites.
-            shard.get_mut(path).unwrap().created = o.created;
-        }
         self.used.fetch_add(data.len() as u64, Ordering::Relaxed);
         self.used.fetch_sub(old_len, Ordering::Relaxed);
     }

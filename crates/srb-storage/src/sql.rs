@@ -564,7 +564,7 @@ impl SqlEngine {
                 }
             }
         }
-        Ok(combined.expect("split_union returns at least one part"))
+        combined.ok_or_else(|| SrbError::Invalid("UNION with no arms".into()))
     }
 
     fn exec_select(&self, sql: &str) -> SrbResult<QueryResult> {

@@ -10,6 +10,7 @@
 
 pub mod acl;
 pub mod clock;
+pub mod cursor;
 pub mod error;
 pub mod gen;
 pub mod hash;
@@ -20,10 +21,11 @@ pub mod value;
 
 pub use acl::{AccessMatrix, Permission, Role};
 pub use clock::{SimClock, Timestamp};
+pub use cursor::{CursorCodec, PageToken};
 pub use error::{SrbError, SrbResult};
 pub use gen::{GenCounter, Generation};
 pub use hash::{ct_eq, from_hex, hmac_sha256, sha256, sha256_hex, splitmix64, to_hex, Sha256};
 pub use id::*;
 pub use path::LogicalPath;
 pub use sync::LockRank;
-pub use value::{CompareOp, MetaValue, Triplet};
+pub use value::{like_prefix, like_scan_prefix, text_index_cmp, CompareOp, MetaValue, Triplet};

@@ -57,16 +57,64 @@ impl MetaValue {
     }
 
     /// Total order used by the catalog's value indexes: numbers first (by
-    /// numeric value), then text (lexicographic). Deterministic for NaN-free
-    /// values; `MetaValue::parse` never produces NaN.
+    /// numeric value), then text (case-folded, raw tie-break — see
+    /// [`text_index_cmp`]). Deterministic for NaN-free values;
+    /// `MetaValue::parse` never produces NaN.
     pub fn index_cmp(&self, other: &MetaValue) -> Ordering {
         match (self.as_f64(), other.as_f64()) {
             (Some(a), Some(b)) => a.partial_cmp(&b).unwrap_or(Ordering::Equal),
             (Some(_), None) => Ordering::Less,
             (None, Some(_)) => Ordering::Greater,
-            (None, None) => self.lexical().cmp(&other.lexical()),
+            (None, None) => text_index_cmp(&self.lexical(), &other.lexical()),
         }
     }
+}
+
+/// The text leg of the index order: case-folded comparison first, raw
+/// lexicographic as the tie-break, so two strings compare `Equal` only when
+/// they are byte-identical. `LIKE` matches case-insensitively, so keeping
+/// case-folded runs contiguous in the ordered index is what lets a prefix
+/// pattern (`foo%`) become a bounded range scan; the range operators use the
+/// same order (via [`CompareOp::eval`]) so index scans and direct evaluation
+/// always agree.
+pub fn text_index_cmp(a: &str, b: &str) -> Ordering {
+    if a == b {
+        return Ordering::Equal;
+    }
+    match a.to_lowercase().cmp(&b.to_lowercase()) {
+        Ordering::Equal => a.cmp(b),
+        other => other,
+    }
+}
+
+/// The literal prefix of a `LIKE` pattern — the characters before the first
+/// `%` or `_` wildcard. `None` when the pattern starts with a wildcard.
+pub fn like_prefix(pattern: &str) -> Option<String> {
+    let prefix: String = pattern
+        .chars()
+        .take_while(|c| *c != '%' && *c != '_')
+        .collect();
+    if prefix.is_empty() {
+        None
+    } else {
+        Some(prefix)
+    }
+}
+
+/// When a `LIKE` pattern can be planned as a bounded prefix scan over the
+/// ordered value index, the case-folded prefix to scan from; `None` when the
+/// pattern must fall back to a partition scan. A prefix whose first folded
+/// character could begin a *numeric* lexical form (digits, sign, leading
+/// dot, or the `inf`/`nan` spellings of non-finite floats) is rejected,
+/// because numeric keys sort by value — not by lexical prefix — so the scan
+/// could miss matches there.
+pub fn like_scan_prefix(pattern: &str) -> Option<String> {
+    let fold = like_prefix(pattern)?.to_lowercase();
+    let first = fold.chars().next()?;
+    if first.is_ascii_digit() || matches!(first, '-' | '+' | '.' | 'i' | 'n') {
+        return None;
+    }
+    Some(fold)
 }
 
 impl PartialEq for MetaValue {
@@ -221,7 +269,9 @@ impl CompareOp {
 fn ordered(lhs: &MetaValue, rhs: &MetaValue) -> Option<Ordering> {
     match (lhs.as_f64(), rhs.as_f64()) {
         (Some(a), Some(b)) => a.partial_cmp(&b),
-        (None, None) => Some(lhs.lexical().cmp(&rhs.lexical())),
+        // Text ranges use the same case-folded order as the value index, so
+        // an index range scan and a direct evaluation never disagree.
+        (None, None) => Some(text_index_cmp(&lhs.lexical(), &rhs.lexical())),
         // Number vs text is incomparable for range operators.
         _ => None,
     }
@@ -345,6 +395,49 @@ mod tests {
         vals.sort_by(|a, b| a.index_cmp(b));
         let lex: Vec<String> = vals.iter().map(|v| v.lexical()).collect();
         assert_eq!(lex, vec!["2.5", "10", "apple", "pear"]);
+    }
+
+    #[test]
+    fn text_order_is_case_folded_with_raw_tiebreak() {
+        // Case-insensitive primary order: "Zebra" sorts after "apple".
+        assert!(CompareOp::Gt.eval(&"Zebra".into(), &"apple".into()));
+        assert!(CompareOp::Lt.eval(&"apple".into(), &"Zebra".into()));
+        // Equal folds tie-break on the raw form, so cmp is Equal only for
+        // byte-identical strings (keeps Eq consistent with the index).
+        assert_eq!(text_index_cmp("Apple", "Apple"), Ordering::Equal);
+        assert_ne!(text_index_cmp("Apple", "apple"), Ordering::Equal);
+        assert!(CompareOp::Ge.eval(&"apple".into(), &"Apple".into()));
+        // index_cmp sorts the same way.
+        let mut vals = [
+            MetaValue::parse("Zebra"),
+            MetaValue::parse("apple"),
+            MetaValue::parse("Banana"),
+        ];
+        vals.sort_by(|a, b| a.index_cmp(b));
+        let lex: Vec<String> = vals.iter().map(|v| v.lexical()).collect();
+        assert_eq!(lex, vec!["apple", "Banana", "Zebra"]);
+    }
+
+    #[test]
+    fn like_prefix_extraction() {
+        assert_eq!(like_prefix("foo%"), Some("foo".to_string()));
+        assert_eq!(like_prefix("foo%bar%"), Some("foo".to_string()));
+        assert_eq!(like_prefix("fo_o%"), Some("fo".to_string()));
+        assert_eq!(like_prefix("foo"), Some("foo".to_string()));
+        assert_eq!(like_prefix("%foo"), None);
+        assert_eq!(like_prefix("_oo"), None);
+        assert_eq!(like_prefix(""), None);
+    }
+
+    #[test]
+    fn like_scan_prefix_cases() {
+        assert_eq!(like_scan_prefix("Con%"), Some("con".to_string()));
+        // Prefixes that could begin a numeric lexical form must fall back.
+        for p in ["1%", "-3%", "+2%", ".5%", "inf%", "Nan%"] {
+            assert_eq!(like_scan_prefix(p), None, "pattern {p}");
+        }
+        // Leading wildcard: no usable prefix.
+        assert_eq!(like_scan_prefix("%con"), None);
     }
 
     #[test]

@@ -3,7 +3,9 @@
 //!
 //! Every file must parse and carry a non-empty `rows` array with its
 //! before/after timing fields. E1/E5 must show the indexed planner no
-//! slower than the full-scan baseline; E6/E7 must show the parallel
+//! slower than the full-scan baseline; E2 must show ordered-index range
+//! scans >= 5x faster than residual verification and cursor pages priced
+//! O(page); E6/E7 must show the parallel
 //! fan-out engine no slower than the sequential ablation — strictly in
 //! simulated time (host-independent), and in wall-clock where the
 //! recording host actually had worker threads to parallelize on. These
@@ -66,6 +68,129 @@ fn rows_of(root: &Path, file: &str) -> Result<Vec<Value>, String> {
         return Err("`rows` array is empty".into());
     }
     Ok(rows.clone())
+}
+
+/// E2: ordered secondary indexes + resumable cursors. The indexed
+/// planner must beat the residual-verification full scan by >= 5x on
+/// both the bounded-range and the literal-prefix predicate at the
+/// largest catalog size, and stay flat-ish (<= 20x) while the catalog
+/// grows 10x or more. Cursor page fetches must cost O(page), not
+/// O(offset): the last page from its token within 5x of page one, the
+/// offset emulation of the last page >= 5x the cursor fetch. The seeded
+/// double-run digest (hits, tokens, mcat.* counters) must match exactly.
+fn check_e2(root: &Path) -> Result<String, String> {
+    let path = root.join("BENCH_E2.json");
+    let text = std::fs::read_to_string(&path)
+        .map_err(|e| format!("unreadable ({e}); run the exp binary with --json first"))?;
+    let v: Value = serde_json::from_str(&text).map_err(|e| format!("invalid JSON: {e}"))?;
+    let rows = v
+        .get("range_rows")
+        .and_then(Value::as_array)
+        .ok_or("missing `range_rows` array")?;
+    if rows.is_empty() {
+        return Err("`range_rows` array is empty".into());
+    }
+    for (i, row) in rows.iter().enumerate() {
+        for key in [
+            "planner_range_us",
+            "single_driver_range_us",
+            "scan_range_us",
+            "planner_prefix_us",
+            "scan_prefix_us",
+        ] {
+            if num(row, key).map(|t| t <= 0.0).unwrap_or(true) {
+                return Err(format!("range row {i}: missing or non-positive {key}"));
+            }
+        }
+    }
+    let first = &rows[0];
+    let last = &rows[rows.len() - 1];
+    let size = |r: &Value| num(r, "size").unwrap_or(0.0);
+    for (label, planner, scan) in [
+        ("range", "planner_range_us", "scan_range_us"),
+        ("prefix", "planner_prefix_us", "scan_prefix_us"),
+    ] {
+        let p = num(last, planner).unwrap_or(0.0);
+        let s = num(last, scan).unwrap_or(0.0);
+        if s < p * 5.0 {
+            return Err(format!(
+                "{label} at {} rows: indexed scan ({p:.1} us) not >= 5x faster than \
+                 the residual-verification scan ({s:.1} us)",
+                size(last)
+            ));
+        }
+        if size(last) >= size(first) * 10.0 {
+            let p0 = num(first, planner).unwrap_or(0.0);
+            if p > p0 * 20.0 {
+                return Err(format!(
+                    "{label}: indexed latency not flat-ish ({p0:.1} us at {} rows -> \
+                     {p:.1} us at {} rows)",
+                    size(first),
+                    size(last)
+                ));
+            }
+        }
+    }
+    let range_speedup = num(last, "scan_range_us").unwrap_or(0.0)
+        / num(last, "planner_range_us").unwrap_or(f64::INFINITY);
+
+    // Paging: cursor fetches O(page), offset emulation O(offset).
+    let mut offset_ratio = f64::INFINITY;
+    for (block, flat_only) in [("query_paging", true), ("paging", false)] {
+        let b = v
+            .get(block)
+            .ok_or_else(|| format!("missing `{block}` block"))?;
+        let prows = b
+            .get("rows")
+            .and_then(Value::as_array)
+            .ok_or_else(|| format!("{block}: missing `rows` array"))?;
+        if prows.len() < 2 {
+            return Err(format!("{block}: need at least two page rows"));
+        }
+        let first = &prows[0];
+        let last = &prows[prows.len() - 1];
+        let (c0, cn) = (
+            num(first, "cursor_us").unwrap_or(0.0),
+            num(last, "cursor_us").unwrap_or(0.0),
+        );
+        if c0 <= 0.0 || cn <= 0.0 {
+            return Err(format!("{block}: missing or non-positive cursor_us"));
+        }
+        if cn > c0 * 5.0 {
+            return Err(format!(
+                "{block}: page {} from its cursor ({cn:.1} us) more than 5x page 1 \
+                 ({c0:.1} us) — fetch cost not independent of page number",
+                num(last, "page").unwrap_or(0.0)
+            ));
+        }
+        if !flat_only {
+            let on = num(last, "offset_us").unwrap_or(0.0);
+            if on < cn * 5.0 {
+                return Err(format!(
+                    "{block}: offset emulation of the last page ({on:.1} us) not >= 5x \
+                     its cursor fetch ({cn:.1} us) — O(offset) contrast missing",
+                ));
+            }
+            offset_ratio = on / cn;
+        }
+    }
+
+    // Determinism: two identical seeded runs must hash identically.
+    let det = v.get("determinism").ok_or("missing `determinism` block")?;
+    if det.get("identical").and_then(Value::as_bool) != Some(true) {
+        return Err(format!(
+            "determinism: seeded replay diverged (digest_a {:?}, digest_b {:?})",
+            det.get("digest_a").and_then(Value::as_str).unwrap_or("?"),
+            det.get("digest_b").and_then(Value::as_str).unwrap_or("?"),
+        ));
+    }
+
+    Ok(format!(
+        "{} sizes ok, indexed range >= {range_speedup:.0}x vs scan at {:.0} rows, \
+         cursor pages O(page) (offset {offset_ratio:.0}x dearer), digest deterministic",
+        rows.len(),
+        size(last)
+    ))
 }
 
 /// E3: read success under seeded flaky faults (p = 0.3 transient
@@ -400,9 +525,10 @@ pub fn benchcheck(root: &Path) -> ExitCode {
     }
     for (file, checker) in [
         (
-            "BENCH_E3.json",
-            check_e3 as fn(&Path) -> Result<String, String>,
+            "BENCH_E2.json",
+            check_e2 as fn(&Path) -> Result<String, String>,
         ),
+        ("BENCH_E3.json", check_e3),
         ("BENCH_E6.json", check_e6),
         ("BENCH_E7.json", check_e7),
         ("BENCH_OBS.json", check_obs),
