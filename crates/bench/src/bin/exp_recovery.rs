@@ -1,0 +1,17 @@
+fn main() {
+    let max = std::env::var("SRB_RECOVERY_MAX")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(100_000);
+    if std::env::args().any(|a| a == "--json") {
+        let v = bench::experiments::recovery::run_json(max);
+        let text = serde_json::to_string_pretty(&v).unwrap_or_default();
+        if let Err(e) = std::fs::write("BENCH_RECOVERY.json", text) {
+            eprintln!("failed to write BENCH_RECOVERY.json: {e}");
+            std::process::exit(1);
+        }
+        println!("wrote BENCH_RECOVERY.json (up to {max} datasets)");
+    } else {
+        bench::experiments::recovery::run(max).print();
+    }
+}

@@ -19,6 +19,11 @@ fn main() {
     bench::experiments::e8_auth::run().print();
     bench::experiments::e9_migration::run().print();
     bench::experiments::e10_cache::run().print();
+    let rec_max = std::env::var("SRB_RECOVERY_MAX")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(10_000);
+    bench::experiments::recovery::run(rec_max).print();
     let load = bench::experiments::load::LoadParams {
         max_sessions: 10_000,
         requests: 5_000,

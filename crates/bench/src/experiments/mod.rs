@@ -14,3 +14,4 @@ pub mod e9_migration;
 pub mod figures;
 pub mod load;
 pub mod obs_overhead;
+pub mod recovery;

@@ -12,7 +12,7 @@ pub fn single_site_grid() -> (Grid, ServerId) {
     let srv = gb.server("srb-sdsc", site);
     gb.fs_resource("fs", srv);
     let grid = gb.build();
-    grid.register_user("bench", "sdsc", "pw").unwrap();
+    ok(grid.register_user("bench", "sdsc", "pw"));
     (grid, srv)
 }
 
@@ -38,7 +38,7 @@ pub fn federated_grid() -> (Grid, [ServerId; 3]) {
         .logical_resource("mirror", &["fs-sdsc", "fs-ncsa"])
         .logical_resource("ct-store", &["cache-sdsc", "hpss-caltech"]);
     let grid = gb.build();
-    grid.register_user("bench", "sdsc", "pw").unwrap();
+    ok(grid.register_user("bench", "sdsc", "pw"));
     (grid, [s1, s2, s3])
 }
 
@@ -62,27 +62,25 @@ pub fn time_us(reps: usize, mut f: impl FnMut()) -> f64 {
 
 /// Connect the standard bench user.
 pub fn connect<'g>(grid: &'g Grid, srv: ServerId) -> SrbConnection<'g> {
-    SrbConnection::connect(grid, srv, "bench", "sdsc", "pw").expect("bench user connects")
+    ok(SrbConnection::connect(grid, srv, "bench", "sdsc", "pw"))
 }
 
 /// Ingest `n` small datasets under `/home/bench/data` with three metadata
 /// attributes each: a unique `serial`, a low-cardinality `kind`, and a
 /// numeric `score`. Returns ingest wall time.
 pub fn seed_datasets(conn: &SrbConnection<'_>, n: usize, resource: &str) -> std::time::Duration {
-    conn.make_collection("/home/bench/data")
-        .expect("collection");
+    ok(conn.make_collection("/home/bench/data"));
     let mut rng = rand::rngs::StdRng::seed_from_u64(42);
     let t0 = std::time::Instant::now();
     for i in 0..n {
-        conn.ingest(
+        ok(conn.ingest(
             &format!("/home/bench/data/obj{i:07}"),
             b"payload",
             IngestOptions::to_resource(resource)
                 .with_metadata(Triplet::new("serial", i as i64, ""))
                 .with_metadata(Triplet::new("kind", ["image", "text", "movie"][i % 3], ""))
                 .with_metadata(Triplet::new("score", rng.gen_range(0i64..1000), "")),
-        )
-        .expect("ingest");
+        ));
     }
     t0.elapsed()
 }

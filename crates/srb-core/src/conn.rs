@@ -288,6 +288,21 @@ impl<'g> SrbConnection<'g> {
             subject,
             outcome,
         );
+        // Periodic WAL checkpoints ride the audit path: every mutating op
+        // audits, so a due checkpoint lands promptly without a background
+        // thread. A failure here means the catalog snapshot failed to
+        // serialize — a programming bug caught by tests, not a reason to
+        // fail the user's op.
+        let _ = self.grid.mcat.maybe_checkpoint();
+    }
+
+    /// Fold the durability cost pooled by the catalog's WAL (appends,
+    /// group-commit fsyncs, checkpoints) since the last drain into this
+    /// op's receipt. A no-op on grids without durability enabled.
+    pub(crate) fn absorb_durability(&self, receipt: &mut Receipt) {
+        if let Some(wal) = self.grid.mcat.wal() {
+            receipt.sim_ns += wal.take_pending_ns();
+        }
     }
 
     pub(crate) fn parse(&self, path: &str) -> SrbResult<LogicalPath> {

@@ -451,6 +451,62 @@ impl Grid {
             .unwrap_or_default()
     }
 
+    /// Enable write-ahead durability on the catalog: every MCAT mutation
+    /// is redo-logged to `device` and group-committed; checkpoints land on
+    /// the broker's audit path per `config`. Durability cost shows up in
+    /// op receipts and, when observability is on, under the `wal.*`
+    /// metrics.
+    pub fn enable_durability(
+        &self,
+        device: Arc<srb_storage::LogDevice>,
+        config: srb_mcat::WalConfig,
+    ) -> SrbResult<()> {
+        self.mcat
+            .enable_wal(device, config, self.obs().map(|o| &o.metrics))
+    }
+
+    /// Rebuild the catalog of this (freshly built, same-topology) grid
+    /// from a crashed deployment's log device: redo recovery over the
+    /// latest checkpoint. Resources are verified by name/id/kind as in
+    /// [`Grid::restore_state`]. Only the catalog is recovered — the WAL
+    /// does not carry physical bytes; pair with [`Grid::restore_state`]
+    /// (or replica resync) for the data itself.
+    pub fn recover_catalog(
+        &mut self,
+        device: Arc<srb_storage::LogDevice>,
+        config: srb_mcat::WalConfig,
+    ) -> SrbResult<srb_mcat::RecoveryReport> {
+        let (mcat, report) = Mcat::recover(
+            self.clock.clone(),
+            device,
+            config,
+            self.obs().map(|o| &o.metrics),
+        )?;
+        for r in mcat.resources.list() {
+            let local = self.mcat.resources.find(&r.name).ok_or_else(|| {
+                SrbError::Invalid(format!(
+                    "grid topology lacks resource '{}' required by the recovered catalog",
+                    r.name
+                ))
+            })?;
+            if local.id != r.id || local.kind != r.kind {
+                return Err(SrbError::Invalid(format!(
+                    "resource '{}' differs between topology and recovered catalog \
+                     (declare resources in the same order)",
+                    r.name
+                )));
+            }
+        }
+        // Re-wire catalog metrics as the builder did, so query/scan
+        // counters keep flowing after the swap.
+        let mcat = match self.obs() {
+            Some(o) => mcat.with_metrics(&o.metrics),
+            None => mcat,
+        };
+        self.mcat = mcat;
+        Ok(report)
+    }
+
     /// Look up a server.
     pub fn server(&self, id: ServerId) -> SrbResult<&SrbServer> {
         self.servers

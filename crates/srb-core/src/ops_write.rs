@@ -218,6 +218,7 @@ impl SrbConnection<'_> {
             let r = self.ingest_into_container_impl(coll, name, &data, container, &opts, user)?;
             receipt.absorb(&r);
             self.audit(AuditAction::Ingest, path, "ok");
+            self.absorb_durability(&mut receipt);
             return Ok(receipt);
         }
 
@@ -249,6 +250,7 @@ impl SrbConnection<'_> {
         )?;
         self.attach_ingest_metadata(ds, &opts.metadata);
         self.audit(AuditAction::Ingest, path, "ok");
+        self.absorb_durability(&mut receipt);
         self.finish_op("ingest", path, start, &receipt);
         Ok(receipt)
     }
@@ -446,6 +448,7 @@ impl SrbConnection<'_> {
             return Err(e);
         }
         self.audit(AuditAction::Write, path, "ok");
+        self.absorb_durability(&mut receipt);
         self.finish_op("write", path, start, &receipt);
         Ok(receipt)
     }
@@ -819,6 +822,7 @@ impl SrbConnection<'_> {
         receipt.absorb(&fan.receipt);
         self.commit_fanout_replicas(ds.id, &legs, &fan, data.len() as u64, &checksum)?;
         self.audit(AuditAction::Replicate, path, "ok");
+        self.absorb_durability(&mut receipt);
         self.finish_op("replicate", path, start, &receipt);
         Ok(receipt)
     }

@@ -8,6 +8,7 @@
 //! permission on the object."
 
 use crate::metadata::Subject;
+use crate::wal::{WalHook, WalOp};
 use serde::{Deserialize, Serialize};
 use srb_types::sync::{LockRank, RwLock};
 use srb_types::{AnnotationId, IdGen, SrbError, SrbResult, Timestamp, UserId};
@@ -93,12 +94,15 @@ pub struct Annotation {
 #[derive(Debug)]
 pub struct AnnotationTable {
     inner: RwLock<Inner>,
+    /// Redo-log hook; a no-op until the catalog enables durability.
+    wal: WalHook,
 }
 
 impl Default for AnnotationTable {
     fn default() -> Self {
         AnnotationTable {
             inner: RwLock::new(LockRank::McatTable, "mcat.annotations", Inner::default()),
+            wal: WalHook::default(),
         }
     }
 }
@@ -128,20 +132,22 @@ impl AnnotationTable {
         text: &str,
     ) -> AnnotationId {
         let id: AnnotationId = ids.next();
+        let row = Annotation {
+            id,
+            subject,
+            author,
+            at,
+            kind,
+            location: location.to_string(),
+            text: text.to_string(),
+        };
         let mut g = self.inner.write();
         g.by_subject.entry(subject).or_default().push(id);
-        g.rows.insert(
-            id,
-            Annotation {
-                id,
-                subject,
-                author,
-                at,
-                kind,
-                location: location.to_string(),
-                text: text.to_string(),
-            },
-        );
+        self.wal
+            .log(0, || WalOp::AnnotationPut { row: row.clone() });
+        g.rows.insert(id, row);
+        drop(g);
+        self.wal.commit();
         id
     }
 
@@ -175,6 +181,9 @@ impl AnnotationTable {
         if let Some(v) = g.by_subject.get_mut(&row.subject) {
             v.retain(|&a| a != id);
         }
+        self.wal.log(0, || WalOp::AnnotationDelete { id });
+        drop(g);
+        self.wal.commit();
         Ok(())
     }
 
@@ -185,6 +194,9 @@ impl AnnotationTable {
             for id in ids {
                 g.rows.remove(&id);
             }
+            self.wal.log(0, || WalOp::AnnotationClear { subject });
+            drop(g);
+            self.wal.commit();
         }
     }
 
@@ -219,6 +231,11 @@ impl AnnotationTable {
     /// Total number of annotations.
     pub fn count(&self) -> usize {
         self.inner.read().rows.len()
+    }
+
+    /// Wire this table to the catalog's WAL.
+    pub(crate) fn attach_wal(&self, wal: std::sync::Arc<crate::wal::Wal>) {
+        self.wal.attach(wal);
     }
 }
 

@@ -5,6 +5,7 @@
 //! of the framework." Every brokered operation can record an audit row;
 //! auditing can be toggled per catalog.
 
+use crate::wal::{WalHook, WalOp};
 use serde::{Deserialize, Serialize};
 use srb_types::sync::{LockRank, Mutex};
 use srb_types::{AuditId, IdGen, Timestamp, UserId};
@@ -93,6 +94,8 @@ pub struct AuditRow {
 pub struct AuditLog {
     enabled: AtomicBool,
     rows: Mutex<Vec<AuditRow>>,
+    /// Redo-log hook; a no-op until the catalog enables durability.
+    wal: WalHook,
 }
 
 impl Default for AuditLog {
@@ -100,6 +103,7 @@ impl Default for AuditLog {
         AuditLog {
             enabled: AtomicBool::default(),
             rows: Mutex::new(LockRank::McatTable, "mcat.audit", Vec::new()),
+            wal: WalHook::default(),
         }
     }
 }
@@ -136,14 +140,19 @@ impl AuditLog {
             return;
         }
         let id: AuditId = ids.next();
-        self.rows.lock().push(AuditRow {
+        let row = AuditRow {
             id,
             at,
             user,
             action,
             subject: subject.to_string(),
             outcome: outcome.to_string(),
-        });
+        };
+        let mut g = self.rows.lock();
+        self.wal.log(0, || WalOp::AuditPut { row: row.clone() });
+        g.push(row);
+        drop(g);
+        self.wal.commit();
     }
 
     /// The most recent `n` rows, newest last.
@@ -188,6 +197,11 @@ impl AuditLog {
     /// Row count.
     pub fn count(&self) -> usize {
         self.rows.lock().len()
+    }
+
+    /// Wire this table to the catalog's WAL.
+    pub(crate) fn attach_wal(&self, wal: std::sync::Arc<crate::wal::Wal>) {
+        self.wal.attach(wal);
     }
 }
 

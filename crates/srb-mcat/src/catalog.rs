@@ -12,12 +12,14 @@ use crate::metadata::{MetaKind, MetaStore, Subject, DUBLIN_CORE};
 use crate::query::{Query, QueryCondition, QueryHit};
 use crate::resource::ResourceTable;
 use crate::user::UserTable;
+use crate::wal::{self, RecoveryReport, Wal, WalConfig};
+use srb_storage::LogDevice;
 use srb_types::{
     like_scan_prefix, CollectionId, CompareOp, CursorCodec, DatasetId, IdGen, LogicalPath,
-    MetaValue, PageToken, Permission, SimClock, SrbError, SrbResult, Triplet, UserId,
+    MetaValue, PageToken, Permission, SimClock, SrbError, SrbResult, Timestamp, Triplet, UserId,
 };
 use std::collections::HashSet;
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 
 /// Seed for the catalog's cursor-signing key. Fixed so two seeded
 /// simulation runs emit byte-identical tokens; clients still cannot mint
@@ -56,6 +58,8 @@ pub struct Mcat {
     cursors: CursorCodec,
     /// Query-planner metric handles, attached when observability is on.
     obs: Option<QueryObs>,
+    /// The write-ahead log, once durability is enabled.
+    wal: OnceLock<Arc<Wal>>,
 }
 
 /// Pre-registered counters for the query planner; kept as handles so the
@@ -97,6 +101,7 @@ impl Mcat {
             admin,
             cursors: CursorCodec::new(CURSOR_KEY_SEED),
             obs: None,
+            wal: OnceLock::new(),
         }
     }
 
@@ -152,7 +157,103 @@ impl Mcat {
             admin,
             cursors: CursorCodec::new(CURSOR_KEY_SEED),
             obs: None,
+            wal: OnceLock::new(),
         }
+    }
+
+    // ------------------------------------------------------- durability --
+
+    /// Wire every table to `walh` (shared hook-attachment of
+    /// [`enable_wal`](Self::enable_wal) and [`recover`](Self::recover)).
+    fn attach_wal_all(&self, walh: &Arc<Wal>) {
+        self.users.attach_wal(walh.clone());
+        self.resources.attach_wal(walh.clone());
+        self.collections.attach_wal(walh.clone());
+        self.datasets.attach_wal(walh.clone());
+        self.containers.attach_wal(walh.clone());
+        self.metadata.attach_wal(walh.clone());
+        self.annotations.attach_wal(walh.clone());
+        self.audit.attach_wal(walh.clone());
+    }
+
+    /// Enable write-ahead durability over `device`. Everything already in
+    /// the catalog (the bootstrap admin, the root collection, any rows
+    /// registered before this call) is covered by an initial checkpoint;
+    /// from here on every mutation is redo-logged and fsynced at commit.
+    /// May be called at most once per catalog.
+    pub fn enable_wal(
+        &self,
+        device: Arc<LogDevice>,
+        config: WalConfig,
+        metrics: Option<&srb_obs::MetricsRegistry>,
+    ) -> SrbResult<()> {
+        if self.wal.get().is_some() {
+            return Err(SrbError::Invalid("durability already enabled".into()));
+        }
+        let walh = Arc::new(Wal::new(device, self.clock.clone(), config, metrics));
+        let cover = walh.checkpoint_cover();
+        walh.install_checkpoint(cover, &self.snapshot_json()?);
+        self.attach_wal_all(&walh);
+        let _ = self.wal.set(walh);
+        Ok(())
+    }
+
+    /// The write-ahead log, once durability is enabled.
+    pub fn wal(&self) -> Option<&Arc<Wal>> {
+        self.wal.get()
+    }
+
+    /// Install a periodic checkpoint if the configured interval has
+    /// elapsed on the virtual clock. Called from op epilogues; cheap when
+    /// durability is off or no checkpoint is due. Returns whether one was
+    /// installed.
+    pub fn maybe_checkpoint(&self) -> SrbResult<bool> {
+        let Some(walh) = self.wal.get() else {
+            return Ok(false);
+        };
+        let Some(cover) = walh.checkpoint_claim(self.clock.now()) else {
+            return Ok(false);
+        };
+        walh.install_checkpoint(cover, &self.snapshot_json()?);
+        Ok(true)
+    }
+
+    /// Install a checkpoint unconditionally (shutdown, tests, explicit
+    /// admin request). Errors when durability is not enabled.
+    pub fn checkpoint_now(&self) -> SrbResult<()> {
+        let Some(walh) = self.wal.get() else {
+            return Err(SrbError::Invalid("durability not enabled".into()));
+        };
+        let cover = walh.checkpoint_cover();
+        walh.install_checkpoint(cover, &self.snapshot_json()?);
+        Ok(())
+    }
+
+    /// Redo recovery: rebuild the catalog a crashed `device` proves — its
+    /// latest checkpoint plus every complete commit group of the durable
+    /// tail — and resume durable operation over the same device.
+    ///
+    /// The shared clock is advanced to at least the last acknowledged
+    /// commit's virtual time, a fresh WAL resumes LSN assignment after the
+    /// durable tail, and a post-recovery checkpoint is installed so
+    /// records the replay discarded (an unterminated trailing group) can
+    /// never resurface in a later recovery.
+    pub fn recover(
+        clock: SimClock,
+        device: Arc<LogDevice>,
+        config: WalConfig,
+        metrics: Option<&srb_obs::MetricsRegistry>,
+    ) -> SrbResult<(Mcat, RecoveryReport)> {
+        let replayed = wal::replay_device(&device)?;
+        let mcat = Mcat::restore(clock.clone(), replayed.snapshot)?;
+        clock.advance_to(Timestamp(replayed.max_at_ns));
+        let walh = Arc::new(Wal::new(device, clock, config, metrics));
+        walh.charge_recovery(replayed.report.recovery_ns);
+        let cover = walh.checkpoint_cover();
+        walh.install_checkpoint(cover, &mcat.snapshot_json()?);
+        mcat.attach_wal_all(&walh);
+        let _ = mcat.wal.set(walh);
+        Ok((mcat, replayed.report))
     }
 
     // ------------------------------------------------------- resolution --

@@ -6,6 +6,7 @@
 //! everything ingested into the collection (paper §5: defaults, restricted
 //! vocabularies shown as drop-down lists, and mandatory attributes).
 
+use crate::wal::{WalHook, WalOp};
 use serde::{Deserialize, Serialize};
 use srb_types::sync::{LockRank, RwLock, RwLockReadGuard};
 use srb_types::{
@@ -97,6 +98,8 @@ pub struct CollectionTable {
     /// `query.scope_cache_hits` / `query.scope_cache_misses`, attached by
     /// the grid when observability is on.
     cache_obs: Option<(srb_obs::Counter, srb_obs::Counter)>,
+    /// Redo-log hook; a no-op until the catalog enables durability.
+    wal: WalHook,
 }
 
 impl Default for CollectionTable {
@@ -110,6 +113,7 @@ impl Default for CollectionTable {
                 HashMap::new(),
             ),
             cache_obs: None,
+            wal: WalHook::default(),
         }
     }
 }
@@ -184,19 +188,20 @@ impl CollectionTable {
             return Err(SrbError::AlreadyExists(format!("collection '{key}'")));
         }
         let id: CollectionId = ids.next();
-        g.nodes.insert(
+        let row = Collection {
             id,
-            Collection {
-                id,
-                parent: Some(parent),
-                path,
-                owner,
-                acl: AccessMatrix::owned_by(owner),
-                requirements: Vec::new(),
-                link_target: None,
-                created: now,
-            },
-        );
+            parent: Some(parent),
+            path,
+            owner,
+            acl: AccessMatrix::owned_by(owner),
+            requirements: Vec::new(),
+            link_target: None,
+            created: now,
+        };
+        let gen = self.generation.bump_get().raw();
+        self.wal
+            .log(gen, || WalOp::CollectionPut { row: row.clone() });
+        g.nodes.insert(id, row);
         g.by_path.insert(key, id);
         g.children
             .entry(parent)
@@ -204,7 +209,7 @@ impl CollectionTable {
             .insert(name.to_string(), id);
         g.children.insert(id, BTreeMap::new());
         drop(g);
-        self.generation.bump();
+        self.wal.commit();
         Ok(id)
     }
 
@@ -237,26 +242,27 @@ impl CollectionTable {
             return Err(SrbError::AlreadyExists(format!("collection '{key}'")));
         }
         let id: CollectionId = ids.next();
-        g.nodes.insert(
+        let row = Collection {
             id,
-            Collection {
-                id,
-                parent: Some(parent),
-                path,
-                owner,
-                acl: AccessMatrix::owned_by(owner),
-                requirements: Vec::new(),
-                link_target: Some(resolved_target),
-                created: now,
-            },
-        );
+            parent: Some(parent),
+            path,
+            owner,
+            acl: AccessMatrix::owned_by(owner),
+            requirements: Vec::new(),
+            link_target: Some(resolved_target),
+            created: now,
+        };
+        let gen = self.generation.bump_get().raw();
+        self.wal
+            .log(gen, || WalOp::CollectionPut { row: row.clone() });
+        g.nodes.insert(id, row);
         g.by_path.insert(key, id);
         g.children
             .entry(parent)
             .or_default()
             .insert(name.to_string(), id);
         drop(g);
-        self.generation.bump();
+        self.wal.commit();
         Ok(id)
     }
 
@@ -428,6 +434,17 @@ impl CollectionTable {
         self.generation.current()
     }
 
+    /// Raise the mutation counter to at least `raw` (snapshot restore /
+    /// WAL recovery — recovered cursors must see the stamps they embed).
+    pub fn restore_generation(&self, raw: u64) {
+        self.generation.ensure_at_least(raw);
+    }
+
+    /// Wire this table to the catalog's WAL.
+    pub(crate) fn attach_wal(&self, wal: Arc<crate::wal::Wal>) {
+        self.wal.attach(wal);
+    }
+
     /// A read guard over the tree for batch path materialization: one lock
     /// acquisition serves any number of [`CollPathBatch::path_of`] lookups,
     /// and the returned paths are borrowed, not cloned.
@@ -443,6 +460,13 @@ impl CollectionTable {
         match g.nodes.get_mut(&id) {
             Some(c) => {
                 c.acl = acl;
+                // No generation bump: ACL changes don't reshape the tree,
+                // so outstanding cursors stay valid (gen 0 on the record).
+                let row = &*c;
+                self.wal
+                    .log(0, || WalOp::CollectionPut { row: row.clone() });
+                drop(g);
+                self.wal.commit();
                 Ok(())
             }
             None => Err(SrbError::NotFound(format!("collection {id}"))),
@@ -455,6 +479,11 @@ impl CollectionTable {
         match g.nodes.get_mut(&id) {
             Some(c) => {
                 c.requirements = reqs;
+                let row = &*c;
+                self.wal
+                    .log(0, || WalOp::CollectionPut { row: row.clone() });
+                drop(g);
+                self.wal.commit();
                 Ok(())
             }
             None => Err(SrbError::NotFound(format!("collection {id}"))),
@@ -521,20 +550,29 @@ impl CollectionTable {
                 }
             }
         }
-        for cid in affected {
-            let node_path = g.nodes[&cid].path.clone();
+        for cid in &affected {
+            let node_path = g.nodes[cid].path.clone();
             let rebased = node_path.rebase(&old_path, &new_path)?;
             g.by_path.remove(&node_path.to_string());
-            g.by_path.insert(rebased.to_string(), cid);
-            if let Some(node) = g.nodes.get_mut(&cid) {
+            g.by_path.insert(rebased.to_string(), *cid);
+            if let Some(node) = g.nodes.get_mut(cid) {
                 node.path = rebased;
             }
         }
         if let Some(node) = g.nodes.get_mut(&id) {
             node.parent = Some(new_parent);
         }
+        // One bump covers the whole rebase; every touched row is logged
+        // with the same post-move stamp.
+        let gen = self.generation.bump_get().raw();
+        for cid in &affected {
+            if let Some(node) = g.nodes.get(cid) {
+                self.wal
+                    .log(gen, || WalOp::CollectionPut { row: node.clone() });
+            }
+        }
         drop(g);
-        self.generation.bump();
+        self.wal.commit();
         Ok(())
     }
 
@@ -571,8 +609,10 @@ impl CollectionTable {
                 }
             }
         }
+        let gen = self.generation.bump_get().raw();
+        self.wal.log(gen, || WalOp::CollectionDelete { id });
         drop(g);
-        self.generation.bump();
+        self.wal.commit();
         Ok(())
     }
 

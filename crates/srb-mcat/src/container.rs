@@ -10,6 +10,7 @@
 //! placement, its member slices, and whether the cached copy has been
 //! synchronized to the archive. Byte movement is `srb-core`'s job.
 
+use crate::wal::{WalHook, WalOp};
 use serde::{Deserialize, Serialize};
 use srb_types::sync::{LockRank, RwLock};
 use srb_types::{ContainerId, DatasetId, IdGen, LogicalResourceId, SrbError, SrbResult, Timestamp};
@@ -53,12 +54,15 @@ pub struct ContainerRecord {
 #[derive(Debug)]
 pub struct ContainerTable {
     inner: RwLock<Inner>,
+    /// Redo-log hook; a no-op until the catalog enables durability.
+    wal: WalHook,
 }
 
 impl Default for ContainerTable {
     fn default() -> Self {
         ContainerTable {
             inner: RwLock::new(LockRank::McatTable, "mcat.containers", Inner::default()),
+            wal: WalHook::default(),
         }
     }
 }
@@ -89,20 +93,21 @@ impl ContainerTable {
             return Err(SrbError::AlreadyExists(format!("container '{name}'")));
         }
         let id: ContainerId = ids.next();
-        g.rows.insert(
+        let row = ContainerRecord {
             id,
-            ContainerRecord {
-                id,
-                name: name.to_string(),
-                logical_resource,
-                members: Vec::new(),
-                size: 0,
-                max_size,
-                synced: true,
-                created: now,
-            },
-        );
+            name: name.to_string(),
+            logical_resource,
+            members: Vec::new(),
+            size: 0,
+            max_size,
+            synced: true,
+            created: now,
+        };
+        self.wal.log(0, || WalOp::ContainerPut { row: row.clone() });
+        g.rows.insert(id, row);
         g.by_name.insert(name.to_string(), id);
+        drop(g);
+        self.wal.commit();
         Ok(id)
     }
 
@@ -144,6 +149,10 @@ impl ContainerTable {
         });
         c.size += len;
         c.synced = false;
+        let row = &*c;
+        self.wal.log(0, || WalOp::ContainerPut { row: row.clone() });
+        drop(g);
+        self.wal.commit();
         Ok(offset)
     }
 
@@ -153,6 +162,10 @@ impl ContainerTable {
         match g.rows.get_mut(&id) {
             Some(c) => {
                 c.synced = true;
+                let row = &*c;
+                self.wal.log(0, || WalOp::ContainerPut { row: row.clone() });
+                drop(g);
+                self.wal.commit();
                 Ok(())
             }
             None => Err(SrbError::NotFound(format!("container {id}"))),
@@ -174,6 +187,10 @@ impl ContainerTable {
                 "dataset {dataset} not in container {id}"
             )));
         }
+        let row = &*c;
+        self.wal.log(0, || WalOp::ContainerPut { row: row.clone() });
+        drop(g);
+        self.wal.commit();
         Ok(())
     }
 
@@ -200,6 +217,10 @@ impl ContainerTable {
             .collect();
         c.size = new_size;
         c.synced = false;
+        let row = &*c;
+        self.wal.log(0, || WalOp::ContainerPut { row: row.clone() });
+        drop(g);
+        self.wal.commit();
         Ok(())
     }
 
@@ -222,6 +243,9 @@ impl ContainerTable {
             .remove(&id)
             .ok_or_else(|| SrbError::NotFound(format!("container {id}")))?;
         g.by_name.remove(&c.name);
+        self.wal.log(0, || WalOp::ContainerDelete { id });
+        drop(g);
+        self.wal.commit();
         Ok(())
     }
 
@@ -243,6 +267,11 @@ impl ContainerTable {
         let mut v: Vec<ContainerRecord> = self.inner.read().rows.values().cloned().collect();
         v.sort_by_key(|c| c.id);
         v
+    }
+
+    /// Wire this table to the catalog's WAL.
+    pub(crate) fn attach_wal(&self, wal: std::sync::Arc<crate::wal::Wal>) {
+        self.wal.attach(wal);
     }
 }
 

@@ -8,6 +8,7 @@
 //! SRB "does not check whether a registered replica is really an equal of
 //! the other copy".
 
+use crate::wal::{WalHook, WalOp};
 use serde::{Deserialize, Serialize};
 use srb_types::sync::{LockRank, RwLock, RwLockReadGuard};
 use srb_types::{
@@ -339,6 +340,8 @@ pub struct DatasetTable {
     /// tokens. In-place row updates (replicas, locks, ACLs) do not bump
     /// it: they cannot change which names a page serves or their order.
     generation: GenCounter,
+    /// Redo-log hook; a no-op until the catalog enables durability.
+    wal: WalHook,
 }
 
 impl Default for DatasetTable {
@@ -346,6 +349,7 @@ impl Default for DatasetTable {
         DatasetTable {
             inner: RwLock::new(LockRank::McatTable, "mcat.datasets", Inner::default()),
             generation: GenCounter::new(),
+            wal: WalHook::default(),
         }
     }
 }
@@ -400,29 +404,29 @@ impl DatasetTable {
                 created: now,
             })
             .collect();
-        g.rows.insert(
+        let row = Dataset {
             id,
-            Dataset {
-                id,
-                coll,
-                name: name.to_string(),
-                data_type: data_type.to_string(),
-                owner,
-                acl: AccessMatrix::owned_by(owner),
-                replicas: reps,
-                link_target: None,
-                lock: None,
-                checkout: None,
-                versions: Vec::new(),
-                current_version: 1,
-                created: now,
-                modified: now,
-            },
-        );
+            coll,
+            name: name.to_string(),
+            data_type: data_type.to_string(),
+            owner,
+            acl: AccessMatrix::owned_by(owner),
+            replicas: reps,
+            link_target: None,
+            lock: None,
+            checkout: None,
+            versions: Vec::new(),
+            current_version: 1,
+            created: now,
+            modified: now,
+        };
+        let gen = self.generation.bump_get().raw();
+        self.wal.log(gen, || WalOp::DatasetPut { row: row.clone() });
+        g.rows.insert(id, row);
         g.by_name.insert(key, id);
         g.by_coll.entry(coll).or_default().push(id);
         drop(g);
-        self.generation.bump();
+        self.wal.commit();
         Ok(id)
     }
 
@@ -451,6 +455,9 @@ impl DatasetTable {
             }
         }
         let mut out = Vec::with_capacity(batch.len());
+        // One generation bump covers the whole batch: pages cut before it
+        // are invalidated once, not once per row.
+        let gen = self.generation.bump_get().raw();
         for nd in batch {
             let id: DatasetId = ids.next();
             let reps = nd
@@ -469,31 +476,30 @@ impl DatasetTable {
                     created: now,
                 })
                 .collect();
-            g.rows.insert(
+            let row = Dataset {
                 id,
-                Dataset {
-                    id,
-                    coll,
-                    name: nd.name.clone(),
-                    data_type: data_type.to_string(),
-                    owner,
-                    acl: AccessMatrix::owned_by(owner),
-                    replicas: reps,
-                    link_target: None,
-                    lock: None,
-                    checkout: None,
-                    versions: Vec::new(),
-                    current_version: 1,
-                    created: now,
-                    modified: now,
-                },
-            );
+                coll,
+                name: nd.name.clone(),
+                data_type: data_type.to_string(),
+                owner,
+                acl: AccessMatrix::owned_by(owner),
+                replicas: reps,
+                link_target: None,
+                lock: None,
+                checkout: None,
+                versions: Vec::new(),
+                current_version: 1,
+                created: now,
+                modified: now,
+            };
+            self.wal.log(gen, || WalOp::DatasetPut { row: row.clone() });
+            g.rows.insert(id, row);
             g.by_name.insert((coll, nd.name), id);
             g.by_coll.entry(coll).or_default().push(id);
             out.push(id);
         }
         drop(g);
-        self.generation.bump();
+        self.wal.commit();
         Ok(out)
     }
 
@@ -524,29 +530,29 @@ impl DatasetTable {
             )));
         }
         let id: DatasetId = ids.next();
-        g.rows.insert(
+        let row = Dataset {
             id,
-            Dataset {
-                id,
-                coll,
-                name: name.to_string(),
-                data_type: "link".to_string(),
-                owner,
-                acl: AccessMatrix::owned_by(owner),
-                replicas: Vec::new(),
-                link_target: Some(resolved),
-                lock: None,
-                checkout: None,
-                versions: Vec::new(),
-                current_version: 1,
-                created: now,
-                modified: now,
-            },
-        );
+            coll,
+            name: name.to_string(),
+            data_type: "link".to_string(),
+            owner,
+            acl: AccessMatrix::owned_by(owner),
+            replicas: Vec::new(),
+            link_target: Some(resolved),
+            lock: None,
+            checkout: None,
+            versions: Vec::new(),
+            current_version: 1,
+            created: now,
+            modified: now,
+        };
+        let gen = self.generation.bump_get().raw();
+        self.wal.log(gen, || WalOp::DatasetPut { row: row.clone() });
+        g.rows.insert(id, row);
         g.by_name.insert(key, id);
         g.by_coll.entry(coll).or_default().push(id);
         drop(g);
-        self.generation.bump();
+        self.wal.commit();
         Ok(id)
     }
 
@@ -621,7 +627,9 @@ impl DatasetTable {
         (page, false)
     }
 
-    /// Mutate a dataset in place under the table lock.
+    /// Mutate a dataset in place under the table lock. In-place edits do
+    /// not bump the listing generation, but the full post-image is still
+    /// redo-logged so replicas, locks and versions survive recovery.
     pub fn update<F, R>(&self, id: DatasetId, f: F) -> SrbResult<R>
     where
         F: FnOnce(&mut Dataset) -> SrbResult<R>,
@@ -631,7 +639,12 @@ impl DatasetTable {
             .rows
             .get_mut(&id)
             .ok_or_else(|| SrbError::NotFound(format!("dataset {id}")))?;
-        f(d)
+        let out = f(d)?;
+        let row = &*d;
+        self.wal.log(0, || WalOp::DatasetPut { row: row.clone() });
+        drop(g);
+        self.wal.commit();
+        Ok(out)
     }
 
     /// Add a replica; returns the assigned replica number.
@@ -732,8 +745,12 @@ impl DatasetTable {
             v.retain(|&x| x != id);
         }
         g.by_coll.entry(new_coll).or_default().push(id);
+        let gen = self.generation.bump_get().raw();
+        if let Some(row) = g.rows.get(&id) {
+            self.wal.log(gen, || WalOp::DatasetPut { row: row.clone() });
+        }
         drop(g);
-        self.generation.bump();
+        self.wal.commit();
         Ok(())
     }
 
@@ -748,8 +765,10 @@ impl DatasetTable {
         if let Some(v) = g.by_coll.get_mut(&d.coll) {
             v.retain(|&x| x != id);
         }
+        let gen = self.generation.bump_get().raw();
+        self.wal.log(gen, || WalOp::DatasetDelete { id });
         drop(g);
-        self.generation.bump();
+        self.wal.commit();
         Ok(d)
     }
 
@@ -850,6 +869,18 @@ impl DatasetTable {
     /// Current membership/naming generation (cursor invalidation).
     pub fn generation(&self) -> Generation {
         self.generation.current()
+    }
+
+    /// Fast-forward the generation counter to at least `raw` — called when
+    /// a snapshot or WAL replay restores a catalog, so cursor tokens minted
+    /// before the restart stay comparable.
+    pub fn restore_generation(&self, raw: u64) {
+        self.generation.ensure_at_least(raw);
+    }
+
+    /// Wire this table to the catalog's WAL.
+    pub(crate) fn attach_wal(&self, wal: std::sync::Arc<crate::wal::Wal>) {
+        self.wal.attach(wal);
     }
 
     /// A read guard over the table for batch verification: one lock

@@ -28,6 +28,7 @@ pub mod query;
 pub mod resource;
 pub mod snapshot;
 pub mod user;
+pub mod wal;
 
 pub use annotation::{Annotation, AnnotationKind};
 pub use audit::{AuditAction, AuditRow};
@@ -41,5 +42,6 @@ pub use dataset::{
 pub use metadata::{MetaKind, MetaRow, Subject};
 pub use query::{Query, QueryCondition, QueryHit};
 pub use resource::{LogicalResource, Resource};
-pub use snapshot::CatalogSnapshot;
+pub use snapshot::{CatalogSnapshot, SnapshotGenerations};
 pub use user::{Group, User};
+pub use wal::{RecoveryReport, Wal, WalConfig, WalOp, WalRecord};

@@ -7,6 +7,7 @@
 //! the query engine can answer `=` and range conditions without scanning —
 //! the design choice ablated in experiment E5/A1.
 
+use crate::wal::{WalHook, WalOp};
 use serde::{Deserialize, Serialize};
 use srb_types::sync::{LockRank, RwLock, RwLockReadGuard};
 use srb_types::{
@@ -184,6 +185,8 @@ pub struct MetaStore {
     /// stamp themselves with this counter (plus the dataset and collection
     /// ones) and are rejected once it moves.
     generation: GenCounter,
+    /// Redo-log hook; a no-op until the catalog enables durability.
+    wal: WalHook,
 }
 
 impl Default for MetaStore {
@@ -191,6 +194,7 @@ impl Default for MetaStore {
         MetaStore {
             inner: RwLock::new(LockRank::McatTable, "mcat.metadata", Inner::default()),
             generation: GenCounter::new(),
+            wal: WalHook::default(),
         }
     }
 }
@@ -206,10 +210,18 @@ impl MetaStore {
     /// required").
     pub fn add(&self, ids: &IdGen, subject: Subject, triplet: Triplet, kind: MetaKind) -> MetaId {
         let id: MetaId = ids.next();
+        let row = MetaRow {
+            id,
+            subject,
+            triplet,
+            kind,
+        };
         let mut g = self.inner.write();
-        Self::insert_locked(&mut g, id, subject, triplet, kind);
+        let gen = self.generation.bump_get().raw();
+        self.wal.log(gen, || WalOp::MetaPut { row: row.clone() });
+        Self::insert_locked(&mut g, row);
         drop(g);
-        self.generation.bump();
+        self.wal.commit();
         id
     }
 
@@ -220,43 +232,37 @@ impl MetaStore {
         I: IntoIterator<Item = (Subject, Triplet, MetaKind)>,
     {
         let mut g = self.inner.write();
+        let gen = self.generation.bump_get().raw();
         let out = rows
             .into_iter()
             .map(|(subject, triplet, kind)| {
                 let id: MetaId = ids.next();
-                Self::insert_locked(&mut g, id, subject, triplet, kind);
+                let row = MetaRow {
+                    id,
+                    subject,
+                    triplet,
+                    kind,
+                };
+                self.wal.log(gen, || WalOp::MetaPut { row: row.clone() });
+                Self::insert_locked(&mut g, row);
                 id
             })
             .collect();
         drop(g);
-        self.generation.bump();
+        self.wal.commit();
         out
     }
 
-    fn insert_locked(
-        g: &mut Inner,
-        id: MetaId,
-        subject: Subject,
-        triplet: Triplet,
-        kind: MetaKind,
-    ) {
-        g.by_subject.entry(subject).or_default().push(id);
+    fn insert_locked(g: &mut Inner, row: MetaRow) {
+        g.by_subject.entry(row.subject).or_default().push(row.id);
         g.index
-            .entry(triplet.name.clone())
+            .entry(row.triplet.name.clone())
             .or_default()
-            .entry(IndexKey::new(triplet.value.clone()))
+            .entry(IndexKey::new(row.triplet.value.clone()))
             .or_default()
-            .push(id);
-        *g.attr_counts.entry(triplet.name.clone()).or_default() += 1;
-        g.rows.insert(
-            id,
-            MetaRow {
-                id,
-                subject,
-                triplet,
-                kind,
-            },
-        );
+            .push(row.id);
+        *g.attr_counts.entry(row.triplet.name.clone()).or_default() += 1;
+        g.rows.insert(row.id, row);
     }
 
     /// Update a row's value/units in place.
@@ -288,8 +294,12 @@ impl MetaStore {
             row.triplet.value = value;
             row.triplet.units = units;
         }
+        let gen = self.generation.bump_get().raw();
+        if let Some(row) = g.rows.get(&id) {
+            self.wal.log(gen, || WalOp::MetaPut { row: row.clone() });
+        }
         drop(g);
-        self.generation.bump();
+        self.wal.commit();
         Ok(())
     }
 
@@ -315,8 +325,10 @@ impl MetaStore {
         if let Some(n) = g.attr_counts.get_mut(&row.triplet.name) {
             *n = n.saturating_sub(1);
         }
+        let gen = self.generation.bump_get().raw();
+        self.wal.log(gen, || WalOp::MetaDelete { id });
         drop(g);
-        self.generation.bump();
+        self.wal.commit();
         Ok(())
     }
 
@@ -333,7 +345,12 @@ impl MetaStore {
         for id in ids {
             let _ = self.remove(id);
         }
-        self.inner.write().meta_files.remove(&subject);
+        let mut g = self.inner.write();
+        if g.meta_files.remove(&subject).is_some() {
+            self.wal.log(0, || WalOp::MetaFilesClear { subject });
+            drop(g);
+            self.wal.commit();
+        }
     }
 
     /// All rows for a subject, in insertion order.
@@ -436,7 +453,7 @@ impl MetaStore {
     /// pick the most selective condition first and to decide between an
     /// index plan and a full scan. `Eq` is exact; range and prefix-`Like`
     /// conditions walk their index range up to
-    /// [`Self::RANGE_SELECTIVITY_CAP`] rows (a lower bound past the cap);
+    /// `RANGE_SELECTIVITY_CAP` rows (a lower bound past the cap);
     /// other patterns fall back to the O(1) whole-partition count.
     pub fn selectivity(&self, name: &str, op: CompareOp, value: &MetaValue) -> usize {
         let g = self.inner.read();
@@ -574,6 +591,13 @@ impl MetaStore {
         let v = g.meta_files.entry(subject).or_default();
         if !v.contains(&carrier) {
             v.push(carrier);
+            let files = &*v;
+            self.wal.log(0, || WalOp::MetaFilesPut {
+                subject,
+                files: files.clone(),
+            });
+            drop(g);
+            self.wal.commit();
         }
     }
 
@@ -630,6 +654,17 @@ impl MetaStore {
     /// Current mutation generation (cursor invalidation and tests).
     pub fn generation(&self) -> Generation {
         self.generation.current()
+    }
+
+    /// Raise the mutation counter to at least `raw` (snapshot restore /
+    /// WAL recovery — recovered cursors must see the stamps they embed).
+    pub fn restore_generation(&self, raw: u64) {
+        self.generation.ensure_at_least(raw);
+    }
+
+    /// Wire this table to the catalog's WAL.
+    pub(crate) fn attach_wal(&self, wal: std::sync::Arc<crate::wal::Wal>) {
+        self.wal.attach(wal);
     }
 }
 

@@ -5,6 +5,7 @@
 //! A *logical resource* "ties together two or more physical resources":
 //! storing into it writes synchronous replicas to every member (paper §5).
 
+use crate::wal::{WalHook, WalOp};
 use serde::{Deserialize, Serialize};
 use srb_storage::DriverKind;
 use srb_types::sync::{LockRank, RwLock};
@@ -40,12 +41,15 @@ pub struct LogicalResource {
 #[derive(Debug)]
 pub struct ResourceTable {
     inner: RwLock<Inner>,
+    /// Redo-log hook; a no-op until the catalog enables durability.
+    wal: WalHook,
 }
 
 impl Default for ResourceTable {
     fn default() -> Self {
         ResourceTable {
             inner: RwLock::new(LockRank::McatTable, "mcat.resources", Inner::default()),
+            wal: WalHook::default(),
         }
     }
 }
@@ -77,16 +81,17 @@ impl ResourceTable {
             return Err(SrbError::AlreadyExists(format!("resource '{name}'")));
         }
         let id: ResourceId = ids.next();
-        g.physical.insert(
+        let row = Resource {
             id,
-            Resource {
-                id,
-                name: name.to_string(),
-                kind,
-                site,
-            },
-        );
+            name: name.to_string(),
+            kind,
+            site,
+        };
+        self.wal.log(0, || WalOp::ResourcePut { row: row.clone() });
+        g.physical.insert(id, row);
         g.by_name.insert(name.to_string(), id);
+        drop(g);
+        self.wal.commit();
         Ok(id)
     }
 
@@ -112,15 +117,17 @@ impl ResourceTable {
             }
         }
         let id: LogicalResourceId = ids.next();
-        g.logical.insert(
+        let row = LogicalResource {
             id,
-            LogicalResource {
-                id,
-                name: name.to_string(),
-                members: members.to_vec(),
-            },
-        );
+            name: name.to_string(),
+            members: members.to_vec(),
+        };
+        self.wal
+            .log(0, || WalOp::LogicalResourcePut { row: row.clone() });
+        g.logical.insert(id, row);
         g.logical_by_name.insert(name.to_string(), id);
+        drop(g);
+        self.wal.commit();
         Ok(id)
     }
 
@@ -208,6 +215,11 @@ impl ResourceTable {
         let mut v: Vec<LogicalResource> = self.inner.read().logical.values().cloned().collect();
         v.sort_by_key(|r| r.id);
         v
+    }
+
+    /// Wire this table to the catalog's WAL.
+    pub(crate) fn attach_wal(&self, wal: std::sync::Arc<crate::wal::Wal>) {
+        self.wal.attach(wal);
     }
 }
 

@@ -19,6 +19,21 @@ use crate::user::{Group, User, UserTable};
 use serde::{Deserialize, Serialize};
 use srb_types::{DatasetId, IdGen, SimClock, SrbError, SrbResult, UserId};
 
+/// Generation stamps of the three cursor-relevant tables at snapshot
+/// time, in the order continuation tokens embed them. Persisting them
+/// lets a recovered catalog either resume outstanding cursors (stamps
+/// unchanged) or cleanly invalidate them (stamps moved on) instead of
+/// silently accepting stale tokens against reset counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SnapshotGenerations {
+    /// [`CollectionTable`] mutation counter.
+    pub collections: u64,
+    /// [`DatasetTable`] mutation counter.
+    pub datasets: u64,
+    /// [`MetaStore`] mutation counter.
+    pub metadata: u64,
+}
+
 /// A complete, self-contained image of a catalog.
 #[derive(Debug, Serialize, Deserialize)]
 pub struct CatalogSnapshot {
@@ -50,6 +65,9 @@ pub struct CatalogSnapshot {
     pub annotations: Vec<Annotation>,
     /// The audit trail.
     pub audit: Vec<AuditRow>,
+    /// Cursor-relevant generation stamps (absent in pre-WAL snapshots,
+    /// which restore with counters at their rebuilt values).
+    pub generations: Option<SnapshotGenerations>,
 }
 
 /// Current snapshot format version.
@@ -74,6 +92,11 @@ impl Mcat {
             meta_files,
             annotations: self.annotations.dump(),
             audit: self.audit.dump(),
+            generations: Some(SnapshotGenerations {
+                collections: self.collections.generation().raw(),
+                datasets: self.datasets.generation().raw(),
+                metadata: self.metadata.generation().raw(),
+            }),
         }
     }
 
@@ -101,7 +124,7 @@ impl Mcat {
         }
         let ids = IdGen::new();
         ids.ensure_floor(snap.next_id_floor);
-        Ok(Mcat::from_parts(
+        let mcat = Mcat::from_parts(
             ids,
             clock,
             snap.admin,
@@ -113,7 +136,13 @@ impl Mcat {
             MetaStore::restore(snap.metadata, snap.meta_files),
             AnnotationTable::restore(snap.annotations),
             AuditLog::restore(snap.audit),
-        ))
+        );
+        if let Some(gens) = snap.generations {
+            mcat.collections.restore_generation(gens.collections);
+            mcat.datasets.restore_generation(gens.datasets);
+            mcat.metadata.restore_generation(gens.metadata);
+        }
+        Ok(mcat)
     }
 
     /// Rebuild from a JSON snapshot string.
@@ -211,6 +240,19 @@ mod tests {
         // Annotations and audit survived.
         assert_eq!(r.annotations.for_subject(Subject::Dataset(ds)).len(), 1);
         assert_eq!(r.audit.count(), m.audit.count());
+    }
+
+    #[test]
+    fn generation_stamps_survive_restore() {
+        let m = seeded();
+        let before = m.snapshot().generations.unwrap();
+        assert!(before.collections > 0 && before.datasets > 0 && before.metadata > 0);
+        let r = Mcat::restore_json(SimClock::new(), &m.snapshot_json().unwrap()).unwrap();
+        assert_eq!(r.snapshot().generations.unwrap(), before);
+        // A pre-WAL snapshot without stamps still restores.
+        let mut snap = m.snapshot();
+        snap.generations = None;
+        assert!(Mcat::restore(SimClock::new(), snap).is_ok());
     }
 
     #[test]

@@ -5,6 +5,7 @@
 //! stores the verifier for challenge–response auth — never the password
 //! itself.
 
+use crate::wal::{WalHook, WalOp};
 use serde::{Deserialize, Serialize};
 use srb_types::sync::{LockRank, RwLock};
 use srb_types::{hmac_sha256, GroupId, IdGen, SrbError, SrbResult, UserId};
@@ -54,12 +55,15 @@ pub fn derive_verifier(password: &str) -> [u8; 32] {
 #[derive(Debug)]
 pub struct UserTable {
     users: RwLock<Inner>,
+    /// Redo-log hook; a no-op until the catalog enables durability.
+    wal: WalHook,
 }
 
 impl Default for UserTable {
     fn default() -> Self {
         UserTable {
             users: RwLock::new(LockRank::McatTable, "mcat.users", Inner::default()),
+            wal: WalHook::default(),
         }
     }
 }
@@ -93,18 +97,19 @@ impl UserTable {
             return Err(SrbError::AlreadyExists(format!("user '{name}@{domain}'")));
         }
         let id: UserId = ids.next();
-        g.users.insert(
+        let row = User {
             id,
-            User {
-                id,
-                name: name.to_string(),
-                domain: domain.to_string(),
-                verifier: derive_verifier(password),
-                groups: Vec::new(),
-                is_admin,
-            },
-        );
+            name: name.to_string(),
+            domain: domain.to_string(),
+            verifier: derive_verifier(password),
+            groups: Vec::new(),
+            is_admin,
+        };
+        self.wal.log(0, || WalOp::UserPut { row: row.clone() });
+        g.users.insert(id, row);
         g.by_name.insert(key, id);
+        drop(g);
+        self.wal.commit();
         Ok(id)
     }
 
@@ -144,15 +149,16 @@ impl UserTable {
             return Err(SrbError::AlreadyExists(format!("group '{name}'")));
         }
         let id: GroupId = ids.next();
-        g.groups.insert(
+        let row = Group {
             id,
-            Group {
-                id,
-                name: name.to_string(),
-                members: Vec::new(),
-            },
-        );
+            name: name.to_string(),
+            members: Vec::new(),
+        };
+        self.wal.log(0, || WalOp::GroupPut { row: row.clone() });
+        g.groups.insert(id, row);
         g.group_by_name.insert(name.to_string(), id);
+        drop(g);
+        self.wal.commit();
         Ok(id)
     }
 
@@ -176,6 +182,12 @@ impl UserTable {
         if !grp.members.contains(&user) {
             grp.members.push(user);
         }
+        if let (Some(u), Some(grp)) = (g.users.get(&user), g.groups.get(&group)) {
+            self.wal.log(0, || WalOp::UserPut { row: u.clone() });
+            self.wal.log(0, || WalOp::GroupPut { row: grp.clone() });
+        }
+        drop(g);
+        self.wal.commit();
         Ok(())
     }
 
@@ -188,6 +200,14 @@ impl UserTable {
         if let Some(grp) = g.groups.get_mut(&group) {
             grp.members.retain(|&uid| uid != user);
         }
+        if let Some(u) = g.users.get(&user) {
+            self.wal.log(0, || WalOp::UserPut { row: u.clone() });
+        }
+        if let Some(grp) = g.groups.get(&group) {
+            self.wal.log(0, || WalOp::GroupPut { row: grp.clone() });
+        }
+        drop(g);
+        self.wal.commit();
         Ok(())
     }
 
@@ -246,6 +266,11 @@ impl UserTable {
         let mut v: Vec<User> = g.users.values().cloned().collect();
         v.sort_by_key(|u| u.id);
         v
+    }
+
+    /// Wire this table to the catalog's WAL.
+    pub(crate) fn attach_wal(&self, wal: std::sync::Arc<crate::wal::Wal>) {
+        self.wal.attach(wal);
     }
 }
 

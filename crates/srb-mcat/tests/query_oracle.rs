@@ -333,3 +333,180 @@ fn parallel_verify_agrees_with_scan() {
     let all: std::collections::HashSet<DatasetId> = planned.iter().map(|h| h.dataset).collect();
     assert!(first.iter().all(|h| all.contains(&h.dataset)));
 }
+
+// ------------------------------------------------------ recovery cursors --
+//
+// Continuation tokens embed the collection/dataset/metadata generation
+// stamps, and the WAL persists those stamps. A token minted before a crash
+// must therefore either resume exactly (the recovered catalog proves the
+// same generations) or fail with `SrbError::Invalid` (the generations
+// diverged) — it must never silently skip or duplicate rows.
+
+fn durable_catalog(n: usize) -> (Mcat, std::sync::Arc<srb_storage::LogDevice>) {
+    use srb_mcat::WalConfig;
+    let clock = SimClock::new();
+    let m = Mcat::new(clock.clone(), "pw");
+    let device = std::sync::Arc::new(srb_storage::LogDevice::new());
+    m.enable_wal(
+        device.clone(),
+        WalConfig {
+            checkpoint_interval_ns: 0,
+        },
+        None,
+    )
+    .unwrap();
+    let root = m.collections.root();
+    let admin = m.admin();
+    for i in 0..n {
+        let replica = (
+            AccessSpec::Stored {
+                resource: ResourceId(1),
+                phys_path: format!("/p/{i}"),
+            },
+            10,
+            None,
+        );
+        let d = m
+            .datasets
+            .create(
+                &m.ids,
+                root,
+                &format!("d{i:03}"),
+                "generic",
+                admin,
+                vec![replica],
+                clock.now(),
+            )
+            .unwrap();
+        m.metadata.add(
+            &m.ids,
+            Subject::Dataset(d),
+            Triplet::new("tag", "x", ""),
+            MetaKind::UserDefined,
+        );
+    }
+    (m, device)
+}
+
+#[test]
+fn cursor_minted_before_crash_resumes_exactly_after_recovery() {
+    use srb_mcat::WalConfig;
+    let (m, device) = durable_catalog(25);
+    let q = Query::everywhere().and("tag", CompareOp::Eq, "x");
+    let (page1, token) = m.query_page(&q, None, 10).unwrap();
+    let token = token.expect("more pages");
+    let (page2_ref, _) = m.query_page(&q, Some(&token), 10).unwrap();
+    drop(m);
+
+    // Everything above was acknowledged; the crash loses only buffers.
+    device.crash();
+    let (rec, _) = Mcat::recover(
+        SimClock::new(),
+        device,
+        WalConfig {
+            checkpoint_interval_ns: 0,
+        },
+        None,
+    )
+    .unwrap();
+
+    // The recovered catalog proves the same generation stamps, so the
+    // pre-crash token resumes with neither a skip nor a duplicate.
+    let (page2, token2) = rec.query_page(&q, Some(&token), 10).unwrap();
+    assert_eq!(
+        page2.iter().map(|h| h.dataset).collect::<Vec<_>>(),
+        page2_ref.iter().map(|h| h.dataset).collect::<Vec<_>>()
+    );
+    let (page3, end) = rec.query_page(&q, token2.as_deref(), 10).unwrap();
+    assert!(end.is_none());
+    let mut all: Vec<DatasetId> = page1
+        .iter()
+        .chain(&page2)
+        .chain(&page3)
+        .map(|h| h.dataset)
+        .collect();
+    assert_eq!(
+        all.len(),
+        25,
+        "no row skipped or duplicated across the crash"
+    );
+    all.dedup();
+    assert_eq!(all.len(), 25);
+}
+
+#[test]
+fn cursor_spanning_lost_work_is_invalidated_not_wrong() {
+    use srb_mcat::WalConfig;
+    use srb_types::{Lsn, SrbError};
+    let cfg = WalConfig {
+        checkpoint_interval_ns: 0,
+    };
+    let (m, device) = durable_catalog(12);
+    let q = Query::everywhere().and("tag", CompareOp::Eq, "x");
+
+    // Remember where the log stood, then mutate and mint a token that
+    // embeds the post-mutation generations.
+    let durable_before = m.wal().unwrap().durable_lsn();
+    let root = m.collections.root();
+    let admin = m.admin();
+    m.datasets
+        .create(
+            &m.ids,
+            root,
+            "late.dat",
+            "generic",
+            admin,
+            vec![(
+                AccessSpec::Stored {
+                    resource: ResourceId(1),
+                    phys_path: "/p/late".into(),
+                },
+                10,
+                None,
+            )],
+            srb_types::Timestamp(1),
+        )
+        .unwrap();
+    let (_, token) = m.query_page(&q, None, 5).unwrap();
+    let token = token.expect("more pages");
+    drop(m);
+
+    // The disk only got as far as `durable_before`: the late mutation is
+    // lost. The token now comes "from the future" of the recovered
+    // catalog — resuming it could silently skip rows, so it must die.
+    device.truncate_after(Lsn(durable_before.raw()));
+    let (rec, _) = Mcat::recover(SimClock::new(), device, cfg, None).unwrap();
+    match rec.query_page(&q, Some(&token), 5) {
+        Err(SrbError::Invalid(_)) => {}
+        Err(e) => panic!("expected Invalid, got {e:?}"),
+        Ok(_) => panic!("a future-generation cursor must not resume"),
+    }
+
+    // A token minted on the recovered catalog dies on the *next* recovered
+    // catalog after further mutations — same rule, post-recovery.
+    let (_, t2) = rec.query_page(&q, None, 5).unwrap();
+    let t2 = t2.expect("more pages");
+    rec.datasets
+        .create(
+            &rec.ids,
+            rec.collections.root(),
+            "after.dat",
+            "generic",
+            rec.admin(),
+            vec![(
+                AccessSpec::Stored {
+                    resource: ResourceId(1),
+                    phys_path: "/p/after".into(),
+                },
+                10,
+                None,
+            )],
+            srb_types::Timestamp(2),
+        )
+        .unwrap();
+    match rec.query_page(&q, Some(&t2), 5) {
+        Err(SrbError::Invalid(_)) => {}
+        Err(e) => panic!("expected Invalid, got {e:?}"),
+        Ok(_) => panic!("a stale cursor must not resume"),
+    }
+}

@@ -16,6 +16,10 @@
 //!   SQL objects) that also stores LOBs,
 //! * [`url::UrlDriver`] — remote web objects fetched at access time.
 //!
+//! [`logdev::LogDevice`] sits alongside the drivers: a crash-aware
+//! sequential log medium backing the MCAT's write-ahead log, with the same
+//! virtual-cost discipline.
+//!
 //! All drivers are `Send + Sync`; costs are returned in virtual nanoseconds
 //! so callers can charge them to the simulation clock or fold them into
 //! receipts.
@@ -25,6 +29,7 @@ pub mod cache;
 pub mod db;
 pub mod driver;
 pub mod fs;
+pub mod logdev;
 pub mod memfs;
 pub mod sql;
 pub mod url;
@@ -34,5 +39,6 @@ pub use cache::CacheDriver;
 pub use db::DbDriver;
 pub use driver::{CostModel, DriverKind, ObjStat, StorageDriver};
 pub use fs::FsDriver;
+pub use logdev::LogDevice;
 pub use sql::{SqlEngine, SqlValue};
 pub use url::UrlDriver;

@@ -7,8 +7,44 @@
 //! when it was computed and is treated as stale the moment the counter has
 //! moved on. Readers never block writers: the counter is a single atomic,
 //! read outside any table lock.
+//!
+//! The same file defines [`Lsn`], the log sequence number stamped on every
+//! write-ahead-log record: like a generation it is a monotone position in a
+//! mutation history, but one that is durable and totally ordered across all
+//! catalog tables rather than private to one.
 
+use serde::{Deserialize, Serialize};
+use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Log sequence number: the position of one record in the catalog's
+/// write-ahead log. LSN 0 is reserved ("before every record"); the first
+/// record appended is LSN 1. Checkpoints store the LSN of the last record
+/// they cover; recovery replays records with strictly greater LSNs.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct Lsn(pub u64);
+
+impl Lsn {
+    /// The raw sequence number.
+    #[inline]
+    pub fn raw(self) -> u64 {
+        self.0
+    }
+
+    /// The LSN of the next record after this one.
+    #[inline]
+    pub fn next(self) -> Lsn {
+        Lsn(self.0 + 1)
+    }
+}
+
+impl fmt::Display for Lsn {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "lsn{}", self.0)
+    }
+}
 
 /// An opaque point in a table's mutation history. Two equal generations
 /// bracket a window with no mutations; anything else proves nothing.
@@ -16,9 +52,16 @@ use std::sync::atomic::{AtomicU64, Ordering};
 pub struct Generation(u64);
 
 impl Generation {
-    /// The raw counter value (diagnostics only).
+    /// The raw counter value (diagnostics and durable-log records only).
     pub fn raw(self) -> u64 {
         self.0
+    }
+
+    /// Rebuild a stamp from a raw value recovered from a durable log.
+    /// Only meaningful against the counter it was originally taken from
+    /// (or a restored copy of it).
+    pub fn from_raw(raw: u64) -> Generation {
+        Generation(raw)
     }
 }
 
@@ -43,6 +86,29 @@ impl GenCounter {
     pub fn bump(&self) {
         self.0.fetch_add(1, Ordering::Release);
     }
+
+    /// Record one mutation and return the *post*-bump generation — the
+    /// stamp a durable log record must carry so replaying it reproduces
+    /// exactly this counter state.
+    pub fn bump_get(&self) -> Generation {
+        Generation(self.0.fetch_add(1, Ordering::Release) + 1)
+    }
+
+    /// Raise the counter to at least `raw` (never lowers it). Used when
+    /// restoring a table from a checkpoint + log tail: stamps minted
+    /// before the crash stay comparable after recovery.
+    pub fn ensure_at_least(&self, raw: u64) {
+        let mut cur = self.0.load(Ordering::Acquire);
+        while cur < raw {
+            match self
+                .0
+                .compare_exchange_weak(cur, raw, Ordering::AcqRel, Ordering::Acquire)
+            {
+                Ok(_) => return,
+                Err(actual) => cur = actual,
+            }
+        }
+    }
 }
 
 #[cfg(test)]
@@ -58,6 +124,33 @@ mod tests {
         c.bump();
         assert_ne!(a, c.current());
         assert_eq!(c.current().raw(), 1);
+    }
+
+    #[test]
+    fn lsn_orders_and_displays() {
+        assert!(Lsn(1) < Lsn(2));
+        assert_eq!(Lsn(7).next(), Lsn(8));
+        assert_eq!(Lsn(7).to_string(), "lsn7");
+        assert_eq!(Lsn::default().raw(), 0);
+    }
+
+    #[test]
+    fn bump_get_returns_the_post_bump_stamp() {
+        let c = GenCounter::new();
+        let g = c.bump_get();
+        assert_eq!(g.raw(), 1);
+        assert_eq!(c.current(), g);
+        assert_eq!(c.bump_get().raw(), 2);
+    }
+
+    #[test]
+    fn ensure_at_least_is_monotone() {
+        let c = GenCounter::new();
+        c.ensure_at_least(7);
+        assert_eq!(c.current().raw(), 7);
+        c.ensure_at_least(3); // never lowers
+        assert_eq!(c.current().raw(), 7);
+        assert_eq!(c.current(), Generation::from_raw(7));
     }
 
     #[test]

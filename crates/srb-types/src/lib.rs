@@ -23,7 +23,7 @@ pub use acl::{AccessMatrix, Permission, Role};
 pub use clock::{SimClock, Timestamp};
 pub use cursor::{CursorCodec, PageToken};
 pub use error::{SrbError, SrbResult};
-pub use gen::{GenCounter, Generation};
+pub use gen::{GenCounter, Generation, Lsn};
 pub use hash::{ct_eq, from_hex, hmac_sha256, sha256, sha256_hex, splitmix64, to_hex, Sha256};
 pub use id::*;
 pub use path::LogicalPath;

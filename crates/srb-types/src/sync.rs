@@ -20,9 +20,10 @@
 //!
 //! | rank (acquired earlier) | [`LockRank`]  | owning layer                        |
 //! |------------------------:|---------------|-------------------------------------|
-//! | 4                       | `Session`     | `mysrb` web sessions                |
-//! | 3                       | `CoreState`   | `srb-core` grid/auth/proxy state    |
-//! | 2                       | `McatTable`   | `srb-mcat` catalog tables           |
+//! | 5                       | `Session`     | `mysrb` web sessions                |
+//! | 4                       | `CoreState`   | `srb-core` grid/auth/proxy state    |
+//! | 3                       | `McatTable`   | `srb-mcat` catalog tables           |
+//! | 2                       | `Wal`         | `srb-mcat` write-ahead log buffer   |
 //! | 1                       | `Storage`     | `srb-storage` driver internals      |
 //! | 0                       | `Topology`    | `srb-net` routes/load/faults        |
 //!
@@ -46,12 +47,15 @@ pub enum LockRank {
     Topology = 0,
     /// `srb-storage`: driver-internal state (shards, staging sets, tables).
     Storage = 1,
+    /// `srb-mcat`: the write-ahead log buffer (appended to while a table
+    /// lock is held, so it sits strictly below `McatTable`).
+    Wal = 2,
     /// `srb-mcat`: one catalog table (users, datasets, metadata, ...).
-    McatTable = 2,
+    McatTable = 3,
     /// `srb-core`: grid resource maps, auth sessions, proxy registries.
-    CoreState = 3,
+    CoreState = 4,
     /// `mysrb`: web session table and its id generator.
-    Session = 4,
+    Session = 5,
 }
 
 /// A rank-order violation detected at acquisition time.

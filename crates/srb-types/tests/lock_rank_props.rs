@@ -9,9 +9,10 @@
 use proptest::prelude::*;
 use srb_types::sync::{self, LockRank, Mutex};
 
-const NAMES: [&str; 5] = [
+const NAMES: [&str; 6] = [
     "prop.topology",
     "prop.storage",
+    "prop.wal",
     "prop.mcat",
     "prop.core",
     "prop.session",
@@ -21,8 +22,9 @@ fn rank_of(r: u8) -> LockRank {
     match r {
         0 => LockRank::Topology,
         1 => LockRank::Storage,
-        2 => LockRank::McatTable,
-        3 => LockRank::CoreState,
+        2 => LockRank::Wal,
+        3 => LockRank::McatTable,
+        4 => LockRank::CoreState,
         _ => LockRank::Session,
     }
 }
@@ -80,13 +82,13 @@ fn run_model(seq: &[(u8, bool)]) {
 /// 1–3 threads' worth of random (rank, hold?) acquisition steps.
 fn seqs_strategy() -> impl Strategy<Value = Vec<Vec<(u8, bool)>>> {
     prop::collection::vec(
-        prop::collection::vec((0u8..5u8, any::<bool>()), 0..12),
+        prop::collection::vec((0u8..6u8, any::<bool>()), 0..12),
         1..4,
     )
 }
 
 fn ranks_strategy() -> impl Strategy<Value = Vec<u8>> {
-    prop::collection::vec(0u8..5u8, 0..10)
+    prop::collection::vec(0u8..6u8, 0..10)
 }
 
 proptest! {

@@ -274,6 +274,7 @@ impl PartialEq<bool> for Content {
 /// Parse JSON text into a [`Content`] tree.
 pub fn parse_json(input: &str) -> Result<Content, crate::DeError> {
     let mut p = Parser {
+        input,
         bytes: input.as_bytes(),
         pos: 0,
     };
@@ -287,6 +288,7 @@ pub fn parse_json(input: &str) -> Result<Content, crate::DeError> {
 }
 
 struct Parser<'a> {
+    input: &'a str,
     bytes: &'a [u8],
     pos: usize,
 }
@@ -424,12 +426,20 @@ impl<'a> Parser<'a> {
                     self.pos += 1;
                 }
                 Some(_) => {
-                    // Consume one UTF-8 char.
-                    let rest = std::str::from_utf8(&self.bytes[self.pos..])
-                        .map_err(|_| self.err("invalid UTF-8"))?;
-                    let c = rest.chars().next().ok_or_else(|| self.err("empty"))?;
-                    out.push(c);
-                    self.pos += c.len_utf8();
+                    // Bulk-copy up to the next quote or escape. `"` and `\`
+                    // are ASCII and never occur inside a multi-byte UTF-8
+                    // sequence, so the byte scan lands on a char boundary
+                    // and the span slices cleanly out of the (valid UTF-8)
+                    // input. One span per escape keeps long strings linear —
+                    // multi-megabyte checkpoint payloads parse in one pass.
+                    let start = self.pos;
+                    while let Some(c) = self.peek() {
+                        if c == b'"' || c == b'\\' {
+                            break;
+                        }
+                        self.pos += 1;
+                    }
+                    out.push_str(&self.input[start..self.pos]);
                 }
             }
         }

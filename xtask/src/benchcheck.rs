@@ -8,8 +8,10 @@
 //! O(page); E6/E7 must show the parallel
 //! fan-out engine no slower than the sequential ablation — strictly in
 //! simulated time (host-independent), and in wall-clock where the
-//! recording host actually had worker threads to parallelize on. These
-//! are the regressions the bench-smoke CI job exists to catch.
+//! recording host actually had worker threads to parallelize on; the
+//! recovery artifact must show every crash recovering to a byte-identical
+//! catalog with bounded WAL overhead. These are the regressions the
+//! bench-smoke CI job exists to catch.
 
 use serde_json::Value;
 use std::path::Path;
@@ -509,6 +511,78 @@ fn check_load(root: &Path) -> Result<String, String> {
     ))
 }
 
+/// Recovery: WAL overhead and crash-recovery cost vs catalog size. Every
+/// row must recover to a catalog byte-identical to the pre-crash
+/// snapshot — that is the whole point of the durability layer, and any
+/// divergence is a correctness bug, not a performance regression. The
+/// WAL twin must cost strictly more wall time than the in-memory
+/// baseline (durability is never free) but not absurdly more (<= 50x,
+/// host-relative). Simulated recovery cost is deterministic and must be
+/// monotone in catalog size.
+fn check_recovery(root: &Path) -> Result<String, String> {
+    let rows = rows_of(root, "BENCH_RECOVERY.json")?;
+    let mut worst_overhead = 0.0f64;
+    let mut prev_sim = 0.0f64;
+    for (i, row) in rows.iter().enumerate() {
+        for key in [
+            "datasets",
+            "base_ingest_us",
+            "wal_ingest_us",
+            "wal_sim_ns_per_op",
+            "recovery_wall_ms",
+            "recovery_sim_ms",
+        ] {
+            if num(row, key).map(|t| t <= 0.0).unwrap_or(true) {
+                return Err(format!("row {i}: missing or non-positive {key}"));
+            }
+        }
+        if row.get("identical").and_then(Value::as_bool) != Some(true) {
+            return Err(format!(
+                "row {i}: recovered catalog not byte-identical to the \
+                 pre-crash snapshot"
+            ));
+        }
+        let tail = num(row, "tail_records").unwrap_or(0.0);
+        let groups = num(row, "groups_applied").unwrap_or(0.0);
+        if groups <= 0.0 || tail < groups {
+            return Err(format!(
+                "row {i}: implausible replay accounting (tail {tail}, \
+                 groups {groups})"
+            ));
+        }
+        let base = num(row, "base_ingest_us").unwrap_or(0.0);
+        let wal = num(row, "wal_ingest_us").unwrap_or(0.0);
+        if wal <= base {
+            return Err(format!(
+                "row {i}: WAL twin ({wal:.1} us/op) not slower than the \
+                 in-memory baseline ({base:.1} us/op) — is it logging at all?"
+            ));
+        }
+        if wal > base * 50.0 {
+            return Err(format!(
+                "row {i}: WAL overhead {:.1}x over the in-memory baseline \
+                 exceeds the 50x gate",
+                wal / base
+            ));
+        }
+        worst_overhead = worst_overhead.max(wal / base);
+        let sim = num(row, "recovery_sim_ms").unwrap_or(0.0);
+        if sim < prev_sim {
+            return Err(format!(
+                "row {i}: simulated recovery cost shrank as the catalog grew \
+                 ({prev_sim:.2} ms -> {sim:.2} ms) — replay not scaling with \
+                 the tail"
+            ));
+        }
+        prev_sim = sim;
+    }
+    Ok(format!(
+        "{} rows ok, every crash recovered byte-identical, WAL overhead \
+         <= {worst_overhead:.1}x",
+        rows.len()
+    ))
+}
+
 pub fn benchcheck(root: &Path) -> ExitCode {
     let mut failed = false;
     for (file, scan_field, scan_scale) in [
@@ -533,6 +607,7 @@ pub fn benchcheck(root: &Path) -> ExitCode {
         ("BENCH_E7.json", check_e7),
         ("BENCH_OBS.json", check_obs),
         ("BENCH_LOAD.json", check_load),
+        ("BENCH_RECOVERY.json", check_recovery),
     ] {
         match checker(root) {
             Ok(msg) => println!("xtask benchcheck: {file}: {msg}"),
