@@ -24,6 +24,7 @@ fn main() {
         .and_then(|v| v.parse().ok())
         .unwrap_or(10_000);
     bench::experiments::recovery::run(rec_max).print();
+    bench::experiments::zone::run().print();
     let load = bench::experiments::load::LoadParams {
         max_sessions: 10_000,
         requests: 5_000,

@@ -1,55 +1,69 @@
-//! E4 — location transparency: "users can connect to any SRB server to
-//! access data from any other SRB server" (§3), with the forwarding cost
-//! that implies.
+//! E4 — location transparency across *federated zones*: "users can
+//! connect to any SRB server to access data from any other SRB server"
+//! (§3), here stretched across autonomous peered catalogs rather than
+//! servers of one grid.
 //!
-//! The same object is read through contact servers at increasing network
-//! distance from the data: co-located with data and MCAT, co-located with
-//! the MCAT only, and remote from both. The simulated latency decomposes
-//! into MCAT hops and data hops. Ablation A5 (relay vs direct) falls out of
-//! the comparison between rows.
+//! A dataset lives in zone `alpha`. The bench user signs on in `alpha`
+//! and reaches it locally; a federated connection then reaches the same
+//! logical record from `beta` — the query fans out over the peering link
+//! and pays its round trip, and a cross-zone registration materializes a
+//! remote-replica pointer in `beta`'s catalog with home-zone provenance.
+//! Rows sweep the link class, so the table decomposes exactly what the
+//! federation boundary costs at each distance.
 
-use crate::fixtures::{connect, federated_grid};
+use crate::fixtures::{ok, zone_connect, zone_federation};
 use crate::table::Table;
-use srb_core::{IngestOptions, SrbConnection};
+use srb_mcat::Query;
+use srb_net::LinkSpec;
+use srb_types::CompareOp;
 
 pub fn run() -> Table {
     let mut table = Table::new(
-        "E4: federated access cost vs contact-server placement",
+        "E4: federated access cost vs peering-link distance",
         &[
-            "contact",
-            "data at",
-            "payload",
-            "hops",
-            "sim ms (1 KiB)",
-            "sim ms (1 MiB)",
+            "link",
+            "latency us",
+            "local query ms",
+            "federated query ms",
+            "cross-zone registration ms",
+            "remote rows in beta",
         ],
     );
-    let (grid, [s1, s2, s3]) = federated_grid();
-    let conn = connect(&grid, s1);
-    for (size, name) in [(1usize << 10, "small"), (1 << 20, "large")] {
-        conn.ingest(
-            &format!("/home/bench/{name}.bin"),
-            vec![7u8; size],
-            IngestOptions::to_resource("fs-sdsc"),
-        )
-        .unwrap();
-    }
-    // Contact servers at increasing distance; data + MCAT live at SDSC.
-    for (label, srv) in [
-        ("srb-sdsc (with data+MCAT)", s1),
-        ("srb-caltech (metro away)", s2),
-        ("srb-ncsa (WAN away)", s3),
+    for (label, spec) in [
+        ("lan (same machine room)", LinkSpec::lan()),
+        ("metro (same city)", LinkSpec::metro()),
+        ("wan (cross-country)", LinkSpec::wan()),
     ] {
-        let conn = SrbConnection::connect(&grid, srv, "bench", "sdsc", "pw").unwrap();
-        let (_, r_small) = conn.read("/home/bench/small.bin").unwrap();
-        let (_, r_large) = conn.read("/home/bench/large.bin").unwrap();
+        let latency_us = spec.latency_us;
+        let (fed, a, b) = zone_federation(spec);
+        let ca = zone_connect(&fed, a);
+        ok(ca.make_collection("/home/bench/data"));
+        for i in 0..8 {
+            ok(ca.ingest(
+                &format!("/home/bench/data/obj{i}"),
+                vec![7u8; 1024],
+                srb_core::IngestOptions::to_resource("fs-alpha")
+                    .with_metadata(srb_types::Triplet::new("grade", "hot", "")),
+            ));
+        }
+
+        let q = Query::everywhere().and("grade", CompareOp::Eq, "hot");
+        let (_, local_r) = ok(ca.query(&q));
+        let fc = ok(fed.connect(b, "bench", "sdsc", "pw"));
+        let (fed_hits, fed_r) = ok(fc.query(&q));
+        assert_eq!(fed_hits.len(), 8, "all hits visible across the zone");
+
+        let reg_r = ok(fed.register_remote(a, "/home/bench/data/obj0", b, "/remote/alpha/obj0"));
+        let beta_mcat = &ok(fed.zone(b)).grid.mcat;
+        let remote_rows = beta_mcat.datasets.count();
+
         table.row(vec![
             label.to_string(),
-            "sdsc".to_string(),
-            "1 KiB / 1 MiB".to_string(),
-            r_large.hops.to_string(),
-            format!("{:.3}", r_small.sim_ms()),
-            format!("{:.3}", r_large.sim_ms()),
+            latency_us.to_string(),
+            format!("{:.3}", local_r.sim_ms()),
+            format!("{:.3}", fed_r.sim_ms()),
+            format!("{:.3}", reg_r.sim_ms()),
+            remote_rows.to_string(),
         ]);
     }
     table

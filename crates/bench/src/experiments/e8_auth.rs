@@ -1,7 +1,7 @@
 //! E8 — single sign-on and session keys (§4): handshake and validation
 //! costs, plus the 60-minute web-session expiry sweep.
 
-use crate::fixtures::single_site_grid;
+use crate::fixtures::{ok, single_site_grid};
 use crate::table::Table;
 use mysrb::{MySrb, Request};
 use srb_core::SrbConnection;
@@ -18,7 +18,7 @@ pub fn run() -> Table {
     let n = 500;
     let t0 = Instant::now();
     for _ in 0..n {
-        let c = SrbConnection::connect(&grid, srv, "bench", "sdsc", "pw").unwrap();
+        let c = ok(SrbConnection::connect(&grid, srv, "bench", "sdsc", "pw"));
         c.logout();
     }
     push(
@@ -29,7 +29,7 @@ pub fn run() -> Table {
     );
 
     // Ticket validation (every brokered call does one).
-    let conn = SrbConnection::connect(&grid, srv, "bench", "sdsc", "pw").unwrap();
+    let conn = ok(SrbConnection::connect(&grid, srv, "bench", "sdsc", "pw"));
     let n = 100_000;
     let t0 = Instant::now();
     for _ in 0..n {
@@ -48,13 +48,7 @@ pub fn run() -> Table {
             "user=bench&domain=sdsc&password=pw",
             None,
         ));
-        last_key = resp
-            .headers
-            .iter()
-            .find(|(k, _)| k == "Set-Cookie")
-            .and_then(|(_, v)| v.strip_prefix("mysrb_session="))
-            .map(|v| v.split(';').next().unwrap().to_string())
-            .unwrap();
+        last_key = session_key(&resp.headers);
     }
     push(
         &mut table,
@@ -83,13 +77,7 @@ pub fn run() -> Table {
             "user=bench&domain=sdsc&password=pw",
             None,
         ));
-        let key = resp
-            .headers
-            .iter()
-            .find(|(k, _)| k == "Set-Cookie")
-            .and_then(|(_, v)| v.strip_prefix("mysrb_session="))
-            .map(|v| v.split(';').next().unwrap().to_string())
-            .unwrap();
+        let key = session_key(&resp.headers);
         grid.clock.advance(minutes * 60 * 1_000_000_000);
         let status = app
             .handle(&Request::get("/browse?path=%2F", Some(&key)))
@@ -111,4 +99,15 @@ fn push(table: &mut Table, label: &str, n: usize, wall: std::time::Duration) {
         format!("{:.1}", wall.as_secs_f64() * 1e3),
         format!("{:.2}", wall.as_micros() as f64 / n as f64),
     ]);
+}
+
+/// Extract the session key a login response set, without unwraps.
+fn session_key(headers: &[(String, String)]) -> String {
+    headers
+        .iter()
+        .find(|(k, _)| k == "Set-Cookie")
+        .and_then(|(_, v)| v.strip_prefix("mysrb_session="))
+        .and_then(|v| v.split(';').next())
+        .map(|v| v.to_string())
+        .unwrap_or_else(|| panic!("login response set no session cookie"))
 }

@@ -15,3 +15,4 @@ pub mod figures;
 pub mod load;
 pub mod obs_overhead;
 pub mod recovery;
+pub mod zone;

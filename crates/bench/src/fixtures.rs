@@ -42,6 +42,51 @@ pub fn federated_grid() -> (Grid, [ServerId; 3]) {
     (grid, [s1, s2, s3])
 }
 
+/// A two-zone federation (`alpha`, `beta`) joined by one peering link of
+/// the given spec, periodic WAL checkpoints off so experiments stay on
+/// the pure delta-replication path, the `bench` user registered in both
+/// zones. Returns the federation and both zone ids.
+pub fn zone_federation(
+    spec: LinkSpec,
+) -> (srb_core::Federation, srb_core::ZoneId, srb_core::ZoneId) {
+    let mut fed = srb_core::Federation::new();
+    let clock = fed.clock().clone();
+    let mkzone = |tag: &str| {
+        let mut gb = GridBuilder::new();
+        gb.clock(clock.clone());
+        let site = gb.site(&format!("site-{tag}"));
+        let srv = gb.server(&format!("srb-{tag}"), site);
+        gb.fs_resource(&format!("fs-{tag}"), srv);
+        let grid = gb.build();
+        ok(grid.enable_durability(
+            std::sync::Arc::new(srb_storage::LogDevice::new()),
+            srb_mcat::WalConfig {
+                checkpoint_interval_ns: 0,
+            },
+        ));
+        ok(grid.register_user("bench", "sdsc", "pw"));
+        (grid, srv)
+    };
+    let (grid_a, srv_a) = mkzone("alpha");
+    let (grid_b, srv_b) = mkzone("beta");
+    let a = ok(fed.add_zone("alpha", grid_a, srv_a));
+    let b = ok(fed.add_zone("beta", grid_b, srv_b));
+    ok(fed.link(a, b, spec));
+    (fed, a, b)
+}
+
+/// Connect the bench user to one federation zone.
+pub fn zone_connect<'f>(fed: &'f srb_core::Federation, z: srb_core::ZoneId) -> SrbConnection<'f> {
+    let zone = ok(fed.zone(z));
+    ok(SrbConnection::connect(
+        &zone.grid,
+        zone.contact(),
+        "bench",
+        "sdsc",
+        "pw",
+    ))
+}
+
 /// Unwrap an experiment-infrastructure result without `.unwrap()` (the
 /// unwrap-budget ratchet covers bench library code too).
 pub fn ok<T, E: std::fmt::Display>(r: Result<T, E>) -> T {

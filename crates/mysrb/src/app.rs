@@ -165,6 +165,7 @@ pub struct MySrb<'g> {
     contact: ServerId,
     sessions: SessionStore<'g>,
     pooled_login: bool,
+    fed: Option<(&'g srb_core::Federation, srb_core::ZoneId)>,
 }
 
 impl<'g> MySrb<'g> {
@@ -185,7 +186,21 @@ impl<'g> MySrb<'g> {
             contact,
             sessions,
             pooled_login: config.pooled_login,
+            fed: None,
         }
+    }
+
+    /// Make the app zone-aware: `zone` is the federation member this
+    /// front-end serves. Browse listings gain a zone column (home-zone
+    /// provenance for remote rows) and `/grid-status` gains the
+    /// federation panel.
+    pub fn with_federation(
+        mut self,
+        fed: &'g srb_core::Federation,
+        zone: srb_core::ZoneId,
+    ) -> Self {
+        self.fed = Some((fed, zone));
+        self
     }
 
     /// The session store (tests).
@@ -217,7 +232,7 @@ impl<'g> MySrb<'g> {
                 body: self.grid.metrics_snapshot().render_text().into_bytes(),
                 headers: Vec::new(),
             },
-            ("GET", "/grid-status") => Response::html(pages::grid_status(self.grid)),
+            ("GET", "/grid-status") => Response::html(pages::grid_status(self.grid, self.fed)),
             ("GET", "/") | ("GET", "/login") => Response::html(pages::login_page(None)),
             ("POST", "/login") => self.login(req),
             ("GET", "/logout") => {
@@ -231,11 +246,11 @@ impl<'g> MySrb<'g> {
                 let n: usize = req.param("n").parse().unwrap_or(0);
                 let cursor = req.param("cursor");
                 let cursor = (!cursor.is_empty()).then_some(cursor);
-                match pages::browse_page(conn, path, cursor, n) {
+                match pages::browse_page(conn, path, cursor, n, self.fed) {
                     // A stale or tampered cursor restarts the walk from
                     // page one instead of erroring the browser window.
                     Err(SrbError::Invalid(_)) if cursor.is_some() => {
-                        pages::browse_page(conn, path, None, n)
+                        pages::browse_page(conn, path, None, n, self.fed)
                     }
                     other => other,
                 }
@@ -452,7 +467,7 @@ impl<'g> MySrb<'g> {
             opts.metadata = Self::collect_metadata(req);
             let path = format!("{}/{}", coll.trim_end_matches('/'), name);
             conn.ingest(&path, req.param("content").as_bytes(), opts)?;
-            pages::browse_page(conn, coll, None, 0)
+            pages::browse_page(conn, coll, None, 0, self.fed)
         })
     }
 
@@ -462,7 +477,7 @@ impl<'g> MySrb<'g> {
             let name = req.param("name");
             let path = format!("{}/{}", parent.trim_end_matches('/'), name);
             conn.make_collection(&path)?;
-            pages::browse_page(conn, parent, None, 0)
+            pages::browse_page(conn, parent, None, 0, self.fed)
         })
     }
 
@@ -511,7 +526,7 @@ impl<'g> MySrb<'g> {
             let path = req.param("path");
             let repl = req.param("replica").parse::<u32>().ok();
             conn.delete(path, repl)?;
-            pages::browse_page(conn, parent_of(path), None, 0)
+            pages::browse_page(conn, parent_of(path), None, 0, self.fed)
         })
     }
 

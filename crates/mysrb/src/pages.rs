@@ -154,6 +154,7 @@ pub fn browse_page(
     path: &str,
     cursor: Option<&str>,
     n: usize,
+    fed: Option<(&srb_core::Federation, srb_core::ZoneId)>,
 ) -> SrbResult<String> {
     let n = if n == 0 { BROWSE_PAGE_ROWS } else { n };
     let ((subs, datasets, _), next) = conn.list_collection_page(path, cursor, n)?;
@@ -173,12 +174,16 @@ pub fn browse_page(
     let mut rows: Vec<Vec<String>> = Vec::new();
     for s in &subs {
         let full = format!("{base}/{s}");
-        rows.push(vec![
+        let mut row = vec![
             link(&format!("/browse?path={}", enc(&full)), s),
             "collection".into(),
             String::new(),
-            String::new(),
-        ]);
+        ];
+        if fed.is_some() {
+            row.push(String::new());
+        }
+        row.push(String::new());
+        rows.push(row);
     }
     for (name, ty, size) in &datasets {
         let full = format!("{base}/{name}");
@@ -188,17 +193,26 @@ pub fn browse_page(
             link(&format!("/meta?path={}", enc(&full)), "metadata"),
             link(&format!("/annotate?path={}", enc(&full)), "annotate"),
         );
-        rows.push(vec![
+        let mut row = vec![
             link(&format!("/view?path={}", enc(&full)), name),
             escape(ty),
             size.to_string(),
-            ops,
-        ]);
+        ];
+        if let Some((f, here)) = fed {
+            row.push(escape(&dataset_zone(f, here, &full)));
+        }
+        row.push(ops);
+        rows.push(row);
     }
     if rows.is_empty() && cursor.is_none() {
         bottom.push_str("<i>empty collection</i>\n");
     } else {
-        bottom.push_str(&table(&["name", "type", "size", "operations"], &rows));
+        let headers: &[&str] = if fed.is_some() {
+            &["name", "type", "size", "zone", "operations"]
+        } else {
+            &["name", "type", "size", "operations"]
+        };
+        bottom.push_str(&table(headers, &rows));
     }
     if let Some(token) = next {
         // The continuation token is opaque and self-validating; the link
@@ -582,10 +596,32 @@ pub fn admin_page(conn: &SrbConnection) -> String {
     page("MySRB — admin", Some(""), None, &body)
 }
 
+/// Which zone a browsed dataset lives in: its remote-provenance home zone
+/// when the row is a cross-zone registration or replication mirror, the
+/// browsing zone's own name otherwise. Rows whose provenance was lost
+/// ([`srb_mcat::Mcat::remote_provenance`] fails closed) render as `?`.
+fn dataset_zone(fed: &srb_core::Federation, here: srb_core::ZoneId, full_path: &str) -> String {
+    let Ok(zone) = fed.zone(here) else {
+        return String::new();
+    };
+    let mcat = &zone.grid.mcat;
+    let resolved = LogicalPath::parse(full_path).and_then(|lp| mcat.resolve_dataset(&lp));
+    match resolved.and_then(|id| mcat.remote_provenance(id)) {
+        Ok(Some((home, _))) => format!("{home} (remote)"),
+        Ok(None) => zone.name().to_string(),
+        Err(_) => "?".to_string(),
+    }
+}
+
 /// The operator dashboard (`/grid-status`): per-resource breaker health
-/// and fault counters, grid-wide fan-out/repair totals, and the slowest
-/// operations the grid has executed, each with its receipt leg breakdown.
-pub fn grid_status(grid: &srb_core::Grid) -> String {
+/// and fault counters, grid-wide fan-out/repair totals, the slowest
+/// operations the grid has executed, each with its receipt leg breakdown,
+/// and — when the app is zone-aware — the federation panel: member zones,
+/// peering-link health, and per-subscription replication lag.
+pub fn grid_status(
+    grid: &srb_core::Grid,
+    fed: Option<(&srb_core::Federation, srb_core::ZoneId)>,
+) -> String {
     let snap = grid.metrics_snapshot();
     let mut body = String::new();
     body.push_str("<h3>Resource health</h3>\n");
@@ -653,5 +689,89 @@ pub fn grid_status(grid: &srb_core::Grid) -> String {
         })
         .collect();
     body.push_str(&table(&["op", "subject", "cost"], &slow));
+    if let Some((f, here)) = fed {
+        body.push_str("<h3>Federation</h3>\n");
+        let here_name = f
+            .zone(here)
+            .map(|z| z.name().to_string())
+            .unwrap_or_default();
+        body.push_str(&format!(
+            "<p>this zone: <b>{}</b> · {} zone(s) federated</p>\n",
+            escape(&here_name),
+            f.zone_count(),
+        ));
+        let zrows: Vec<Vec<String>> = f
+            .zones()
+            .map(|(id, z)| {
+                vec![
+                    id.to_string(),
+                    escape(z.name()),
+                    z.grid.mcat.datasets.count().to_string(),
+                ]
+            })
+            .collect();
+        body.push_str(&table(&["zone", "name", "datasets"], &zrows));
+        let lrows: Vec<Vec<String>> = f
+            .link_statuses()
+            .into_iter()
+            .map(|l| {
+                vec![
+                    l.from.to_string(),
+                    l.to.to_string(),
+                    format!("{} us", l.latency_us),
+                    if l.up {
+                        "up".into()
+                    } else {
+                        "PARTITIONED".into()
+                    },
+                ]
+            })
+            .collect();
+        body.push_str(&table(&["from", "to", "latency", "link"], &lrows));
+        let srows: Vec<Vec<String>> = f
+            .subscriptions()
+            .into_iter()
+            .map(|s| {
+                let name_of = |z| {
+                    f.zone(z)
+                        .map(|x| x.name().to_string())
+                        .unwrap_or_else(|_| z.to_string())
+                };
+                vec![
+                    format!("{} → {}", name_of(s.src), name_of(s.dst)),
+                    escape(&s.src_root),
+                    s.fetched_lsn.to_string(),
+                    s.applied.to_string(),
+                    s.outbox.to_string(),
+                    s.resyncs.to_string(),
+                    format!("{:.2} ms", s.max_lag_ns as f64 / 1e6),
+                ]
+            })
+            .collect();
+        if !srows.is_empty() {
+            body.push_str(&table(
+                &[
+                    "subscription",
+                    "subtree",
+                    "fetched lsn",
+                    "applied",
+                    "outbox",
+                    "resyncs",
+                    "max lag",
+                ],
+                &srows,
+            ));
+        }
+        let fsnap = f.metrics_snapshot();
+        body.push_str(&format!(
+            "<p>{} cross-zone registration(s) · {} delta(s) shipped · {} applied · \
+             {} resync(s) · {} partition(s)</p>\n",
+            fsnap.counter_total("zone.registrations"),
+            fsnap.counter_total("zone.deltas_fetched"),
+            fsnap.counter_total("zone.deltas_applied"),
+            fsnap.counter_total("zone.resyncs"),
+            fsnap.counter_total("zone.partitions"),
+        ));
+    }
     page("MySRB — grid status", Some(""), None, &body)
 }

@@ -1,0 +1,138 @@
+//! Zone-aware front-end: the browse listing's zone column and the
+//! `/grid-status` federation panel, driven through `MySrb::handle`
+//! against a live two-zone federation.
+
+use mysrb::{MySrb, Request};
+use srb_core::{Federation, GridBuilder, IngestOptions, SrbConnection, ZoneId};
+use srb_mcat::WalConfig;
+use srb_storage::LogDevice;
+use srb_types::{ServerId, SimClock};
+use std::sync::Arc;
+
+fn zone_grid(clock: &SimClock, tag: &str) -> (srb_core::Grid, ServerId) {
+    let mut gb = GridBuilder::new();
+    gb.clock(clock.clone());
+    let site = gb.site(&format!("site-{tag}"));
+    let srv = gb.server(&format!("srb-{tag}"), site);
+    gb.fs_resource(&format!("fs-{tag}"), srv);
+    let grid = gb.build();
+    grid.enable_durability(
+        Arc::new(LogDevice::new()),
+        WalConfig {
+            checkpoint_interval_ns: 0,
+        },
+    )
+    .unwrap();
+    grid.register_user("sekar", "sdsc", "pw").unwrap();
+    (grid, srv)
+}
+
+fn two_zones() -> (Federation, ZoneId, ZoneId) {
+    let mut fed = Federation::new();
+    let clock = fed.clock().clone();
+    let (ga, sa) = zone_grid(&clock, "alpha");
+    let (gb_, sb) = zone_grid(&clock, "beta");
+    let a = fed.add_zone("alpha", ga, sa).unwrap();
+    let b = fed.add_zone("beta", gb_, sb).unwrap();
+    fed.link(a, b, srb_net::LinkSpec::wan()).unwrap();
+    (fed, a, b)
+}
+
+fn login(app: &MySrb) -> String {
+    let resp = app.handle(&Request::post(
+        "/login",
+        "user=sekar&domain=sdsc&password=pw",
+        None,
+    ));
+    assert_eq!(resp.status, 303);
+    resp.headers
+        .iter()
+        .find(|(k, _)| k == "Set-Cookie")
+        .and_then(|(_, v)| v.strip_prefix("mysrb_session="))
+        .map(|v| v.split(';').next().unwrap().to_string())
+        .expect("session cookie")
+}
+
+#[test]
+fn browse_shows_zone_column_with_remote_provenance() {
+    let (fed, a, b) = two_zones();
+    {
+        let alpha = fed.zone(a).unwrap();
+        let conn =
+            SrbConnection::connect(&alpha.grid, alpha.contact(), "sekar", "sdsc", "pw").unwrap();
+        conn.ingest(
+            "/home/sekar/survey.dat",
+            b"data",
+            IngestOptions::to_resource("fs-alpha"),
+        )
+        .unwrap();
+    }
+    fed.register_remote(a, "/home/sekar/survey.dat", b, "/home/sekar/survey.dat")
+        .unwrap();
+    {
+        let beta = fed.zone(b).unwrap();
+        let conn =
+            SrbConnection::connect(&beta.grid, beta.contact(), "sekar", "sdsc", "pw").unwrap();
+        conn.ingest(
+            "/home/sekar/local.dat",
+            b"data",
+            IngestOptions::to_resource("fs-beta"),
+        )
+        .unwrap();
+    }
+
+    let beta = fed.zone(b).unwrap();
+    let app = MySrb::new(&beta.grid, beta.contact(), 1).with_federation(&fed, b);
+    let key = login(&app);
+    let resp = app.handle(&Request::get("/browse?path=%2Fhome%2Fsekar", Some(&key)));
+    assert_eq!(resp.status, 200);
+    let html = resp.text();
+    assert!(html.contains("<th>zone</th>"), "zone column header missing");
+    assert!(
+        html.contains("alpha (remote)"),
+        "registered row must show its home zone"
+    );
+    assert!(html.contains("beta"), "local rows show the local zone");
+
+    // A zone-unaware app renders the classic four-column listing.
+    let plain = MySrb::new(&beta.grid, beta.contact(), 2);
+    let key = login(&plain);
+    let resp = plain.handle(&Request::get("/browse?path=%2Fhome%2Fsekar", Some(&key)));
+    assert!(!resp.text().contains("<th>zone</th>"));
+}
+
+#[test]
+fn grid_status_shows_federation_panel() {
+    let (fed, a, b) = two_zones();
+    {
+        let alpha = fed.zone(a).unwrap();
+        let conn =
+            SrbConnection::connect(&alpha.grid, alpha.contact(), "sekar", "sdsc", "pw").unwrap();
+        conn.make_collection("/home/sekar/data").unwrap();
+        conn.ingest(
+            "/home/sekar/data/one.dat",
+            b"x",
+            IngestOptions::to_resource("fs-alpha"),
+        )
+        .unwrap();
+    }
+    fed.subscribe(b, a, "/home/sekar/data").unwrap();
+    fed.pump(8).unwrap();
+
+    let alpha = fed.zone(a).unwrap();
+    let app = MySrb::new(&alpha.grid, alpha.contact(), 1).with_federation(&fed, a);
+    let resp = app.handle(&Request::get("/grid-status", None));
+    assert_eq!(resp.status, 200);
+    let html = resp.text();
+    assert!(html.contains("<h3>Federation</h3>"));
+    assert!(html.contains("this zone: <b>alpha</b>"));
+    assert!(html.contains("beta"));
+    assert!(html.contains("alpha → beta"), "subscription row missing");
+    assert!(html.contains("up"));
+
+    // Partition the link: the panel reports it.
+    fed.partition(a, b).unwrap();
+    let html = app.handle(&Request::get("/grid-status", None)).text();
+    assert!(html.contains("PARTITIONED"));
+    assert!(html.contains("partition(s)"));
+}

@@ -171,6 +171,15 @@ impl GridBuilder {
         self
     }
 
+    /// Drive this grid from an externally owned clock instead of a fresh
+    /// one. A federation passes the same `SimClock` to every member zone so
+    /// cross-zone costs (link transfers, replication lag) advance one
+    /// shared timeline.
+    pub fn clock(&mut self, clock: SimClock) -> &mut Self {
+        self.clock = clock;
+        self
+    }
+
     /// Configure (or disable, via [`BreakerConfig::disabled`]) the
     /// per-resource circuit breakers.
     pub fn breaker_config(&mut self, config: BreakerConfig) -> &mut Self {

@@ -48,6 +48,7 @@ pub mod state;
 pub mod template;
 pub mod tlang;
 pub mod xmlmeta;
+pub mod zone;
 
 pub use auth::{AuthService, Session};
 pub use conn::{ObjectContent, SrbConnection};
@@ -62,3 +63,7 @@ pub use replication::{OrderedReplicas, ReplicaPolicy};
 pub use srb_net::{Admission, BreakerConfig, BreakerState, FaultMode, HealthRegistry, Receipt};
 pub use template::render_template;
 pub use tlang::TScript;
+pub use zone::{
+    FedConnection, Federation, PumpReport, SubscriptionStatus, Zone, ZoneHit, ZoneId,
+    ZoneLinkStatus,
+};

@@ -1,0 +1,79 @@
+//! Federated zones: peered MCATs presenting one logical grid.
+//!
+//! The paper's deployments ran a single MCAT at SDSC, but SRB was designed
+//! as *federated* middleware — later SRB releases (and the EU DataGrid /
+//! ILDG federations built on the same shape) peered autonomous **zones**,
+//! each owning its own catalog, resources and durability log, joined by
+//! wide-area links. This module reproduces that shape:
+//!
+//! * A [`Zone`] wraps one [`Grid`](crate::Grid) — its own MCAT, storage
+//!   resources and WAL device — exactly as built by
+//!   [`GridBuilder`](crate::GridBuilder). Every zone in a federation runs
+//!   on **one shared [`SimClock`]**, so cross-zone costs advance a single
+//!   timeline (pass the federation's clock via
+//!   [`GridBuilder::clock`](crate::GridBuilder::clock)).
+//! * A [`Federation`] joins zones with peering links
+//!   ([`LinkSpec`](srb_net::LinkSpec) latency/bandwidth), each link backed
+//!   by its own entry in a federation-level
+//!   [`FaultPlan`](srb_net::FaultPlan) (partitions, seeded flaky modes)
+//!   and a per-link circuit breaker.
+//! * **Cross-zone registration** ([`Federation::register_remote`]) writes
+//!   a remote-replica pointer (`srb+zone://zone/path`) plus WAL-logged
+//!   home-zone provenance into a peer catalog.
+//! * **Federated queries** ([`FedConnection`]) fan out to reachable peer
+//!   zones through the PR-3 work-pulling fan-out engine, merge hits
+//!   deterministically with zone tags, and keep cursor pagination O(page)
+//!   via composite zone+cursor tokens.
+//! * **Subscription replication** ([`Federation::subscribe`] +
+//!   [`Federation::pump`]) drains LSN-ordered catalog deltas exported from
+//!   the publisher's PR-9 WAL over the link, applying them to the
+//!   subscriber's catalog in bounded batches with measurable lag.
+//!
+//! Locking: federation state introduces two ranks above `CoreState` —
+//! `ZoneFed` (the subscription registry) and `ZoneLink` (one link's
+//! outbox/cursor state) — so the pump may hold link state while applying
+//! deltas into a zone's catalog tables without inverting the hierarchy.
+
+mod federation;
+mod query;
+mod replication;
+
+pub use federation::{Federation, ZoneId, ZoneLinkStatus};
+pub use query::{FedConnection, ZoneHit};
+pub use replication::{PumpReport, SubscriptionStatus};
+
+use srb_types::SimClock;
+use std::sync::Arc;
+
+/// One autonomous zone: a complete grid (MCAT + resources + WAL) under a
+/// federation-unique name.
+pub struct Zone {
+    name: String,
+    /// The zone's grid. Public so callers can open ordinary
+    /// [`SrbConnection`](crate::SrbConnection)s against the zone.
+    pub grid: crate::Grid,
+    contact: srb_types::ServerId,
+    device: Arc<srb_storage::LogDevice>,
+}
+
+impl Zone {
+    /// The zone's federation-unique name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The server peers connect to for catalog traffic.
+    pub fn contact(&self) -> srb_types::ServerId {
+        self.contact
+    }
+
+    /// The zone's WAL device — the source of replication deltas.
+    pub fn device(&self) -> &Arc<srb_storage::LogDevice> {
+        &self.device
+    }
+
+    /// The zone's virtual clock (shared across the federation).
+    pub fn clock(&self) -> &SimClock {
+        &self.grid.clock
+    }
+}

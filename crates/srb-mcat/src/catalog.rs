@@ -26,6 +26,21 @@ use std::sync::{Arc, OnceLock};
 /// tokens, since they never see the derived key.
 const CURSOR_KEY_SEED: u64 = 0x5352_425f_4355_5253; // "SRB_CURS"
 
+/// URL scheme of a cross-zone replica pointer: a replica whose
+/// [`AccessSpec::Url`](crate::dataset::AccessSpec::Url) starts with this
+/// scheme holds no local bytes — it names a dataset in a peer zone as
+/// `srb+zone://<zone>/<logical path>`.
+pub const ZONE_URL_SCHEME: &str = "srb+zone://";
+
+/// System-metadata attribute naming the home zone of a remote-registered
+/// dataset. Written WAL-logged alongside the pointer so provenance
+/// survives crash recovery with the row itself.
+pub const ZONE_HOME_ATTR: &str = "zone_home";
+
+/// System-metadata attribute holding the dataset's logical path in its
+/// home zone.
+pub const ZONE_PATH_ATTR: &str = "zone_path";
+
 /// The Metadata Catalog.
 ///
 /// One `Mcat` instance serves an entire SRB federation (the paper's
@@ -1092,6 +1107,39 @@ impl Mcat {
             hits.truncate(q.limit);
         }
         Ok(hits)
+    }
+
+    // ------------------------------------------- cross-zone provenance --
+
+    /// Home-zone provenance of a cross-zone registration, or `None` for a
+    /// purely local dataset.
+    ///
+    /// A dataset is *remote-registered* when any replica is a
+    /// [`ZONE_URL_SCHEME`] pointer. Such a row must carry its provenance —
+    /// system-metadata triplets [`ZONE_HOME_ATTR`] and [`ZONE_PATH_ATTR`]
+    /// naming the home zone and the path there — or the pointer is
+    /// unusable: the grid could neither route a read home nor prove where
+    /// the bytes live. Lost provenance therefore **fails closed** with
+    /// [`SrbError::Invalid`] instead of answering from a dangling pointer.
+    pub fn remote_provenance(&self, id: DatasetId) -> SrbResult<Option<(String, String)>> {
+        let d = self.datasets.get(id)?;
+        let remote = d.replicas.iter().any(|r| {
+            matches!(&r.spec, crate::dataset::AccessSpec::Url { url }
+                     if url.starts_with(ZONE_URL_SCHEME))
+        });
+        if !remote {
+            return Ok(None);
+        }
+        let subject = crate::metadata::Subject::Dataset(id);
+        let home = self.metadata.value_of(subject, ZONE_HOME_ATTR);
+        let path = self.metadata.value_of(subject, ZONE_PATH_ATTR);
+        match (home, path) {
+            (Some(h), Some(p)) => Ok(Some((h.lexical(), p.lexical()))),
+            _ => Err(SrbError::Invalid(format!(
+                "dataset {id} is a remote-zone pointer with lost provenance \
+                 (missing {ZONE_HOME_ATTR}/{ZONE_PATH_ATTR} system metadata)"
+            ))),
+        }
     }
 
     // ------------------------------------------------------------ stats --

@@ -32,7 +32,7 @@ pub mod wal;
 
 pub use annotation::{Annotation, AnnotationKind};
 pub use audit::{AuditAction, AuditRow};
-pub use catalog::Mcat;
+pub use catalog::{Mcat, ZONE_HOME_ATTR, ZONE_PATH_ATTR, ZONE_URL_SCHEME};
 pub use collection::{AttrRequirement, Collection};
 pub use container::ContainerRecord;
 pub use dataset::{
@@ -44,4 +44,4 @@ pub use query::{Query, QueryCondition, QueryHit};
 pub use resource::{LogicalResource, Resource};
 pub use snapshot::{CatalogSnapshot, SnapshotGenerations};
 pub use user::{Group, User};
-pub use wal::{RecoveryReport, Wal, WalConfig, WalOp, WalRecord};
+pub use wal::{export_deltas, Delta, DeltaFetch, RecoveryReport, Wal, WalConfig, WalOp, WalRecord};

@@ -698,6 +698,74 @@ pub(crate) fn replay_device(device: &LogDevice) -> SrbResult<Replayed> {
     })
 }
 
+/// One committed catalog delta exported for zone replication: the redo
+/// record plus the virtual time its commit group was acknowledged. The
+/// commit time is what lets a subscriber measure replication lag — the
+/// exposure window between the home zone acknowledging a write and the
+/// subscriber applying its mirror.
+#[derive(Debug, Clone)]
+pub struct Delta {
+    /// The committed redo record.
+    pub record: WalRecord,
+    /// `Commit { at_ns }` of the group this record belonged to.
+    pub committed_at_ns: u64,
+}
+
+/// What one delta fetch against a peer's log device produced.
+#[derive(Debug)]
+pub enum DeltaFetch {
+    /// Committed records with `lsn > since`, LSN-ascending, commit markers
+    /// stripped.
+    Deltas {
+        /// The committed records.
+        deltas: Vec<Delta>,
+        /// Payload bytes the fetch shipped (drives the link transfer cost).
+        bytes: u64,
+    },
+    /// A checkpoint pruned the log past `since` — the gap is unrecoverable
+    /// from the log alone and the subscriber must resync from a full
+    /// subtree export before fetching deltas again.
+    Resync {
+        /// LSN covered by the pruning checkpoint.
+        checkpoint: Lsn,
+    },
+}
+
+/// Read committed catalog deltas with `lsn > since` off a zone's log
+/// device. Only *complete* commit groups are returned: an unterminated
+/// trailing group was never acknowledged and will reappear, terminated, on
+/// a later fetch. Commit markers themselves are consumed (their `at_ns`
+/// stamps the group) and never exported.
+pub fn export_deltas(device: &LogDevice, since: Lsn) -> SrbResult<DeltaFetch> {
+    if let Some(checkpoint) = device.checkpoint_lsn() {
+        if checkpoint > since {
+            return Ok(DeltaFetch::Resync { checkpoint });
+        }
+    }
+    let (_checkpoint, tail, _read_ns) = device.read_back()?;
+    let mut deltas = Vec::new();
+    let mut bytes = 0u64;
+    let mut group: Vec<(WalRecord, u64)> = Vec::new();
+    for (lsn, payload) in &tail {
+        let record: WalRecord = serde_json::from_str(payload)
+            .map_err(|e| SrbError::Parse(format!("WAL record at {lsn}: {e}")))?;
+        if let WalOp::Commit { at_ns } = record.op {
+            for (r, len) in group.drain(..) {
+                if r.lsn > since.raw() {
+                    bytes += len;
+                    deltas.push(Delta {
+                        record: r,
+                        committed_at_ns: at_ns,
+                    });
+                }
+            }
+        } else {
+            group.push((record, payload.len() as u64));
+        }
+    }
+    Ok(DeltaFetch::Deltas { deltas, bytes })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

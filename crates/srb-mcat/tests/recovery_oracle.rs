@@ -407,3 +407,109 @@ fn wal_metrics_account_for_durability_work() {
     );
     assert!(metrics2.counter("wal.checkpoints", "").get() >= 1);
 }
+
+#[test]
+fn two_zones_recover_independently_and_registrations_survive() {
+    use srb_mcat::{ZONE_HOME_ATTR, ZONE_PATH_ATTR, ZONE_URL_SCHEME};
+
+    // Zone alpha: home of the dataset.
+    let alpha = Mcat::new(SimClock::new(), "pw");
+    let dev_a = Arc::new(LogDevice::new());
+    alpha.enable_wal(dev_a.clone(), NO_CKPT, None).unwrap();
+    let root_a = alpha.collections.root();
+    let d_home = alpha
+        .datasets
+        .create(
+            &alpha.ids,
+            root_a,
+            "survey.dat",
+            "generic",
+            alpha.admin(),
+            vec![(stored(0), 1024, Some("fnv:abc".into()))],
+            alpha.clock.now(),
+        )
+        .unwrap();
+
+    // Zone beta: registers alpha's dataset as a remote replica with
+    // WAL-logged provenance — the same rows srb-core's register_remote
+    // writes.
+    let beta = Mcat::new(SimClock::new(), "pw");
+    let dev_b = Arc::new(LogDevice::new());
+    beta.enable_wal(dev_b.clone(), NO_CKPT, None).unwrap();
+    let root_b = beta.collections.root();
+    let url = format!("{ZONE_URL_SCHEME}alpha/survey.dat");
+    let d_remote = beta
+        .datasets
+        .create(
+            &beta.ids,
+            root_b,
+            "survey.dat",
+            "generic",
+            beta.admin(),
+            vec![(AccessSpec::Url { url }, 1024, Some("fnv:abc".into()))],
+            beta.clock.now(),
+        )
+        .unwrap();
+    beta.metadata.add(
+        &beta.ids,
+        Subject::Dataset(d_remote),
+        Triplet::new(ZONE_HOME_ATTR, "alpha", ""),
+        MetaKind::System,
+    );
+    beta.metadata.add(
+        &beta.ids,
+        Subject::Dataset(d_remote),
+        Triplet::new(ZONE_PATH_ATTR, "/survey.dat", ""),
+        MetaKind::System,
+    );
+
+    // Both zones crash and recover independently, each from its own log.
+    drop(alpha);
+    drop(beta);
+    dev_a.crash();
+    dev_b.crash();
+    let (rec_a, _) = Mcat::recover(SimClock::new(), dev_a, NO_CKPT, None).unwrap();
+    let (rec_b, _) = Mcat::recover(SimClock::new(), dev_b, NO_CKPT, None).unwrap();
+
+    // The home row survives and is local; the registration survives with
+    // full provenance.
+    assert_eq!(rec_a.datasets.get(d_home).unwrap().name, "survey.dat");
+    assert_eq!(rec_a.remote_provenance(d_home).unwrap(), None);
+    assert_eq!(
+        rec_b.remote_provenance(d_remote).unwrap(),
+        Some(("alpha".to_string(), "/survey.dat".to_string()))
+    );
+}
+
+#[test]
+fn remote_row_without_provenance_fails_closed() {
+    use srb_mcat::ZONE_URL_SCHEME;
+
+    let m = Mcat::new(SimClock::new(), "pw");
+    let root = m.collections.root();
+    // A remote pointer whose provenance triplets were never written (or
+    // were lost): resolving its home zone must be a hard error, not a
+    // guess.
+    let d = m
+        .datasets
+        .create(
+            &m.ids,
+            root,
+            "orphan.dat",
+            "generic",
+            m.admin(),
+            vec![(
+                AccessSpec::Url {
+                    url: format!("{ZONE_URL_SCHEME}ghost/orphan.dat"),
+                },
+                1,
+                None,
+            )],
+            m.clock.now(),
+        )
+        .unwrap();
+    match m.remote_provenance(d) {
+        Err(SrbError::Invalid(_)) => {}
+        other => panic!("expected Invalid for lost provenance, got {other:?}"),
+    }
+}

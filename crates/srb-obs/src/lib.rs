@@ -53,7 +53,7 @@ use srb_types::SimClock;
 /// The subsystems a metric may belong to. Kept in one place so the
 /// registry, the lint rule and DESIGN.md §12 agree on the universe.
 pub const SUBSYSTEMS: &[&str] = &[
-    "storage", "health", "faults", "fanout", "query", "mcat", "wal", "web", "core",
+    "storage", "health", "faults", "fanout", "query", "mcat", "wal", "web", "core", "zone",
 ];
 
 /// True when `name` follows the `subsystem.name` scheme documented on the

@@ -20,7 +20,9 @@
 //!
 //! | rank (acquired earlier) | [`LockRank`]  | owning layer                        |
 //! |------------------------:|---------------|-------------------------------------|
-//! | 5                       | `Session`     | `mysrb` web sessions                |
+//! | 7                       | `Session`     | `mysrb` web sessions                |
+//! | 6                       | `ZoneFed`     | `srb-core` federation membership    |
+//! | 5                       | `ZoneLink`    | `srb-core` zone peering link state  |
 //! | 4                       | `CoreState`   | `srb-core` grid/auth/proxy state    |
 //! | 3                       | `McatTable`   | `srb-mcat` catalog tables           |
 //! | 2                       | `Wal`         | `srb-mcat` write-ahead log buffer   |
@@ -54,8 +56,15 @@ pub enum LockRank {
     McatTable = 3,
     /// `srb-core`: grid resource maps, auth sessions, proxy registries.
     CoreState = 4,
+    /// `srb-core`: one zone-peering link's outbox, cursors and lag state.
+    /// The replication pump holds a link lock while applying deltas to the
+    /// subscriber's catalog tables, so links sit strictly above `CoreState`.
+    ZoneLink = 5,
+    /// `srb-core`: federation membership and subscription registry — the
+    /// routing table consulted before any per-link state is touched.
+    ZoneFed = 6,
     /// `mysrb`: web session table and its id generator.
-    Session = 5,
+    Session = 7,
 }
 
 /// A rank-order violation detected at acquisition time.

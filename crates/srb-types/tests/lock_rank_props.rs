@@ -9,12 +9,14 @@
 use proptest::prelude::*;
 use srb_types::sync::{self, LockRank, Mutex};
 
-const NAMES: [&str; 6] = [
+const NAMES: [&str; 8] = [
     "prop.topology",
     "prop.storage",
     "prop.wal",
     "prop.mcat",
     "prop.core",
+    "prop.zonelink",
+    "prop.zonefed",
     "prop.session",
 ];
 
@@ -25,6 +27,8 @@ fn rank_of(r: u8) -> LockRank {
         2 => LockRank::Wal,
         3 => LockRank::McatTable,
         4 => LockRank::CoreState,
+        5 => LockRank::ZoneLink,
+        6 => LockRank::ZoneFed,
         _ => LockRank::Session,
     }
 }
@@ -82,13 +86,13 @@ fn run_model(seq: &[(u8, bool)]) {
 /// 1–3 threads' worth of random (rank, hold?) acquisition steps.
 fn seqs_strategy() -> impl Strategy<Value = Vec<Vec<(u8, bool)>>> {
     prop::collection::vec(
-        prop::collection::vec((0u8..6u8, any::<bool>()), 0..12),
+        prop::collection::vec((0u8..8u8, any::<bool>()), 0..12),
         1..4,
     )
 }
 
 fn ranks_strategy() -> impl Strategy<Value = Vec<u8>> {
-    prop::collection::vec(0u8..6u8, 0..10)
+    prop::collection::vec(0u8..8u8, 0..10)
 }
 
 proptest! {

@@ -10,8 +10,10 @@
 //! simulated time (host-independent), and in wall-clock where the
 //! recording host actually had worker threads to parallelize on; the
 //! recovery artifact must show every crash recovering to a byte-identical
-//! catalog with bounded WAL overhead. These are the regressions the
-//! bench-smoke CI job exists to catch.
+//! catalog with bounded WAL overhead; the zone artifact must show every
+//! federated link class converging byte-identically with replication lag
+//! monotone in link latency. These are the regressions the bench-smoke CI
+//! job exists to catch.
 
 use serde_json::Value;
 use std::path::Path;
@@ -583,6 +585,66 @@ fn check_recovery(root: &Path) -> Result<String, String> {
     ))
 }
 
+/// BENCH_ZONE: federated zones. Every link class must converge
+/// byte-identically, a federated query can never beat the local one (the
+/// remote leg pays the peering link), the federated premium must grow
+/// with link latency, and the replication exposure window must be
+/// monotone non-decreasing as the link slows down.
+fn check_zone(root: &Path) -> Result<String, String> {
+    let rows = rows_of(root, "BENCH_ZONE.json")?;
+    let mut prev_latency = -1.0f64;
+    let mut prev_fed = -1.0f64;
+    let mut prev_lag = -1.0f64;
+    for (i, row) in rows.iter().enumerate() {
+        let latency =
+            num(row, "latency_us").ok_or_else(|| format!("row {i}: missing latency_us"))?;
+        let local =
+            num(row, "local_query_ms").ok_or_else(|| format!("row {i}: missing local_query_ms"))?;
+        let fed = num(row, "federated_query_ms")
+            .ok_or_else(|| format!("row {i}: missing federated_query_ms"))?;
+        let lag = num(row, "lag_ms").ok_or_else(|| format!("row {i}: missing lag_ms"))?;
+        if row.get("converged").and_then(Value::as_bool) != Some(true) {
+            return Err(format!(
+                "row {i}: publisher and mirror subtrees did not converge \
+                 byte-identically"
+            ));
+        }
+        if fed <= 0.0 || lag <= 0.0 {
+            return Err(format!("row {i}: non-positive federated/lag timing"));
+        }
+        if fed < local {
+            return Err(format!(
+                "row {i}: federated query ({fed:.3} ms) beat the local one \
+                 ({local:.3} ms) — the peering link is not being charged"
+            ));
+        }
+        if latency <= prev_latency {
+            return Err(format!(
+                "row {i}: rows must sweep strictly increasing link latency"
+            ));
+        }
+        if prev_fed >= 0.0 && fed <= prev_fed {
+            return Err(format!(
+                "row {i}: federated query cost did not grow with link latency \
+                 ({prev_fed:.3} ms -> {fed:.3} ms)"
+            ));
+        }
+        if prev_lag >= 0.0 && lag < prev_lag {
+            return Err(format!(
+                "row {i}: replication lag shrank as the link slowed \
+                 ({prev_lag:.3} ms -> {lag:.3} ms)"
+            ));
+        }
+        prev_latency = latency;
+        prev_fed = fed;
+        prev_lag = lag;
+    }
+    Ok(format!(
+        "{} link classes ok, all converged, lag monotone in link latency",
+        rows.len()
+    ))
+}
+
 pub fn benchcheck(root: &Path) -> ExitCode {
     let mut failed = false;
     for (file, scan_field, scan_scale) in [
@@ -608,6 +670,7 @@ pub fn benchcheck(root: &Path) -> ExitCode {
         ("BENCH_OBS.json", check_obs),
         ("BENCH_LOAD.json", check_load),
         ("BENCH_RECOVERY.json", check_recovery),
+        ("BENCH_ZONE.json", check_zone),
     ] {
         match checker(root) {
             Ok(msg) => println!("xtask benchcheck: {file}: {msg}"),

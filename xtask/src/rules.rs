@@ -125,7 +125,7 @@ pub fn count_unwraps(lexed: &Lexed) -> usize {
 /// `srb_obs::SUBSYSTEMS`, which enforces the same list at registration
 /// time (an ill-formed name panics there).
 const METRIC_SUBSYSTEMS: &[&str] = &[
-    "storage", "health", "faults", "fanout", "query", "mcat", "web", "core", "wal",
+    "storage", "health", "faults", "fanout", "query", "mcat", "web", "core", "wal", "zone",
 ];
 
 /// Mirror of `srb_obs::valid_metric_name` (xtask cannot depend on the
