@@ -211,14 +211,15 @@ impl Federation {
     }
 
     /// Heal a previously partitioned (or otherwise faulted) zone pair.
-    /// Link breakers are reset so replication resumes on the next pump
-    /// round instead of waiting out a cooldown.
+    /// The pair's own link breakers are reset so replication resumes on
+    /// the next pump round instead of waiting out a cooldown; every other
+    /// link's breaker history is left untouched.
     pub fn heal(&self, a: ZoneId, b: ZoneId) -> SrbResult<()> {
         for (from, to) in [(a.0, b.0), (b.0, a.0)] {
             let link = self.link_info(from, to)?;
             self.faults.clear_mode(link.fault);
+            self.health.reset_resource(link.fault);
         }
-        self.health.reset();
         Ok(())
     }
 

@@ -84,16 +84,18 @@ impl<'f> FedConnection<'f> {
         }
     }
 
-    /// Zone indexes this connection can currently query: home first, then
-    /// signed-on peers whose link from home is up, ascending.
+    /// Zone indexes this connection can currently query: the home zone
+    /// plus signed-on peers whose link from home is up. Always ascending —
+    /// the `z<zone>:` pagination cursor locates its leg (and skips past a
+    /// stale one) by ordered comparison, which a home-first order would
+    /// break whenever home's index exceeds a peer's.
     fn legs(&self) -> Vec<usize> {
-        let mut legs = vec![self.home];
-        for (i, conn) in self.conns.iter().enumerate() {
-            if i != self.home && conn.is_some() && self.fed.link_up(ZoneId(self.home), ZoneId(i)) {
-                legs.push(i);
-            }
-        }
-        legs
+        (0..self.conns.len())
+            .filter(|&i| {
+                i == self.home
+                    || (self.conns[i].is_some() && self.fed.link_up(ZoneId(self.home), ZoneId(i)))
+            })
+            .collect()
     }
 
     /// Run a conjunctive query against every reachable zone in parallel.
@@ -179,7 +181,12 @@ impl<'f> FedConnection<'f> {
             .unwrap_or(legs.len());
         // A stale token can point at a zone that has since dropped off the
         // reachable list; resuming at the next reachable zone is the same
-        // contract a single-zone cursor offers after catalog drift.
+        // contract a single-zone cursor offers after catalog drift. The
+        // inner token belongs to the dropped zone's cursor, so it must not
+        // be replayed against the zone we land on instead.
+        if legs.get(pos) != Some(&start_zone) {
+            inner = None;
+        }
         while pos < legs.len() {
             let z = legs[pos];
             let conn = match self.conns[z].as_ref() {

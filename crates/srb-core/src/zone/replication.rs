@@ -32,7 +32,7 @@ use srb_types::sync::{LockRank, Mutex};
 use srb_types::{
     CollectionId, DatasetId, LogicalPath, Lsn, MetaId, MetaValue, SrbError, SrbResult, Triplet,
 };
-use std::collections::{HashMap, VecDeque};
+use std::collections::{HashMap, HashSet, VecDeque};
 use std::sync::Arc;
 
 /// One zone's mirror of a collection in the publisher's subtree.
@@ -170,10 +170,22 @@ impl Federation {
         });
         {
             let mut inner = sub.state.lock();
+            // Handshake round trip first: an unlinked or down pair must
+            // fail before any catalog mutation, not leave a fully built
+            // mirror behind with no subscription registered.
+            let handshake_ns = self.charge_link_rpc(dst.0, src.0)?;
             let copied = self.resync(&sub, &mut inner)?;
-            // The initial copy crosses the link like any other transfer.
-            let ns = self.charge_link(src.0, dst.0, copied)?;
-            self.clock().advance(ns);
+            // The initial copy crosses the link like any other transfer;
+            // a fault injected mid-copy tears the mirror back down.
+            match self.charge_link(src.0, dst.0, copied) {
+                Ok(ns) => {
+                    self.clock().advance(handshake_ns + ns);
+                }
+                Err(e) => {
+                    teardown_mirror(&mut inner, &self.zones_slice()[dst.0].grid.mcat);
+                    return Err(e);
+                }
+            }
         }
         self.subs_registry().write().push(sub);
         self.metrics().counter("zone.subscriptions", "").inc();
@@ -276,16 +288,29 @@ impl Federation {
                             Err(_) => report.blocked += 1,
                         }
                     }
-                    DeltaFetch::Deltas { deltas, bytes } => {
-                        let relevant: Vec<Delta> = deltas
-                            .into_iter()
-                            .filter(|d| relevant_op(&d.record.op))
-                            .collect();
-                        if let Some(last) = relevant.last() {
+                    DeltaFetch::Deltas {
+                        deltas,
+                        bytes,
+                        horizon,
+                    } => {
+                        // The cursor tracks the *full* fetch horizon, not the
+                        // last relevant delta: commit markers and runs of
+                        // irrelevant ops (user/resource churn) must not pin
+                        // the cursor where a later publisher checkpoint would
+                        // prune past it and force a spurious full resync.
+                        if deltas.is_empty() {
+                            // Nothing to ship; the poll round trip (already
+                            // charged) is what moved the horizon.
+                            inner.fetched = inner.fetched.max(horizon);
+                        } else {
                             match self.charge_link(sub.src, sub.dst, bytes) {
                                 Ok(ns) => {
                                     fetch_ns += ns;
-                                    inner.fetched = Lsn(last.record.lsn);
+                                    inner.fetched = inner.fetched.max(horizon);
+                                    let relevant: Vec<Delta> = deltas
+                                        .into_iter()
+                                        .filter(|d| relevant_op(&d.record.op))
+                                        .collect();
                                     report.fetched += relevant.len();
                                     self.metrics()
                                         .counter("zone.deltas_fetched", "")
@@ -360,21 +385,9 @@ impl Federation {
         inner.outbox.clear();
 
         // Tear down the existing mirror (everything this subscription
-        // created), datasets first, then collections deepest-first.
+        // created).
         let dst_mcat = &dst.grid.mcat;
-        for local in inner.dss.values() {
-            if dst_mcat.datasets.delete(*local).is_ok() {
-                dst_mcat.metadata.remove_all(Subject::Dataset(*local));
-            }
-        }
-        let mut mirrored: Vec<&MirrorColl> = inner.colls.values().collect();
-        mirrored.sort_by_key(|m| std::cmp::Reverse(m.src_path.depth()));
-        for m in mirrored {
-            let _ = dst_mcat.collections.delete(m.local); // root mapping: kept
-        }
-        inner.colls.clear();
-        inner.dss.clear();
-        inner.metas.clear();
+        teardown_mirror(inner, dst_mcat);
 
         // Copy the publisher subtree, parents before children.
         let src_mcat = &src.grid.mcat;
@@ -483,10 +496,26 @@ impl Federation {
         let dst_mcat = &dst.grid.mcat;
         match delta.record.op {
             WalOp::CollectionPut { row } => {
-                if row.link_target.is_some()
-                    || !row.path.starts_with(&sub.src_root)
-                    || inner.colls.contains_key(&row.id.raw())
-                {
+                if row.link_target.is_some() {
+                    return Ok(());
+                }
+                let in_subtree = row.path.starts_with(&sub.src_root);
+                if let Some(m) = inner.colls.get(&row.id.raw()) {
+                    if m.src_path == row.path {
+                        return Ok(()); // attribute-only put: path unchanged
+                    }
+                    // A publisher-side move/rename re-puts every rebased
+                    // node: follow it, or unmirror the branch when the new
+                    // path leaves the subscribed subtree (its descendants'
+                    // puts arrive unmapped and out of subtree — ignored).
+                    if in_subtree {
+                        mirror_move(sub, inner, dst_mcat, row.id.raw(), row.path)?;
+                    } else {
+                        unmirror_branch(inner, dst_mcat, row.id.raw());
+                    }
+                    return Ok(());
+                }
+                if !in_subtree {
                     return Ok(());
                 }
                 let mirror_path = row.path.rebase(&sub.src_root, &sub.dst_root)?;
@@ -584,6 +613,106 @@ impl Federation {
             _ => {}
         }
         Ok(())
+    }
+}
+
+/// Remove everything a subscription has mirrored into `dst_mcat`:
+/// datasets first, then collections deepest-first (ancestors shared with
+/// other mirrors refuse the delete and are kept), then the id maps.
+fn teardown_mirror(inner: &mut SubInner, dst_mcat: &Mcat) {
+    for local in inner.dss.values() {
+        if dst_mcat.datasets.delete(*local).is_ok() {
+            dst_mcat.metadata.remove_all(Subject::Dataset(*local));
+        }
+    }
+    let mut mirrored: Vec<&MirrorColl> = inner.colls.values().collect();
+    mirrored.sort_by_key(|m| std::cmp::Reverse(m.src_path.depth()));
+    for m in mirrored {
+        let _ = dst_mcat.collections.delete(m.local); // root mapping: kept
+    }
+    inner.colls.clear();
+    inner.dss.clear();
+    inner.metas.clear();
+}
+
+/// Follow a publisher-side collection move/rename that stays inside the
+/// subscribed subtree: rebase the local mirror collection, refresh the
+/// stored `src_path` (later `DatasetPut`s under it derive provenance from
+/// it), and re-point the `zone_path` provenance of datasets already
+/// mirrored directly under it. The publisher re-puts the moved node
+/// before its descendants, so a descendant's put usually finds its local
+/// mirror already at the rebased path and only updates the maps.
+fn mirror_move(
+    sub: &Subscription,
+    inner: &mut SubInner,
+    dst_mcat: &Mcat,
+    src_raw: u64,
+    new_src_path: LogicalPath,
+) -> SrbResult<()> {
+    let local = inner.colls[&src_raw].local;
+    let mirror_path = new_src_path.rebase(&sub.src_root, &sub.dst_root)?;
+    let cur = dst_mcat.collections.get(local)?;
+    if cur.path != mirror_path {
+        let parent_lp = mirror_path
+            .parent()
+            .ok_or_else(|| SrbError::Invalid("mirror path is the root".into()))?;
+        let name = mirror_path
+            .name()
+            .ok_or_else(|| SrbError::Invalid("mirror path is the root".into()))?;
+        let parent = ensure_collection(dst_mcat, &parent_lp, dst_mcat.admin())?;
+        dst_mcat.collections.move_collection(local, parent, name)?;
+    }
+    for &local_ds in inner.dss.values() {
+        let Ok(d) = dst_mcat.datasets.get(local_ds) else {
+            continue;
+        };
+        if d.coll == local {
+            update_prov_path(dst_mcat, local_ds, &new_src_path.child(&d.name)?)?;
+        }
+    }
+    if let Some(m) = inner.colls.get_mut(&src_raw) {
+        m.src_path = new_src_path;
+    }
+    Ok(())
+}
+
+/// Unmirror a whole collection branch after the publisher moved it out of
+/// the subscribed subtree: delete the mirrored datasets under it, then
+/// the mapped collections deepest-first, and drop their map entries.
+fn unmirror_branch(inner: &mut SubInner, dst_mcat: &Mcat, src_raw: u64) {
+    let Some(root) = inner.colls.get(&src_raw) else {
+        return;
+    };
+    let old_src = root.src_path.clone();
+    let mut gone: Vec<(u64, CollectionId, usize)> = inner
+        .colls
+        .iter()
+        .filter(|(_, m)| m.src_path.starts_with(&old_src))
+        .map(|(&k, m)| (k, m.local, m.src_path.depth()))
+        .collect();
+    let locals: HashSet<CollectionId> = gone.iter().map(|&(_, local, _)| local).collect();
+    let ds_gone: Vec<u64> = inner
+        .dss
+        .iter()
+        .filter(|(_, &local)| {
+            dst_mcat
+                .datasets
+                .get(local)
+                .is_ok_and(|d| locals.contains(&d.coll))
+        })
+        .map(|(&k, _)| k)
+        .collect();
+    for k in ds_gone {
+        if let Some(local) = inner.dss.remove(&k) {
+            if dst_mcat.datasets.delete(local).is_ok() {
+                dst_mcat.metadata.remove_all(Subject::Dataset(local));
+            }
+        }
+    }
+    gone.sort_by_key(|&(_, _, depth)| std::cmp::Reverse(depth));
+    for (k, local, _) in gone {
+        inner.colls.remove(&k);
+        let _ = dst_mcat.collections.delete(local);
     }
 }
 

@@ -263,6 +263,182 @@ fn checkpoint_gap_forces_resync_and_still_converges() {
 }
 
 #[test]
+fn federated_pagination_terminates_when_home_has_higher_index() {
+    let f = two_zones(LinkSpec::metro());
+    let ca = conn(&f, f.a);
+    let cb = conn(&f, f.b);
+    ca.make_collection("/home/sekar/data").unwrap();
+    cb.make_collection("/home/sekar/data").unwrap();
+    let mut rng = 9u64;
+    for i in 0..5 {
+        let p = seeded_ingest(&ca, &mut rng, i, "fs-alpha");
+        ca.add_metadata(&p, Triplet::new("grade", "hot", ""))
+            .unwrap();
+    }
+    for i in 0..4 {
+        let p = seeded_ingest(&cb, &mut rng, i, "fs-beta");
+        cb.add_metadata(&p, Triplet::new("grade", "hot", ""))
+            .unwrap();
+    }
+
+    // Home is the *higher* zone index: the first boundary token points at
+    // the lower-indexed peer and must not resume back into home (which
+    // would duplicate its hits and never terminate).
+    let fc = f.fed.connect(f.b, "sekar", "sdsc", "pw").unwrap();
+    let q = Query::everywhere().and("grade", srb_types::CompareOp::Eq, "hot");
+    let mut paged = Vec::new();
+    let mut token: Option<String> = None;
+    let mut guard = 0;
+    loop {
+        let (page, next, _r) = fc.query_page(&q, token.as_deref(), 2).unwrap();
+        paged.extend(page.into_iter().map(|h| (h.hit.path.clone(), h.zone)));
+        guard += 1;
+        assert!(guard < 20, "cursor failed to terminate");
+        match next {
+            Some(t) => token = Some(t),
+            None => break,
+        }
+    }
+    assert_eq!(paged.len(), 9, "every hit exactly once: {paged:?}");
+    let (hits, _r) = fc.query(&q).unwrap();
+    let mut all: Vec<_> = hits
+        .iter()
+        .map(|h| (h.hit.path.clone(), h.zone.clone()))
+        .collect();
+    all.sort();
+    paged.sort();
+    assert_eq!(paged, all);
+}
+
+#[test]
+fn replication_follows_collection_moves_and_unmirrors_departed_branches() {
+    let f = two_zones(LinkSpec::lan());
+    let ca = conn(&f, f.a);
+    for c in [
+        "/home/sekar/data",
+        "/home/sekar/data/keep",
+        "/home/sekar/data/leave",
+        "/home/sekar/archive",
+    ] {
+        ca.make_collection(c).unwrap();
+    }
+    let opts = || IngestOptions::to_resource("fs-alpha").with_type("text");
+    ca.ingest("/home/sekar/data/keep/k0", vec![1u8; 64], opts())
+        .unwrap();
+    ca.ingest("/home/sekar/data/leave/l0", vec![2u8; 64], opts())
+        .unwrap();
+    let dst_root = f.fed.subscribe(f.b, f.a, "/home/sekar/data").unwrap();
+
+    // Rename a collection within the subtree; move another branch out of
+    // the subtree entirely.
+    ca.move_logical("/home/sekar/data/keep", "/home/sekar/data/kept")
+        .unwrap();
+    ca.move_logical("/home/sekar/data/leave", "/home/sekar/archive/leave")
+        .unwrap();
+    let drained = f.fed.pump_until_drained(4, 1000).unwrap();
+    assert_eq!(drained.pending, 0);
+    assert_eq!(
+        f.fed.subtree_digest(f.a, "/home/sekar/data").unwrap(),
+        f.fed.subtree_digest(f.b, &dst_root).unwrap(),
+        "mirror diverged after publisher collection moves"
+    );
+
+    // The renamed collection's mirror kept its dataset, with provenance
+    // re-pointed at the new publisher path.
+    let beta = &f.fed.zone(f.b).unwrap().grid.mcat;
+    let kept = beta
+        .resolve_dataset(&format!("{dst_root}/kept/k0").parse().unwrap())
+        .unwrap();
+    assert_eq!(
+        beta.remote_provenance(kept).unwrap(),
+        Some(("alpha".to_string(), "/home/sekar/data/kept/k0".to_string()))
+    );
+    // The departed branch is gone from the mirror.
+    assert!(beta
+        .resolve_dataset(&format!("{dst_root}/leave/l0").parse().unwrap())
+        .is_err());
+
+    // A dataset created under the renamed collection *after* the move
+    // derives its provenance from the new path, not the stale one.
+    ca.ingest("/home/sekar/data/kept/k1", vec![3u8; 64], opts())
+        .unwrap();
+    f.fed.pump_until_drained(4, 1000).unwrap();
+    let k1 = beta
+        .resolve_dataset(&format!("{dst_root}/kept/k1").parse().unwrap())
+        .unwrap();
+    assert_eq!(
+        beta.remote_provenance(k1).unwrap(),
+        Some(("alpha".to_string(), "/home/sekar/data/kept/k1".to_string()))
+    );
+    assert_eq!(
+        f.fed.subtree_digest(f.a, "/home/sekar/data").unwrap(),
+        f.fed.subtree_digest(f.b, &dst_root).unwrap()
+    );
+}
+
+#[test]
+fn irrelevant_churn_does_not_pin_cursor_into_resync() {
+    let f = two_zones(LinkSpec::metro());
+    let ca = conn(&f, f.a);
+    ca.make_collection("/home/sekar/data").unwrap();
+    let mut rng = 3u64;
+    seeded_ingest(&ca, &mut rng, 0, "fs-alpha");
+    let dst_root = f.fed.subscribe(f.b, f.a, "/home/sekar/data").unwrap();
+    f.fed.pump_until_drained(4, 100).unwrap();
+
+    // The publisher's WAL tail is pure irrelevant churn (user puts), then
+    // a checkpoint prunes the log. The fetch cursor must keep up through
+    // the churn, or the prune lands past it and forces a spurious resync.
+    let alpha = f.fed.zone(f.a).unwrap();
+    for i in 0..5 {
+        alpha
+            .grid
+            .register_user(&format!("churn{i}"), "sdsc", "pw")
+            .unwrap();
+    }
+    f.fed.pump(4).unwrap(); // fetches the churn; nothing relevant
+    alpha.grid.mcat.checkpoint_now().unwrap();
+
+    seeded_ingest(&ca, &mut rng, 1, "fs-alpha");
+    let drained = f.fed.pump_until_drained(4, 100).unwrap();
+    assert_eq!(
+        drained.resyncs, 0,
+        "irrelevant churn pinned the fetch cursor"
+    );
+    assert_eq!(
+        f.fed.subtree_digest(f.a, "/home/sekar/data").unwrap(),
+        f.fed.subtree_digest(f.b, &dst_root).unwrap()
+    );
+}
+
+#[test]
+fn failed_subscribe_leaves_no_mirror_behind() {
+    // Two zones with no peering link: the subscription handshake must
+    // fail before any subscriber-catalog mutation.
+    let mut fed = Federation::new();
+    let clock = fed.clock().clone();
+    let (grid_a, srv_a) = zone_grid(&clock, "alpha");
+    let (grid_b, srv_b) = zone_grid(&clock, "beta");
+    let a = fed.add_zone("alpha", grid_a, srv_a).unwrap();
+    let b = fed.add_zone("beta", grid_b, srv_b).unwrap();
+    {
+        let zone_a = fed.zone(a).unwrap();
+        let ca =
+            SrbConnection::connect(&zone_a.grid, zone_a.contact(), "sekar", "sdsc", "pw").unwrap();
+        ca.make_collection("/home/sekar/data").unwrap();
+        let mut rng = 1u64;
+        seeded_ingest(&ca, &mut rng, 0, "fs-alpha");
+    }
+    assert!(fed.subscribe(b, a, "/home/sekar/data").is_err());
+    assert!(fed.subscriptions().is_empty());
+    let beta = &fed.zone(b).unwrap().grid.mcat;
+    assert!(
+        beta.collections.resolve(&"/zones".parse().unwrap()).is_err(),
+        "failed subscribe left a half-built mirror behind"
+    );
+}
+
+#[test]
 fn replication_tracks_moves_deletes_and_metadata_changes() {
     let f = two_zones(LinkSpec::lan());
     let ca = conn(&f, f.a);

@@ -721,6 +721,12 @@ pub enum DeltaFetch {
         deltas: Vec<Delta>,
         /// Payload bytes the fetch shipped (drives the link transfer cost).
         bytes: u64,
+        /// Highest LSN of a *complete* commit group scanned (`>= since`).
+        /// A fetch cursor must advance here rather than to the last
+        /// delta's LSN: commit markers are stripped from `deltas`, so a
+        /// cursor tracking only delta LSNs sits permanently below the
+        /// next checkpoint's cover LSN and every prune looks like a gap.
+        horizon: Lsn,
     },
     /// A checkpoint pruned the log past `since` — the gap is unrecoverable
     /// from the log alone and the subscriber must resync from a full
@@ -745,6 +751,7 @@ pub fn export_deltas(device: &LogDevice, since: Lsn) -> SrbResult<DeltaFetch> {
     let (_checkpoint, tail, _read_ns) = device.read_back()?;
     let mut deltas = Vec::new();
     let mut bytes = 0u64;
+    let mut horizon = since;
     let mut group: Vec<(WalRecord, u64)> = Vec::new();
     for (lsn, payload) in &tail {
         let record: WalRecord = serde_json::from_str(payload)
@@ -759,11 +766,18 @@ pub fn export_deltas(device: &LogDevice, since: Lsn) -> SrbResult<DeltaFetch> {
                     });
                 }
             }
+            if record.lsn > horizon.raw() {
+                horizon = Lsn(record.lsn);
+            }
         } else {
             group.push((record, payload.len() as u64));
         }
     }
-    Ok(DeltaFetch::Deltas { deltas, bytes })
+    Ok(DeltaFetch::Deltas {
+        deltas,
+        bytes,
+        horizon,
+    })
 }
 
 #[cfg(test)]

@@ -351,6 +351,12 @@ impl HealthRegistry {
     pub fn reset(&self) {
         self.cells.write().clear();
     }
+
+    /// Forget recorded history for one resource — e.g. a healed link —
+    /// leaving every other breaker untouched.
+    pub fn reset_resource(&self, r: ResourceId) {
+        self.cells.write().remove(&r);
+    }
 }
 
 #[cfg(test)]
@@ -393,6 +399,25 @@ mod tests {
         assert_eq!(h.admit(r), Admission::FastFail);
         assert!(h.is_open(r));
         assert_eq!(h.unhealthy(), vec![(r, BreakerState::Open)]);
+    }
+
+    #[test]
+    fn reset_resource_leaves_other_breakers_tripped() {
+        let clock = SimClock::new();
+        let h = registry(&clock);
+        let (a, b) = (ResourceId(1), ResourceId(2));
+        for _ in 0..4 {
+            h.record(a, false);
+            h.record(b, false);
+        }
+        assert_eq!(h.admit(a), Admission::FastFail);
+        assert_eq!(h.admit(b), Admission::FastFail);
+        h.reset_resource(a);
+        assert_eq!(h.state(a), BreakerState::Closed);
+        assert_eq!(h.admit(a), Admission::Allow);
+        // The other breaker's history is untouched.
+        assert_eq!(h.state(b), BreakerState::Open);
+        assert_eq!(h.admit(b), Admission::FastFail);
     }
 
     #[test]
